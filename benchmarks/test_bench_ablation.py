@@ -1,0 +1,50 @@
+"""Ablations of BBSched's design choices (DESIGN.md §Key design decisions)."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+from repro.experiments.report import format_table
+
+
+def test_bench_ablation_ga_selection(benchmark, scale, save_result):
+    """Paper's age-based Pareto selection vs NSGA-II crowding (GD)."""
+    result = run_once(benchmark, ablation.ablate_ga_selection, scale)
+    rows = [[s, f"{result.gd[s]:.5f}", f"{result.seconds[s] * 1e3:.1f}ms"]
+            for s in result.gd]
+    save_result("ablation_ga_selection",
+                format_table(rows, ["scheme", "GD", "time/solve"],
+                             title="GA selection-scheme ablation"))
+    # Both schemes produce usable fronts; neither GD is pathological.
+    assert all(gd < 0.5 for gd in result.gd.values())
+
+
+def test_bench_ablation_trade_factor(benchmark, scale, save_result):
+    """Sweeping the §3.2.4 trade factor shifts the node/BB balance."""
+    result = run_once(benchmark, ablation.ablate_trade_factor, scale,
+                      factors=(0.5, 2.0, 8.0))
+    rows = [[f, f"{n:.3f}", f"{b:.3f}"]
+            for f, (n, b) in sorted(result.usages.items())]
+    save_result("ablation_trade_factor",
+                format_table(rows, ["factor", "node usage", "bb usage"],
+                             title="Decision-rule trade-factor ablation"))
+    assert set(result.usages) == {0.5, 2.0, 8.0}
+    for node, bb in result.usages.values():
+        assert 0.0 < node <= 1.0
+        assert 0.0 < bb <= 1.0
+
+
+def test_bench_ablation_starvation_bound(benchmark, scale, save_result):
+    """Tightening the §3.1 starvation bound trades utilization for fairness."""
+    result = run_once(benchmark, ablation.ablate_starvation_bound, scale,
+                      bounds=(5, 50, 500))
+    rows = [[b, f"{n:.3f}", f"{w / 3600:.2f}h"]
+            for b, (n, w) in sorted(result.outcomes.items())]
+    save_result("ablation_starvation_bound",
+                format_table(rows, ["bound", "node usage", "max wait"],
+                             title="Starvation-bound ablation"))
+    # Sanity: every configuration completes with plausible outcomes.  (No
+    # monotonicity assertion — a tight bound can either cap the longest
+    # wait or *raise* it by thrashing the optimizer with forced jobs.)
+    for node, max_wait in result.outcomes.values():
+        assert 0.0 < node <= 1.0
+        assert max_wait >= 0.0

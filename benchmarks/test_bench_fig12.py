@@ -1,0 +1,21 @@
+"""Figure 12: average slowdown across the grid."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark, scale, save_result):
+    result = run_once(benchmark, fig12.run, scale)
+    save_result("fig12", fig12.render(result))
+
+    # Slowdown trends mirror the wait trends: S4 workloads are evidently
+    # worse than the Original ones (paper §4.4).
+    for machine in ("Cori", "Theta"):
+        sd = {w: result.avg_slowdown[w]["Baseline"] for w in result.workloads
+              if w.startswith(machine)}
+        assert sd[f"{machine}-S4"] > sd[f"{machine}-Original"]
+    # Slowdowns are always >= 1 by definition.
+    for w in result.workloads:
+        for m in result.methods:
+            assert result.avg_slowdown[w][m] >= 1.0

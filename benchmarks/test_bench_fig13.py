@@ -1,0 +1,27 @@
+"""Figure 13: Kiviat holistic comparison across all workloads."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark, scale, save_result):
+    result = run_once(benchmark, fig13.run, scale)
+    save_result("fig13", fig13.render(result))
+
+    # Every axis is normalised to [0, 1] with at least one method at each
+    # extreme per workload.
+    for w in result.workloads:
+        for axis in next(iter(result.axes[w].values())):
+            vals = [result.axes[w][m][axis] for m in result.methods]
+            assert max(vals) == 1.0
+            assert min(vals) == 0.0
+    # BBSched's overall area beats the naive baseline's on the heavy-BB
+    # workloads (the paper's headline holistic claim).
+    heavy = [w for w in result.workloads if w.endswith(("S3", "S4"))]
+    bb_wins = sum(
+        1 for w in heavy
+        if result.areas[w]["BBSched"] >= result.areas[w]["Baseline"]
+    )
+    assert bb_wins >= len(heavy) // 2

@@ -1,0 +1,26 @@
+"""Figure 14 / §5: the four-objective local-SSD case study."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark, scale, save_result):
+    result = run_once(benchmark, fig14.run, scale)
+    save_result("fig14", fig14.render(result))
+
+    for wl in result.workloads:
+        runs = result.runs[wl]
+        # The SSD axes are live: every method uses local SSD and wastes
+        # some (heterogeneous tiers force over-provisioning).
+        for m in result.methods:
+            assert runs[m].metric("ssd_usage") > 0.0
+            assert runs[m].metric("ssd_waste") >= 0.0
+    # §5's headline: BBSched achieves the best (or tied-best) overall
+    # Kiviat area on most workloads.
+    wins = sum(
+        1 for wl in result.workloads
+        if result.areas[wl]["BBSched"]
+        >= 0.95 * max(result.areas[wl].values())
+    )
+    assert wins >= len(result.workloads) // 2

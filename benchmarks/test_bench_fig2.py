@@ -1,0 +1,26 @@
+"""Figure 2: exhaustive solve time grows exponentially with window size."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, scale, save_result):
+    result = run_once(benchmark, fig2.run, scale,
+                      sizes=(4, 8, 12, 16, 18, 20), repeats=2)
+    save_result("fig2", fig2.render(result))
+
+    sizes = sorted(result.times)
+    times = [result.times[w] for w in sizes]
+    # Monotone growth over the sweep endpoints...
+    assert times[-1] > times[0]
+    # ...and super-linear: the per-gene growth factor over the top of the
+    # sweep must exceed 1.5x per +4 genes (true exponent is ~2x/gene).
+    top_ratio = result.times[20] / result.times[16]
+    assert top_ratio > 1.5
+    # Extrapolating the doubling law crosses the 15 s budget well before
+    # the w=50 windows the overhead study uses.
+    per_gene = (result.times[20] / result.times[12]) ** (1 / 8)
+    w_limit = 20 + np.log(result.time_limit / result.times[20]) / np.log(per_gene)
+    assert w_limit < 50

@@ -1,0 +1,25 @@
+"""Figure 4: GD and time-to-solution versus the GA's G and P parameters."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, scale, save_result):
+    result = run_once(
+        benchmark, fig4.run, scale,
+        generations=(0, 50, 200, 500), populations=(10, 20),
+        window=14, n_windows=2,
+    )
+    save_result("fig4", fig4.render(result))
+
+    # GD falls as G grows (paper: steep to G≈500, then flattens)...
+    for P in (10, 20):
+        assert result.cell(500, P).gd <= result.cell(0, P).gd
+    # ...and time rises with G.
+    assert result.cell(500, 20).seconds > result.cell(50, 20).seconds
+    # Larger populations cost more time at fixed G.
+    assert result.cell(500, 20).seconds > result.cell(500, 10).seconds
+    # The paper's operating point stays well under the 15 s budget
+    # ("minimal overhead, less than 0.2 second" on their hardware).
+    assert result.cell(500, 20).seconds < 15.0

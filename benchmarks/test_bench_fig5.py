@@ -1,0 +1,29 @@
+"""Figure 5: burst-buffer request histograms for all ten workloads."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig5
+from repro.experiments.workloads import ALL_WORKLOADS
+
+
+def test_bench_fig5(benchmark, scale, save_result):
+    result = run_once(benchmark, fig5.run, scale)
+    save_result("fig5", fig5.render(result))
+
+    h = result.histograms
+    assert set(h) == set(ALL_WORKLOADS)
+    for machine in ("Cori", "Theta"):
+        orig = h[f"{machine}-Original"]
+        s1, s2 = h[f"{machine}-S1"], h[f"{machine}-S2"]
+        s3, s4 = h[f"{machine}-S3"], h[f"{machine}-S4"]
+        # S1/S3 put requests on 50% of jobs, S2/S4 on 75%.
+        assert s2.n_requests > s1.n_requests
+        assert s4.n_requests > s3.n_requests
+        # The original trace barely registers next to the S-workloads.
+        assert orig.total_volume_tb < s1.total_volume_tb
+        # S3/S4 sit at larger requests than S1/S2 (higher mean request).
+        assert (s3.total_volume_tb / s3.n_requests
+                > s1.total_volume_tb / s1.n_requests)
+        assert (s4.total_volume_tb / s4.n_requests
+                > s2.total_volume_tb / s2.n_requests)

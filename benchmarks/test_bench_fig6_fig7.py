@@ -1,0 +1,32 @@
+"""Figures 6 & 7: node and burst-buffer usage, 8 methods × 10 workloads."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig6_7
+
+
+def test_bench_fig6_fig7(benchmark, scale, save_result):
+    result = run_once(benchmark, fig6_7.run, scale)
+    save_result("fig6_7", fig6_7.render(result))
+
+    # Regime check (the evaluation's premise): BB pressure rises from
+    # Original to S4, and the S4 workloads are burst-buffer-bound.
+    for machine in ("Cori", "Theta"):
+        bb = {w: result.bb_usage[w]["Baseline"] for w in result.workloads
+              if w.startswith(machine)}
+        assert bb[f"{machine}-S4"] > bb[f"{machine}-S1"]
+        assert bb[f"{machine}-S4"] > 0.6
+    # Shape: on the BB-bound workloads the optimizing methods beat the
+    # naive baseline on burst-buffer usage...
+    for w in ("Cori-S4", "Theta-S4"):
+        best_opt = max(result.bb_usage[w][m]
+                       for m in result.methods if m != "Baseline")
+        assert best_opt >= result.bb_usage[w]["Baseline"] - 0.02
+    # ...and BBSched never falls behind the baseline materially on
+    # either resource across all ten workloads.
+    for w in result.workloads:
+        assert result.node_usage[w]["BBSched"] >= \
+            result.node_usage[w]["Baseline"] - 0.05
+        assert result.bb_usage[w]["BBSched"] >= \
+            result.bb_usage[w]["Baseline"] - 0.05

@@ -1,0 +1,26 @@
+"""Figure 8: average job wait time across the grid."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, scale, save_result):
+    result = run_once(benchmark, fig8.run, scale)
+    save_result("fig8", fig8.render(result))
+
+    # Waits surge with burst-buffer pressure under the baseline (paper:
+    # Cori-Original <6h vs Cori-S4 ~19h).
+    for machine in ("Cori", "Theta"):
+        base = {w: result.avg_wait[w]["Baseline"] for w in result.workloads
+                if w.startswith(machine)}
+        assert base[f"{machine}-S4"] > base[f"{machine}-Original"]
+    # On the heavy-BB Cori workloads the optimizing methods cut waits
+    # relative to the baseline (the paper's headline direction).
+    best = max(result.reduction_vs_baseline("Cori-S4", m)
+               for m in result.methods if m != "Baseline")
+    assert best > 0.0
+    # BBSched's best reduction across the grid is material.
+    _, red = result.best_reduction("BBSched")
+    assert red > 0.02

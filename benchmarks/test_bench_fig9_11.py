@@ -1,0 +1,32 @@
+"""Figures 9-11: wait-time breakdowns on Theta-S4."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig9_11
+
+
+def _weighted_any(d):
+    vals = [v for v in d.values() if v > 0]
+    return np.mean(vals) if vals else 0.0
+
+
+def test_bench_fig9_11(benchmark, scale, save_result):
+    result = run_once(benchmark, fig9_11.run, scale)
+    save_result("fig9_11", fig9_11.render(result))
+
+    base_bb = result.by_bb["Baseline"]
+    # Figure 10's premise: jobs with burst-buffer requests wait longer
+    # than BB-free jobs under the baseline.
+    bb_bins = [v for k, v in base_bb.items() if k != "0TB" and v > 0]
+    if bb_bins and base_bb["0TB"] > 0:
+        assert max(bb_bins) > base_bb["0TB"]
+    # Figure 11's premise: long jobs wait more than short jobs.
+    base_rt = result.by_runtime["Baseline"]
+    shortw = base_rt.get("0-0.5h", 0.0)
+    longw = base_rt.get(">12h", 0.0) or base_rt.get("6-12h", 0.0)
+    if longw > 0:
+        assert longw >= shortw * 0.5  # long jobs are not privileged
+    # All three breakdowns cover every method.
+    for table in (result.by_size, result.by_bb, result.by_runtime):
+        assert set(table) == set(result.methods)

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the hot computational kernels.
+
+These time the primitives that dominate a production deployment's
+per-decision latency (§3.3's O(G×P) claim) — useful for tracking
+performance regressions, unlike the one-shot figure benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExhaustiveSolver,
+    MOGASolver,
+    ScalarGASolver,
+    SelectionProblem,
+    SSDSelectionProblem,
+    non_dominated_mask,
+    pareto_front_2d,
+)
+from repro.simulator.job import Job
+
+
+def _window(w, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Job(jid=i, submit_time=0.0, runtime=3600.0, walltime=3600.0,
+            nodes=int(rng.integers(1, 500)), bb=float(rng.integers(0, 200) * 100))
+        for i in range(w)
+    ]
+
+
+@pytest.fixture(scope="module")
+def problem20():
+    return SelectionProblem.from_window(_window(20), 2000, 500_000.0)
+
+
+def test_bench_ga_solve_paper_params(benchmark, problem20):
+    """One full G=500, P=20 MOO solve — the §3.2.3 'minimal overhead'."""
+    solver = MOGASolver(generations=500, population=20, seed=1)
+    result = benchmark(solver.solve, problem20)
+    assert len(result) >= 1
+
+
+def test_bench_ga_solve_default_params(benchmark, problem20):
+    solver = MOGASolver(generations=60, population=20, seed=1)
+    result = benchmark(solver.solve, problem20)
+    assert len(result) >= 1
+
+
+def test_bench_scalar_ga(benchmark, problem20):
+    solver = ScalarGASolver([1.0, 0.0], generations=60, population=20, seed=1)
+    result = benchmark(solver.best, problem20)
+    assert result.genes.shape == (20,)
+
+
+def test_bench_exhaustive_w16(benchmark):
+    problem = SelectionProblem.from_window(_window(16), 2000, 500_000.0)
+    solver = ExhaustiveSolver()
+    result = benchmark(solver.solve, problem)
+    assert len(result) >= 1
+
+
+def test_bench_ssd_problem_evaluate(benchmark):
+    rng = np.random.default_rng(3)
+    jobs = [
+        Job(jid=i, submit_time=0.0, runtime=3600.0, walltime=3600.0,
+            nodes=int(rng.integers(1, 50)), bb=float(rng.integers(0, 100)),
+            ssd=float(rng.choice([0.0, 64.0, 200.0])))
+        for i in range(20)
+    ]
+    problem = SSDSelectionProblem(jobs, 1000, 100_000.0,
+                                  {128.0: 500, 256.0: 500})
+    pop = problem.random_population(40, seed=0)
+    F = benchmark(problem.evaluate, pop)
+    assert F.shape == (40, 4)
+
+
+def test_bench_pareto_front_2d(benchmark):
+    rng = np.random.default_rng(4)
+    F = rng.random((100_000, 2))
+    idx = benchmark(pareto_front_2d, F)
+    assert idx.size >= 1
+
+
+def test_bench_non_dominated_mask_3d(benchmark):
+    rng = np.random.default_rng(5)
+    F = rng.random((2000, 3))
+    mask = benchmark(non_dominated_mask, F)
+    assert mask.any()

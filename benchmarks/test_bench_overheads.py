@@ -1,0 +1,27 @@
+"""§4.4 scheduling overheads: per-decision wall time of every method."""
+
+from conftest import run_once
+
+from repro.experiments import overheads
+
+
+def test_bench_overheads(benchmark, scale, save_result):
+    result = run_once(benchmark, overheads.run, scale,
+                      window=50, snapshots=2,
+                      generation_sweep=(100, 500, 2000))
+    save_result("overheads", overheads.render(result))
+
+    t = result.per_method
+    # The greedy methods are the cheapest optimizers (paper: Bin_Packing
+    # ~0.1 s at w=50, only the no-op baseline is cheaper).
+    assert t["Baseline"] <= min(v for k, v in t.items() if k != "Baseline")
+    ga_methods = [v for k, v in t.items()
+                  if k not in ("Baseline", "Bin_Packing")]
+    assert t["Bin_Packing"] <= min(ga_methods)
+    # Every method satisfies the 15-30 s scheduler budget, including
+    # BBSched at G=2000, w=50 (paper: < 2 s there).
+    assert max(t.values()) < result.time_limit
+    assert result.bbsched_by_generations[2000] < result.time_limit
+    # Cost grows with the generation budget.
+    assert result.bbsched_by_generations[2000] > \
+        result.bbsched_by_generations[100]

@@ -1,0 +1,25 @@
+"""Table 1: the illustrative example — every method's selection decision."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, scale, save_result):
+    result = run_once(benchmark, table1.run, generations=500)
+    text = table1.render(result)
+    save_result("table1", text)
+
+    rows = {r.method: r for r in result.rows}
+    # Table 1(b): the naive method strands 80% of the burst buffer.
+    assert rows["Baseline"].selected == ("J1",)
+    # Constrained_CPU / Weighted_CPU / Bin_Packing reach Solution 2.
+    for m in ("Constrained_CPU", "Weighted_CPU", "Bin_Packing"):
+        assert rows[m].node_utilization == 1.0
+        assert rows[m].bb_utilization == 0.2
+    # BBSched's Pareto trade picks Solution 3.
+    assert rows["BBSched"].selected == ("J2", "J3", "J4", "J5")
+    # The exhaustive Pareto set is exactly {Solution 2, Solution 3}.
+    assert {names for names, _, _ in result.pareto} == {
+        ("J1", "J5"), ("J2", "J3", "J4", "J5")
+    }

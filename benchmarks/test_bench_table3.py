@@ -1,0 +1,21 @@
+"""Table 3: BBSched sensitivity to the window size (w = 10 / 20 / 50)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, scale, save_result):
+    result = run_once(benchmark, table3.run, scale)
+    save_result("table3", table3.render(result))
+
+    for wl in result.workloads:
+        u10 = result.metric(wl, 10, "node_usage")
+        u20 = result.metric(wl, 20, "node_usage")
+        u50 = result.metric(wl, 50, "node_usage")
+        # Paper's finding: the w=10 → w=20 step brings the significant
+        # improvement; w=20 → w=50 flattens.  At simulation scale we
+        # assert the weak ordering (w=50 no worse than w=10 beyond noise)
+        # and the flattening (the second step is not a big regression).
+        assert u50 >= u10 - 0.05
+        assert u50 >= u20 - 0.05

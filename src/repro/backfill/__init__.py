@@ -1,0 +1,6 @@
+"""Backfilling: EASY (head reservation) and conservative (per-job)."""
+
+from .conservative import ConservativeBackfill
+from .easy import BackfillPlan, EasyBackfill, PlannedRelease
+
+__all__ = ["EasyBackfill", "ConservativeBackfill", "BackfillPlan", "PlannedRelease"]

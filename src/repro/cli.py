@@ -1,0 +1,158 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    bbsched list                          # available experiments
+    bbsched run table1                    # print Table 1(b)
+    bbsched run fig6_7 --scale default    # Figures 6 & 7 at a given scale
+    bbsched run all --scale smoke         # everything (CI sanity)
+    bbsched workloads --scale default     # workload summary (Table 2 view)
+    bbsched simulate Theta-S4 BBSched     # one simulation run
+
+Every experiment honours the ``REPRO_SCALE`` environment variable, and
+``--scale`` overrides it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from . import experiments as exp
+from .errors import ReproError
+from .experiments import report
+from .units import fmt_duration, fmt_storage
+
+#: experiment name → (run, render) callables.
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "table1": (exp.table1.run, exp.table1.render),
+    "fig2": (exp.fig2.run, exp.fig2.render),
+    "fig4": (exp.fig4.run, exp.fig4.render),
+    "fig5": (exp.fig5.run, exp.fig5.render),
+    "fig6_7": (exp.fig6_7.run, exp.fig6_7.render),
+    "fig8": (exp.fig8.run, exp.fig8.render),
+    "fig9_11": (exp.fig9_11.run, exp.fig9_11.render),
+    "fig12": (exp.fig12.run, exp.fig12.render),
+    "fig13": (exp.fig13.run, exp.fig13.render),
+    "table3": (exp.table3.run, exp.table3.render),
+    "overheads": (exp.overheads.run, exp.overheads.render),
+    "fig14": (exp.fig14.run, exp.fig14.render),
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("  all")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    scale = exp.get_scale(args.scale)
+    for name in names:
+        run, render = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        if name == "table1":
+            result = run(generations=scale.generations * 5)
+        else:
+            result = run(scale)
+        print(f"=== {name} (scale={scale.name}, "
+              f"{time.perf_counter() - t0:.1f}s) ===")
+        print(render(result))
+        print()
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    scale = exp.get_scale(args.scale)
+    traces = dict(exp.get_all_workloads(scale))
+    traces.update(exp.get_ssd_workloads(scale))
+    rows = []
+    for name, tr in traces.items():
+        t0, t1 = tr.span()
+        rows.append([
+            name,
+            len(tr),
+            tr.machine.nodes,
+            fmt_storage(tr.machine.schedulable_bb),
+            f"{100 * tr.bb_fraction():.1f}%",
+            fmt_storage(tr.total_bb_volume()),
+            fmt_duration(t1 - t0),
+        ])
+    print(report.format_table(
+        rows,
+        ["workload", "jobs", "nodes", "sched. BB", "BB jobs", "BB volume", "span"],
+        title=f"workloads at scale={scale.name}",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scale = exp.get_scale(args.scale)
+    trace = exp.get_workload(args.workload, scale)
+    t0 = time.perf_counter()
+    result = exp.run_one(trace, args.method, scale, seed=args.seed)
+    dt = time.perf_counter() - t0
+    s = result.summary
+    print(f"{args.method} on {args.workload} (scale={scale.name}, {dt:.1f}s):")
+    print(f"  node usage        {100 * s.node_usage:.2f}%")
+    print(f"  burst buffer usage {100 * s.bb_usage:.2f}%")
+    print(f"  avg wait          {report.hours(s.avg_wait)}")
+    print(f"  avg slowdown      {s.avg_slowdown:.2f}")
+    print(f"  jobs measured     {s.n_jobs}")
+    print(f"  selector calls    {result.selector_calls} "
+          f"({1e3 * result.mean_selector_time:.1f}ms each)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bbsched",
+        description="BBSched (HPDC'19) reproduction: regenerate paper tables/figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment and print its table/figure")
+    p_run.add_argument("experiment", help="experiment name or 'all'")
+    p_run.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
+    p_run.set_defaults(func=_cmd_run)
+
+    p_wl = sub.add_parser("workloads", help="summarise the evaluation workloads")
+    p_wl.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
+    p_wl.set_defaults(func=_cmd_workloads)
+
+    p_sim = sub.add_parser("simulate", help="run one (workload, method) simulation")
+    p_sim.add_argument("workload", help="e.g. Theta-S4")
+    p_sim.add_argument("method", help="e.g. BBSched")
+    p_sim.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: unknown key {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Adaptive decision making — the §3.2.4 future-work extension.
+
+    "The decision making may be *adaptive*, such that system managers
+    dynamically adjust their selection policy according to scheduling
+    performance and user response."  (§3.2.4)
+
+:class:`AdaptiveDecisionRule` implements the natural version of that idea:
+a feedback controller on the trade factor.  After each decision it observes
+the realised node and burst-buffer utilizations; when the node side is
+persistently the slack resource it *lowers* the trade factor (trading node
+capacity for burst buffer more eagerly), and when the burst buffer is slack
+it raises the factor back toward node-first behaviour.  The factor is
+clamped to a configurable band around the paper's static 2×.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+from ..errors import SolverError
+from .decision import Decision, DecisionRule
+from .ga import ParetoSet
+
+
+class AdaptiveDecisionRule:
+    """Trade-factor feedback controller.
+
+    Parameters
+    ----------
+    initial_factor:
+        Starting trade factor (the paper's static rule uses 2.0).
+    band:
+        Inclusive ``(min, max)`` clamp for the adapted factor.
+    gain:
+        Multiplicative adjustment per observation; the factor moves by
+        ``× (1 ± gain)`` depending on which resource is slack.
+    window:
+        Number of recent utilization observations averaged before
+        adjusting (smooths single-invocation noise).
+    primary:
+        Index of the primary objective (node utilization).
+    """
+
+    def __init__(
+        self,
+        initial_factor: float = 2.0,
+        band: Tuple[float, float] = (0.5, 8.0),
+        gain: float = 0.05,
+        window: int = 20,
+        primary: int = 0,
+    ) -> None:
+        if not band[0] <= initial_factor <= band[1]:
+            raise SolverError(
+                f"initial factor {initial_factor} outside band {band}"
+            )
+        if band[0] <= 0:
+            raise SolverError("band minimum must be positive")
+        if not 0 < gain < 1:
+            raise SolverError(f"gain must be in (0, 1), got {gain}")
+        if window < 1:
+            raise SolverError(f"window must be >= 1, got {window}")
+        self.factor = initial_factor
+        self.band = band
+        self.gain = gain
+        self.primary = primary
+        self._history: Deque[Tuple[float, float]] = deque(maxlen=window)
+
+    def observe(self, node_utilization: float, bb_utilization: float) -> None:
+        """Feed back the realised system-level utilizations.
+
+        Call after each scheduling invocation (or metrics sample); the
+        factor adapts once the averaging window has data.
+        """
+        self._history.append((node_utilization, bb_utilization))
+        n = len(self._history)
+        node = sum(h[0] for h in self._history) / n
+        bb = sum(h[1] for h in self._history) / n
+        if node < bb - 0.05:
+            # Nodes are the slack resource: stop over-protecting them.
+            self.factor = max(self.band[0], self.factor * (1.0 - self.gain))
+        elif bb < node - 0.05:
+            # Burst buffer is slack: favour node utilization again.
+            self.factor = min(self.band[1], self.factor * (1.0 + self.gain))
+
+    def choose(self, pareto: ParetoSet, scales: Sequence[float]) -> Decision:
+        """Delegate to the static rule at the current adapted factor."""
+        rule = DecisionRule(trade_factor=self.factor, primary=self.primary)
+        return rule.choose(pareto, scales)

@@ -1,0 +1,90 @@
+"""BBSched: the paper's multi-resource scheduling scheme (§3).
+
+``BBSchedSelector`` is the plug-in that sits on top of a base scheduler:
+at each invocation it formulates the window-selection MOO problem
+(§3.2.1 — two objectives for node+burst-buffer systems, §5 — four
+objectives when the cluster has heterogeneous local SSD tiers), solves it
+with the multi-objective GA (§3.2.2), and applies the site decision rule
+(§3.2.4) to pick the dispatched solution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..methods.base import Selector, SystemCapacity
+from ..rng import SeedLike, make_rng
+from ..simulator.cluster import Available
+from ..simulator.job import Job
+from .decision import DecisionRule, four_resource_rule, two_resource_rule
+from .ga import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION, MOGASolver
+from .problem import MOOProblem, SelectionProblem, SSDSelectionProblem
+
+
+class BBSchedSelector(Selector):
+    """Window job selection via MOO + genetic algorithm + decision rule.
+
+    Parameters
+    ----------
+    generations, population, mutation:
+        GA parameters ``G``, ``P``, ``p_m`` (§4.3 defaults: 500, 20, 0.05%).
+    selection:
+        GA survival scheme — ``"age"`` (paper) or ``"crowding"`` (ablation).
+    decision:
+        Decision rule; defaults to the 2× rule, or the 4× rule automatically
+        when the cluster exposes SSD tiers.  Pass explicitly to override.
+    seed:
+        Seed for the GA's random stream (one stream across invocations).
+    """
+
+    name = "BBSched"
+
+    def __init__(
+        self,
+        generations: int = DEFAULT_GENERATIONS,
+        population: int = DEFAULT_POPULATION,
+        mutation: float = DEFAULT_MUTATION,
+        selection: str = "age",
+        decision: Optional[DecisionRule] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.solver = MOGASolver(
+            generations=generations,
+            population=population,
+            mutation=mutation,
+            selection=selection,
+            seed=None,
+        )
+        self.decision = decision
+        self._rng = make_rng(seed)
+
+    def build_problem(self, window: Sequence[Job], avail: Available) -> MOOProblem:
+        """Formulate the MOO problem for the current invocation."""
+        ssd_relevant = len(avail.ssd_free) > 1 or any(
+            cap > 0 for cap in avail.ssd_free
+        )
+        if ssd_relevant:
+            return SSDSelectionProblem(
+                window, avail.nodes, avail.bb, avail.ssd_free
+            )
+        return SelectionProblem.from_window(window, avail.nodes, avail.bb)
+
+    def select(self, window: Sequence[Job], avail: Available) -> List[int]:
+        system = self._require_system()
+        if not window:
+            return []
+        problem = self.build_problem(window, avail)
+        pareto = self.solver.solve(problem, seed=self._rng)
+        if len(pareto) == 0:
+            return []
+        if problem.n_objectives == 4:
+            rule = self.decision or four_resource_rule()
+            scales = system.scales4()
+        else:
+            rule = self.decision or two_resource_rule()
+            scales = system.scales2()
+        chosen = rule.choose(pareto, scales)
+        return [int(i) for i in np.flatnonzero(chosen.genes)]

@@ -1,0 +1,130 @@
+"""Decision making: choosing one solution from the Pareto set (§3.2.4, §5).
+
+The solver hands back a Pareto *set*; a site-specific rule picks the
+solution actually dispatched.  The paper's rule (and its §5 four-objective
+extension):
+
+1. start from the solution that **maximizes node utilization**; among ties,
+   prefer the one selecting the jobs nearest the *front of the window*
+   (preserving the base scheduler's order);
+2. replace it with another Pareto solution if that solution's summed
+   improvement in the secondary objectives (normalised to utilization
+   fractions) exceeds ``trade_factor`` times its loss of node utilization
+   — 2× for the two-resource rule, 4× for the four-resource rule;
+3. if several solutions qualify, take the one with the maximum improvement.
+
+Objectives are raw sums (nodes, GB, …); ``scales`` converts deltas to
+utilization fractions (divide by total/available capacity per axis) so the
+trade comparison is unit-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SolverError
+from .ga import ParetoSet
+
+#: §3.2.4: swap when the BB gain exceeds twice the node loss.
+TWO_RESOURCE_FACTOR = 2.0
+#: §5: swap when the summed secondary gain exceeds four times the node loss.
+FOUR_RESOURCE_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The chosen solution and why it won."""
+
+    index: int                 #: row in the Pareto set
+    genes: np.ndarray          #: the selection vector
+    objectives: np.ndarray     #: its objective vector
+    traded: bool               #: True when step 2 replaced the node-max pick
+    improvement: float         #: normalised secondary gain over the node-max pick
+
+
+class DecisionRule:
+    """The paper's trade-off rule, generic over objective count.
+
+    Parameters
+    ----------
+    trade_factor:
+        Required ratio of secondary gain to primary loss (2.0 or 4.0).
+    primary:
+        Index of the primary objective (node utilization = 0).
+    """
+
+    def __init__(self, trade_factor: float = TWO_RESOURCE_FACTOR, primary: int = 0) -> None:
+        if trade_factor <= 0:
+            raise SolverError(f"trade_factor must be positive, got {trade_factor}")
+        self.trade_factor = trade_factor
+        self.primary = primary
+
+    def choose(self, pareto: ParetoSet, scales: Sequence[float]) -> Decision:
+        """Pick one solution from ``pareto``.
+
+        ``scales`` holds one positive capacity per objective; objective
+        deltas are divided by them before the trade comparison, making
+        "improvement in utilization" well-defined across resources.
+        """
+        if len(pareto) == 0:
+            raise SolverError("cannot decide over an empty Pareto set")
+        scale = np.asarray(scales, dtype=float)
+        if scale.shape != (pareto.objectives.shape[1],):
+            raise SolverError(
+                f"need {pareto.objectives.shape[1]} scales, got {scale.shape}"
+            )
+        if (scale <= 0).any():
+            raise SolverError("scales must be positive")
+        if not 0 <= self.primary < pareto.objectives.shape[1]:
+            raise SolverError(f"primary objective {self.primary} out of range")
+
+        util = pareto.objectives / scale  # normalised objectives
+
+        # Step 1 — node-utilization maximum, ties to front-of-window genes.
+        primary_col = util[:, self.primary]
+        best = primary_col.max()
+        ties = np.flatnonzero(np.isclose(primary_col, best))
+        # A gene vector selecting earlier window slots is lexicographically
+        # larger (1 beats 0 at the first differing position).
+        preferred = int(max(ties, key=lambda i: tuple(pareto.genes[i])))
+
+        # Step 2/3 — trade primary loss for secondary gain.
+        secondary = [k for k in range(util.shape[1]) if k != self.primary]
+        gain = (util[:, secondary] - util[preferred, secondary]).sum(axis=1)
+        loss = util[preferred, self.primary] - util[:, self.primary]
+        # Strict inequality with a float-noise guard: a gain exactly equal
+        # to factor × loss must not trade.
+        qualifies = gain > self.trade_factor * loss + 1e-9
+        qualifies[preferred] = False
+        # Only genuine trades count: a candidate must actually improve.
+        qualifies &= gain > 1e-9
+        if qualifies.any():
+            cand = np.flatnonzero(qualifies)
+            winner = cand[int(np.argmax(gain[cand]))]
+            return Decision(
+                index=int(winner),
+                genes=pareto.genes[winner],
+                objectives=pareto.objectives[winner],
+                traded=True,
+                improvement=float(gain[winner]),
+            )
+        return Decision(
+            index=int(preferred),
+            genes=pareto.genes[preferred],
+            objectives=pareto.objectives[preferred],
+            traded=False,
+            improvement=0.0,
+        )
+
+
+def two_resource_rule() -> DecisionRule:
+    """The §3.2.4 rule: node-first, 2× BB-for-node trade."""
+    return DecisionRule(TWO_RESOURCE_FACTOR)
+
+
+def four_resource_rule() -> DecisionRule:
+    """The §5 rule: node-first, 4× summed-secondary trade."""
+    return DecisionRule(FOUR_RESOURCE_FACTOR)

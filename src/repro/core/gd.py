@@ -1,0 +1,94 @@
+"""Solution-quality metrics for MOO solvers (§3.2.3).
+
+*Generational distance* (GD) measures how close an approximated solution
+set ``S`` sits to the true Pareto set ``S*``::
+
+    GD(S) = avg_{u in S} ( min_{v in S*} dist(u, v) )
+
+— the average Euclidean distance from each solution to its nearest true
+Pareto point; smaller is better, zero means ``S ⊆ S*``.  Figure 4 sweeps
+the GA's ``G``/``P`` parameters against GD.
+
+We also provide the 2-D *hypervolume* indicator (area dominated relative to
+a reference point), a standard complementary quality measure used by the
+ablation benchmarks, and an option to normalise objectives before
+measuring, which stops the burst-buffer axis (GBs, ~10^5) from drowning
+the node axis (~10^3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SolverError
+
+
+def _as_matrix(points: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2:
+        raise SolverError(f"{name} must be a 2-D objective matrix, got {arr.shape}")
+    return arr
+
+
+def generational_distance(
+    solutions: np.ndarray,
+    true_front: np.ndarray,
+    *,
+    normalize: Optional[Sequence[float]] = None,
+) -> float:
+    """GD of ``solutions`` against ``true_front`` (both ``(n, k)``).
+
+    ``normalize`` optionally divides each objective axis by a scale (e.g.
+    total capacities) before measuring distances.  An empty solution set
+    has GD 0 by convention only when the true front is also empty;
+    otherwise it is an error — the solver must return something.
+    """
+    S = _as_matrix(solutions, "solutions")
+    T = _as_matrix(true_front, "true_front")
+    if S.shape[0] == 0 and T.shape[0] == 0:
+        return 0.0
+    if S.shape[0] == 0 or T.shape[0] == 0:
+        raise SolverError("GD undefined: one of the sets is empty")
+    if S.shape[1] != T.shape[1]:
+        raise SolverError(
+            f"objective dimension mismatch: {S.shape[1]} vs {T.shape[1]}"
+        )
+    if normalize is not None:
+        scale = np.asarray(normalize, dtype=float)
+        if scale.shape != (S.shape[1],) or (scale <= 0).any():
+            raise SolverError("normalize must be positive, one scale per objective")
+        S = S / scale
+        T = T / scale
+    # (n_s, n_t) pairwise distances via broadcasting.
+    diff = S[:, None, :] - T[None, :, :]
+    dists = np.sqrt((diff**2).sum(axis=2))
+    return float(dists.min(axis=1).mean())
+
+
+def hypervolume_2d(
+    front: np.ndarray, reference: Sequence[float] = (0.0, 0.0)
+) -> float:
+    """Area dominated by a 2-objective (maximization) front above ``reference``.
+
+    Points at or below the reference in either objective contribute
+    nothing.  Dominated points in ``front`` are handled correctly (the
+    sweep skips them).
+    """
+    F = _as_matrix(front, "front")
+    if F.shape[1] != 2:
+        raise SolverError(f"hypervolume_2d needs (n, 2) points, got {F.shape}")
+    ref = np.asarray(reference, dtype=float)
+    pts = F[(F[:, 0] > ref[0]) & (F[:, 1] > ref[1])]
+    if pts.shape[0] == 0:
+        return 0.0
+    order = np.lexsort((-pts[:, 1], -pts[:, 0]))  # f1 desc, f2 desc
+    pts = pts[order]
+    area = 0.0
+    prev_f2 = ref[1]
+    for f1, f2 in pts:
+        if f2 > prev_f2:
+            area += (f1 - ref[0]) * (f2 - prev_f2)
+            prev_f2 = f2
+    return float(area)

@@ -1,0 +1,10 @@
+"""GA parameter defaults (§4.3): w=20 window, G=500 generations, P=20
+chromosomes, p_m = 0.05 % mutation probability.
+
+Kept in a leaf module with no intra-package imports so that both the core
+solvers and the method registry can share them without import cycles.
+"""
+
+DEFAULT_GENERATIONS = 500
+DEFAULT_POPULATION = 20
+DEFAULT_MUTATION = 0.0005

@@ -1,0 +1,126 @@
+"""Pareto-dominance utilities (all objectives are maximized).
+
+A solution is *non-dominated* if no other solution is at least as good in
+every objective and strictly better in one (§1, footnote 1).  These
+helpers are the backbone of both the GA's selection operator (§3.2.2) and
+the exhaustive solver's true-Pareto extraction.
+
+Two implementations are provided:
+
+* :func:`non_dominated_mask` — general ``k``-objective pairwise check,
+  vectorized with numpy broadcasting; ``O(n²k)`` memory-chunked so it stays
+  usable for the exhaustive solver's large candidate sets.
+* :func:`pareto_front_2d` — the classic sort-and-scan ``O(n log n)``
+  algorithm for the two-objective case, used on the ``2^w`` exhaustive
+  enumeration where the quadratic method would not fit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import SolverError
+
+#: Row cap below which the quadratic mask is computed in one shot.
+_CHUNK = 2048
+
+
+def _pairwise_mask(objectives: np.ndarray) -> np.ndarray:
+    """Quadratic non-dominated mask for a modest number of rows."""
+    f = objectives[:, None, :]  # (n, 1, k)
+    g = objectives[None, :, :]  # (1, n, k)
+    ge = (g >= f).all(axis=2)
+    gt = (g > f).any(axis=2)
+    dominated = (ge & gt).any(axis=1)
+    return ~dominated
+
+
+def non_dominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of Pareto-optimal rows of an ``(n, k)`` objective matrix.
+
+    Duplicated objective vectors are all retained (none dominates another).
+    """
+    objectives = np.asarray(objectives, dtype=float)
+    if objectives.ndim != 2:
+        raise SolverError(f"objectives must be 2-D, got shape {objectives.shape}")
+    n = objectives.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if n <= _CHUNK:
+        return _pairwise_mask(objectives)
+    # Cull in two passes: survivors of chunk-local fronts, then a global
+    # check of the (much smaller) union against itself.
+    survivors = []
+    for start in range(0, n, _CHUNK):
+        idx = np.arange(start, min(start + _CHUNK, n))
+        local = _pairwise_mask(objectives[idx])
+        survivors.append(idx[local])
+    cand = np.concatenate(survivors)
+    mask = np.zeros(n, dtype=bool)
+    if cand.size <= _CHUNK:
+        mask[cand[_pairwise_mask(objectives[cand])]] = True
+        return mask
+    # Rare: the union is still large; fall back to row-at-a-time culling.
+    sub = objectives[cand]
+    alive = np.ones(cand.size, dtype=bool)
+    for i in range(cand.size):
+        if not alive[i]:
+            continue
+        dominated = (sub[i] >= sub).all(axis=1) & (sub[i] > sub).any(axis=1)
+        alive &= ~dominated
+        alive[i] = True
+    mask[cand[alive]] = True
+    return mask
+
+
+def pareto_front_2d(objectives: np.ndarray) -> np.ndarray:
+    """Indices of the Pareto front of an ``(n, 2)`` matrix, sort-and-scan.
+
+    Returns indices into ``objectives`` sorted by descending first
+    objective.  Ties in both objectives are all kept (mutually
+    non-dominating duplicates).
+    """
+    objectives = np.asarray(objectives, dtype=float)
+    if objectives.ndim != 2 or objectives.shape[1] != 2:
+        raise SolverError(f"expected (n, 2) objectives, got {objectives.shape}")
+    n = objectives.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.intp)
+    # Sort by f1 desc, then f2 desc; scan keeping rows whose f2 strictly
+    # exceeds the best f2 seen, plus exact duplicates of kept rows.
+    order = np.lexsort((-objectives[:, 1], -objectives[:, 0]))
+    f = objectives[order]
+    keep = np.zeros(n, dtype=bool)
+    best_f2 = -np.inf
+    best_pair = (np.inf, np.inf)
+    for i in range(n):
+        f1, f2 = f[i]
+        if f2 > best_f2:
+            keep[i] = True
+            best_f2 = f2
+            best_pair = (f1, f2)
+        elif (f1, f2) == best_pair:
+            keep[i] = True  # duplicate of the row just kept
+    return order[keep]
+
+
+def unique_front(
+    genes: np.ndarray, objectives: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deduplicate identical chromosomes, keeping gene/objective alignment.
+
+    Returns ``(genes, objectives)`` with duplicate gene rows removed — the
+    GA population can converge onto copies of one chromosome, which would
+    otherwise inflate the reported Pareto set.
+    """
+    genes = np.asarray(genes)
+    objectives = np.asarray(objectives, dtype=float)
+    if genes.shape[0] != objectives.shape[0]:
+        raise SolverError("genes/objectives row mismatch")
+    if genes.shape[0] == 0:
+        return genes, objectives
+    _, idx = np.unique(genes, axis=0, return_index=True)
+    idx.sort()
+    return genes[idx], objectives[idx]

@@ -1,0 +1,109 @@
+"""Single-objective GA for the weighted and constrained methods (§4.3).
+
+The weighted and constrained comparison methods convert multi-resource
+scheduling into a *single*-objective optimization (§1, §2.3).  To compare
+methods rather than solvers, they get the same evolutionary machinery as
+BBSched — identical crossover, mutation, and repair operators with the same
+``G``/``P`` budget — but with survival selection by scalar fitness
+``fitness(x) = coeffs · F(x)`` instead of Pareto dominance, and a single
+best solution as output.
+
+* Constrained_CPU maximizes ``f1`` (coeffs ``[1, 0, …]``) under all
+  resource constraints; Constrained_BB maximizes ``f2``; Constrained_SSD
+  maximizes ``f3``.
+* Weighted methods maximize a weighted sum of *utilizations*, i.e. coeffs
+  are the site weights divided by the per-resource capacity scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SolverError
+from ..rng import SeedLike, make_rng
+from .ga import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION, MOGASolver
+from .problem import MOOProblem
+
+
+@dataclass(frozen=True)
+class ScalarSolution:
+    """Best solution found by a scalarized GA run."""
+
+    genes: np.ndarray
+    objectives: np.ndarray
+    fitness: float
+
+
+class ScalarGASolver(MOGASolver):
+    """Elitist GA maximizing a linear combination of the objectives.
+
+    Parameters
+    ----------
+    coeffs:
+        Weights applied to the problem's objective vector.  Length must
+        match ``problem.n_objectives`` at solve time.
+    """
+
+    def __init__(
+        self,
+        coeffs: Sequence[float],
+        generations: int = DEFAULT_GENERATIONS,
+        population: int = DEFAULT_POPULATION,
+        mutation: float = DEFAULT_MUTATION,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            generations=generations,
+            population=population,
+            mutation=mutation,
+            selection="age",
+            seed=seed,
+        )
+        self.coeffs = np.asarray(coeffs, dtype=float)
+        if self.coeffs.ndim != 1 or self.coeffs.size == 0:
+            raise SolverError(f"coeffs must be a non-empty vector, got {self.coeffs}")
+
+    def _select(self, genes, objectives, ages, rng):
+        """Keep the ``P`` fittest *unique* chromosomes.
+
+        Duplicates are collapsed (youngest copy kept) for the same reason
+        as in :class:`MOGASolver`: clones freeze the crossover gene pool.
+        Newer chromosomes win fitness ties.
+        """
+        if objectives.shape[1] != self.coeffs.size:
+            raise SolverError(
+                f"problem has {objectives.shape[1]} objectives, "
+                f"solver has {self.coeffs.size} coefficients"
+            )
+        order = np.lexsort((ages,))
+        rows = np.ascontiguousarray(genes[order])
+        voided = rows.view([("", rows.dtype)] * rows.shape[1]).ravel()
+        _, first = np.unique(voided, return_index=True)
+        idx = order[np.sort(first)]
+        fitness = objectives[idx] @ self.coeffs
+        order = np.lexsort((ages[idx], -fitness))
+        keep = idx[order[: self.population]]
+        if keep.size < self.population:
+            pad = rng.integers(0, keep.size, size=self.population - keep.size)
+            keep = np.concatenate([keep, keep[pad]])
+        return genes[keep], ages[keep]
+
+    def best(self, problem: MOOProblem, seed: SeedLike = None) -> ScalarSolution:
+        """Run the GA and return the single fittest solution found."""
+        pareto = self.solve(problem, seed=seed)
+        if len(pareto) == 0:
+            return ScalarSolution(
+                genes=np.zeros(problem.w, dtype=np.uint8),
+                objectives=np.zeros(problem.n_objectives),
+                fitness=0.0,
+            )
+        fitness = pareto.objectives @ self.coeffs
+        i = int(np.argmax(fitness))
+        return ScalarSolution(
+            genes=pareto.genes[i],
+            objectives=pareto.objectives[i],
+            fitness=float(fitness[i]),
+        )

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type.  Sub-types separate configuration mistakes
+(caller bugs) from simulation-state violations (library bugs or impossible
+traces), which is the distinction a scheduler operator actually cares about.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class TraceError(ReproError, ValueError):
+    """A workload trace is malformed or internally inconsistent."""
+
+
+class AllocationError(ReproError, RuntimeError):
+    """A resource allocation/release violated cluster invariants."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduling component produced an invalid decision."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """The MOO solver was invoked with an invalid problem."""

@@ -1,0 +1,158 @@
+"""Ablations of BBSched's design choices (DESIGN.md §Key design decisions).
+
+Not a paper figure — these benches quantify the knobs the paper fixes:
+
+* **GA selection scheme** — the paper's age-based Pareto carry-over vs
+  NSGA-II crowding-distance truncation (solution quality via GD).
+* **Decision-rule trade factor** — sweeping the 2× threshold shows the
+  utilization balance shifting between nodes and burst buffer.
+* **Starvation bound** — tightening it trades utilization for fairness to
+  stuck jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import (
+    DecisionRule,
+    ExhaustiveSolver,
+    MOGASolver,
+    SelectionProblem,
+    generational_distance,
+)
+from ..core.bbsched import BBSchedSelector
+from ..backfill import EasyBackfill
+from ..policies import WFP
+from ..simulator.engine import SchedulingEngine
+from ..simulator.metrics import compute_summary, trimmed_interval
+from ..windows import WindowPolicy
+from .config import BASE_SEED, Scale, get_scale
+from .runner import policy_for
+from .workloads import get_workload
+
+
+@dataclass(frozen=True)
+class SelectionAblation:
+    #: {scheme: mean GD}
+    gd: Dict[str, float]
+    #: {scheme: mean seconds per solve}
+    seconds: Dict[str, float]
+
+
+def ablate_ga_selection(
+    scale: Optional[Scale] = None, *, window: int = 14, n_windows: int = 3
+) -> SelectionAblation:
+    """Age-based (paper) vs crowding-distance GA selection, measured by GD."""
+    sc = scale or get_scale()
+    trace = get_workload("Theta-S2", sc)
+    jobs = list(trace.jobs)
+    machine = trace.machine
+    problems = []
+    step = max((len(jobs) - window) // n_windows, 1)
+    for k in range(n_windows):
+        chunk = jobs[k * step:k * step + window]
+        if len(chunk) == window:
+            problems.append(SelectionProblem.from_window(
+                chunk, machine.nodes // 2, machine.schedulable_bb / 2.0))
+    oracle = ExhaustiveSolver()
+    truths = [oracle.solve(p) for p in problems]
+    norm = [float(machine.nodes), machine.schedulable_bb]
+
+    gd: Dict[str, float] = {}
+    seconds: Dict[str, float] = {}
+    for scheme in ("age", "crowding"):
+        vals = []
+        t0 = time.perf_counter()
+        for i, p in enumerate(problems):
+            solver = MOGASolver(generations=sc.generations,
+                                population=sc.population,
+                                selection=scheme, seed=BASE_SEED + i)
+            vals.append(generational_distance(
+                solver.solve(p).objectives, truths[i].objectives, normalize=norm))
+        seconds[scheme] = (time.perf_counter() - t0) / len(problems)
+        gd[scheme] = float(np.mean(vals))
+    return SelectionAblation(gd=gd, seconds=seconds)
+
+
+@dataclass(frozen=True)
+class TradeFactorAblation:
+    #: {factor: (node usage, bb usage)}
+    usages: Dict[float, Tuple[float, float]]
+
+
+def ablate_trade_factor(
+    scale: Optional[Scale] = None,
+    *,
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    workload: str = "Theta-S4",
+) -> TradeFactorAblation:
+    """Sweep the §3.2.4 trade factor and observe the utilization balance.
+
+    Small factors trade nodes for burst buffer eagerly; large factors
+    almost never leave the node-maximal solution.
+    """
+    sc = scale or get_scale()
+    trace = get_workload(workload, sc)
+    usages: Dict[float, Tuple[float, float]] = {}
+    for factor in factors:
+        selector = BBSchedSelector(
+            generations=sc.generations, population=sc.population,
+            decision=DecisionRule(trade_factor=factor), seed=BASE_SEED,
+        )
+        engine = SchedulingEngine(
+            trace.machine.make_cluster(), policy_for(trace), selector,
+            WindowPolicy(size=sc.window, starvation_bound=sc.starvation_bound),
+            backfill=EasyBackfill(),
+        )
+        res = engine.run(trace.fresh_jobs())
+        iv = trimmed_interval(0.0, res.makespan,
+                              warmup_fraction=sc.warmup,
+                              cooldown_fraction=sc.cooldown)
+        s = compute_summary(res.jobs, res.recorder, iv,
+                            total_nodes=res.total_nodes,
+                            bb_capacity=res.bb_capacity)
+        usages[factor] = (s.node_usage, s.bb_usage)
+    return TradeFactorAblation(usages=usages)
+
+
+@dataclass(frozen=True)
+class StarvationAblation:
+    #: {bound: (node usage, max wait seconds)}
+    outcomes: Dict[int, Tuple[float, float]]
+
+
+def ablate_starvation_bound(
+    scale: Optional[Scale] = None,
+    *,
+    bounds: Sequence[int] = (5, 20, 50, 200),
+    workload: str = "Theta-S4",
+) -> StarvationAblation:
+    """Sweep the §3.1 starvation bound: fairness versus utilization."""
+    sc = scale or get_scale()
+    trace = get_workload(workload, sc)
+    outcomes: Dict[int, Tuple[float, float]] = {}
+    for bound in bounds:
+        selector = BBSchedSelector(
+            generations=sc.generations, population=sc.population, seed=BASE_SEED
+        )
+        engine = SchedulingEngine(
+            trace.machine.make_cluster(), policy_for(trace), selector,
+            WindowPolicy(size=sc.window, starvation_bound=bound),
+            backfill=EasyBackfill(),
+        )
+        res = engine.run(trace.fresh_jobs())
+        iv = trimmed_interval(0.0, res.makespan,
+                              warmup_fraction=sc.warmup,
+                              cooldown_fraction=sc.cooldown)
+        s = compute_summary(res.jobs, res.recorder, iv,
+                            total_nodes=res.total_nodes,
+                            bb_capacity=res.bb_capacity)
+        max_wait = max((j.wait_time for j in res.jobs
+                        if j.start_time is not None), default=0.0)
+        outcomes[bound] = (s.node_usage, max_wait)
+    return StarvationAblation(outcomes=outcomes)

@@ -1,0 +1,49 @@
+"""Figure 12: average job slowdown across the grid (§4.4).
+
+Expected shape: trends mirror Figure 8's wait times; the heavy-BB
+workloads (Cori-S4, Theta-S4) show markedly higher slowdowns because BB
+contention idles nodes while the queue grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..methods import METHODS_SECTION4
+from .config import Scale, get_scale
+from .grid import metric_table, run_grid
+from .workloads import ALL_WORKLOADS
+
+
+@dataclass(frozen=True)
+class SlowdownResult:
+    #: {workload: {method: average slowdown}}
+    avg_slowdown: Dict[str, Dict[str, float]]
+    methods: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    methods: Sequence[str] = METHODS_SECTION4,
+) -> SlowdownResult:
+    sc = scale or get_scale()
+    grid = run_grid(sc, workloads=workloads, methods=methods)
+    return SlowdownResult(
+        avg_slowdown=metric_table(grid, "avg_slowdown", workloads, methods),
+        methods=tuple(methods),
+        workloads=tuple(workloads),
+    )
+
+
+def render(result: SlowdownResult) -> str:
+    from .report import pivot_table
+
+    return pivot_table(
+        result.avg_slowdown, columns=result.methods,
+        fmt=lambda v: f"{v:.2f}",
+        title="Figure 12: average slowdown (lower is better)",
+    )

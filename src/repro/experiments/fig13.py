@@ -1,0 +1,66 @@
+"""Figure 13: Kiviat holistic comparison across all workloads (§4.4).
+
+Each workload gets a radar chart over four normalised axes (node usage,
+BB usage, reciprocal wait, reciprocal slowdown); a method's polygon area
+summarises overall quality.  Expected shape: BBSched the largest and most
+balanced area everywhere, and — unlike the other methods — its area does
+not shrink as BB pressure rises from Original to S4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..methods import METHODS_SECTION4
+from .config import Scale, get_scale
+from .grid import run_grid
+from .kiviat import AXES_SECTION4, kiviat_areas, normalize
+from .workloads import ALL_WORKLOADS
+
+
+@dataclass(frozen=True)
+class KiviatResult:
+    #: {workload: {method: polygon area}}
+    areas: Dict[str, Dict[str, float]]
+    #: {workload: {method: {axis: normalised value}}}
+    axes: Dict[str, Dict[str, Dict[str, float]]]
+    methods: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+
+    def best_method(self, workload: str) -> str:
+        row = self.areas[workload]
+        return max(row, key=row.get)
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    methods: Sequence[str] = METHODS_SECTION4,
+) -> KiviatResult:
+    sc = scale or get_scale()
+    grid = run_grid(sc, workloads=workloads, methods=methods)
+    areas: Dict[str, Dict[str, float]] = {}
+    axes: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for w in workloads:
+        per_method = {m: grid[(w, m)] for m in methods}
+        areas[w] = kiviat_areas(per_method, AXES_SECTION4)
+        axes[w] = normalize(per_method, AXES_SECTION4)
+    return KiviatResult(
+        areas=areas, axes=axes,
+        methods=tuple(methods), workloads=tuple(workloads),
+    )
+
+
+def render(result: KiviatResult) -> str:
+    from .report import pivot_table
+
+    table = pivot_table(
+        result.areas, columns=result.methods,
+        fmt=lambda v: f"{v:.3f}",
+        title="Figure 13: Kiviat polygon areas (larger = better overall)",
+    )
+    wins = sum(1 for w in result.workloads if result.best_method(w) == "BBSched")
+    return table + (f"\nBBSched has the largest area on "
+                    f"{wins}/{len(result.workloads)} workloads")

@@ -1,0 +1,96 @@
+"""Figure 14 / §5: the four-objective local-SSD case study.
+
+Seven methods on the S5–S7 workloads (built over Cori-S2/Theta-S2, every
+job carrying a per-node SSD request, nodes split 50/50 between 128 GB and
+256 GB SSDs).  The Kiviat charts gain two axes: SSD utilization and the
+reciprocal of wasted SSD.  Expected shape: BBSched the best overall area
+on all six workloads; Constrained_CPU/Constrained_SSD good on node+SSD
+utilization (the two correlate) but wasteful; Constrained_BB strong on BB
+only; Weighted balanced but below BBSched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..methods import METHODS_SECTION5
+from ..rng import stable_hash
+from .config import BASE_SEED, Scale, get_scale
+from .kiviat import AXES_SECTION5, kiviat_areas, normalize
+from .runner import RunResult, run_one
+from .workloads import get_ssd_workloads
+
+#: The six §5 workloads.
+SSD_WORKLOADS: Tuple[str, ...] = (
+    "Cori-S5", "Cori-S6", "Cori-S7", "Theta-S5", "Theta-S6", "Theta-S7",
+)
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    #: {workload: {method: RunResult}}
+    runs: Dict[str, Dict[str, RunResult]]
+    #: {workload: {method: Kiviat polygon area over 6 axes}}
+    areas: Dict[str, Dict[str, float]]
+    #: {workload: {method: {axis: normalised value}}}
+    axes: Dict[str, Dict[str, Dict[str, float]]]
+    methods: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+
+    def best_method(self, workload: str) -> str:
+        row = self.areas[workload]
+        return max(row, key=row.get)
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    workloads: Sequence[str] = SSD_WORKLOADS,
+    methods: Sequence[str] = METHODS_SECTION5,
+) -> Fig14Result:
+    sc = scale or get_scale()
+    traces = get_ssd_workloads(sc)
+    runs: Dict[str, Dict[str, RunResult]] = {}
+    areas: Dict[str, Dict[str, float]] = {}
+    axes: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for wl in workloads:
+        trace = traces[wl]
+        per_method = {
+            m: run_one(trace, m, sc,
+                       seed=(BASE_SEED + stable_hash(f"{wl}|{m}")) & 0x7FFFFFFF)
+            for m in methods
+        }
+        runs[wl] = per_method
+        areas[wl] = kiviat_areas(per_method, AXES_SECTION5)
+        axes[wl] = normalize(per_method, AXES_SECTION5)
+    return Fig14Result(
+        runs=runs, areas=areas, axes=axes,
+        methods=tuple(methods), workloads=tuple(workloads),
+    )
+
+
+def render(result: Fig14Result) -> str:
+    from .report import percent, pivot_table
+
+    area_table = pivot_table(
+        result.areas, columns=result.methods,
+        fmt=lambda v: f"{v:.3f}",
+        title="Figure 14: 6-axis Kiviat areas, SSD case study (larger = better)",
+    )
+    ssd_util = {
+        wl: {m: result.runs[wl][m].metric("ssd_usage") for m in result.methods}
+        for wl in result.workloads
+    }
+    waste = {
+        wl: {m: result.runs[wl][m].metric("ssd_waste") for m in result.methods}
+        for wl in result.workloads
+    }
+    util_table = pivot_table(ssd_util, columns=result.methods, fmt=percent,
+                             title="Local SSD utilization")
+    waste_table = pivot_table(waste, columns=result.methods, fmt=percent,
+                              title="Wasted local SSD (fraction of capacity)")
+    wins = sum(1 for w in result.workloads if result.best_method(w) == "BBSched")
+    return "\n\n".join([area_table, util_table, waste_table]) + (
+        f"\nBBSched best overall on {wins}/{len(result.workloads)} workloads"
+    )

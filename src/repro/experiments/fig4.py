@@ -1,0 +1,120 @@
+"""Figure 4: GD and time-to-solution versus GA parameters G and P (§3.2.3).
+
+For windows drawn from the Theta workload, the GA solves the selection MOO
+at several (G, P) settings; each solve's generational distance against the
+exhaustive true Pareto set and its wall time are averaged over windows.
+The paper's findings to reproduce: GD falls steeply up to G≈500 then
+flattens; raising P lowers GD and raises time; overhead stays well under a
+second — hence G=500, P=20.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import ExhaustiveSolver, MOGASolver, SelectionProblem, generational_distance
+from ..errors import ConfigurationError
+from .config import BASE_SEED, Scale, get_scale
+from .workloads import get_workload
+
+#: (G, P) settings swept by default — the paper's Figure 4 axes.
+DEFAULT_GENERATIONS: Tuple[int, ...] = (0, 50, 100, 250, 500, 1000)
+DEFAULT_POPULATIONS: Tuple[int, ...] = (10, 20, 40)
+
+
+@dataclass(frozen=True)
+class Fig4Cell:
+    generations: int
+    population: int
+    gd: float          #: mean normalised generational distance
+    seconds: float     #: mean wall time per solve
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    cells: Tuple[Fig4Cell, ...]
+
+    def cell(self, G: int, P: int) -> Fig4Cell:
+        for c in self.cells:
+            if c.generations == G and c.population == P:
+                return c
+        raise KeyError((G, P))
+
+
+def _windows(scale: Scale, window: int, n_windows: int):
+    """Representative windows along the Theta trace."""
+    trace = get_workload("Theta-S2", scale)
+    jobs = list(trace.jobs)[:1000]
+    machine = trace.machine
+    out = []
+    step = max((len(jobs) - window) // max(n_windows, 1), 1)
+    for k in range(n_windows):
+        chunk = jobs[k * step:k * step + window]
+        if len(chunk) < window:
+            break
+        out.append(SelectionProblem.from_window(
+            chunk, machine.nodes // 2, machine.schedulable_bb / 2.0
+        ))
+    return out, machine
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    generations: Sequence[int] = DEFAULT_GENERATIONS,
+    populations: Sequence[int] = DEFAULT_POPULATIONS,
+    window: int = 16,
+    n_windows: int = 3,
+) -> Fig4Result:
+    """Sweep (G, P) and measure GD against the exhaustive front."""
+    if window > 22:
+        raise ConfigurationError("window > 22 makes the exhaustive oracle too slow")
+    sc = scale or get_scale()
+    problems, machine = _windows(sc, window, n_windows)
+    if not problems:
+        raise ConfigurationError("trace too short for the requested windows")
+    oracle = ExhaustiveSolver()
+    truths = [oracle.solve(p) for p in problems]
+    scales = [float(machine.nodes), machine.schedulable_bb]
+
+    cells: List[Fig4Cell] = []
+    for P in populations:
+        for G in generations:
+            gds = []
+            t0 = time.perf_counter()
+            for i, problem in enumerate(problems):
+                solver = MOGASolver(generations=G, population=P,
+                                    seed=BASE_SEED + 7 * i)
+                approx = solver.solve(problem)
+                gds.append(generational_distance(
+                    approx.objectives, truths[i].objectives, normalize=scales))
+            dt = (time.perf_counter() - t0) / len(problems)
+            cells.append(Fig4Cell(
+                generations=G, population=P,
+                gd=sum(gds) / len(gds), seconds=dt,
+            ))
+    return Fig4Result(cells=tuple(cells))
+
+
+def render(result: Fig4Result) -> str:
+    """ASCII version of Figure 4: GD table and time table."""
+    from .report import format_table
+
+    gens = sorted({c.generations for c in result.cells})
+    pops = sorted({c.population for c in result.cells})
+    gd_rows = [
+        [f"P={P}"] + [f"{result.cell(G, P).gd:.4f}" for G in gens] for P in pops
+    ]
+    t_rows = [
+        [f"P={P}"] + [f"{result.cell(G, P).seconds * 1e3:.1f}ms" for G in gens]
+        for P in pops
+    ]
+    headers = [""] + [f"G={G}" for G in gens]
+    return (
+        format_table(gd_rows, headers,
+                     title="Figure 4a: generational distance (lower is better)")
+        + "\n\n"
+        + format_table(t_rows, headers, title="Figure 4b: time per solve")
+    )

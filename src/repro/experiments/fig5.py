@@ -1,0 +1,86 @@
+"""Figure 5: burst-buffer request histograms for the ten workloads (§4.1).
+
+Per workload: a histogram of the positive BB requests (10 TB bins in the
+paper) and the aggregated requested volume shown in parentheses.  The
+features to reproduce: S3/S4 sit at larger requests than S1/S2; S2/S4
+carry more requesting jobs (hence volume) than S1/S3; the Original
+workloads barely register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..units import TB
+from .config import Scale, get_scale
+from .workloads import ALL_WORKLOADS, get_all_workloads
+
+
+@dataclass(frozen=True)
+class Fig5Histogram:
+    workload: str
+    #: (bin left edge in TB, count) pairs; bin width = ``bin_tb``
+    bins: Tuple[Tuple[float, int], ...]
+    bin_tb: float
+    total_volume_tb: float     #: the parenthetical aggregate in Figure 5
+    n_requests: int
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    histograms: Dict[str, Fig5Histogram]
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    bin_tb: float = 10.0,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Fig5Result:
+    """Histogram every workload's BB requests."""
+    sc = scale or get_scale()
+    traces = get_all_workloads(sc)
+    out: Dict[str, Fig5Histogram] = {}
+    for name in workloads:
+        trace = traces[name]
+        requests_tb = trace.bb_requests() / TB
+        if requests_tb.size:
+            top = float(requests_tb.max())
+            edges = np.arange(0.0, top + bin_tb, bin_tb)
+            counts, _ = np.histogram(requests_tb, bins=edges)
+            bins = tuple(
+                (float(edges[i]), int(counts[i]))
+                for i in range(len(counts)) if counts[i] > 0
+            )
+        else:
+            bins = ()
+        out[name] = Fig5Histogram(
+            workload=name,
+            bins=bins,
+            bin_tb=bin_tb,
+            total_volume_tb=trace.total_bb_volume() / TB,
+            n_requests=int(requests_tb.size),
+        )
+    return Fig5Result(histograms=out)
+
+
+def render(result: Fig5Result) -> str:
+    """ASCII version of Figure 5."""
+    from .report import bar_chart
+
+    parts = []
+    for name, h in result.histograms.items():
+        title = (f"{name} ({h.total_volume_tb:,.0f} TB requested, "
+                 f"{h.n_requests} requesting jobs)")
+        if not h.bins:
+            parts.append(title + "\n(no burst buffer requests)")
+            continue
+        values = {
+            f"[{left:.0f},{left + h.bin_tb:.0f})TB": float(count)
+            for left, count in h.bins
+        }
+        parts.append(bar_chart(values, fmt=lambda v: f"{v:.0f}", title=title))
+    return "\n\n".join(parts)

@@ -1,0 +1,78 @@
+"""Figures 6 & 7: node usage and burst-buffer usage across the grid (§4.4).
+
+From the 8-method × 10-workload grid:
+
+* Figure 6 — node usage.  Expected shape: BBSched best or tied-best on
+  most workloads; Constrained_CPU competitive when burst buffer is
+  abundant but collapsing on S3/S4; Weighted_BB / Constrained_BB worst.
+* Figure 7 — burst-buffer usage.  Expected shape: BBSched best on all
+  workloads; Constrained_CPU the only method not improving on the
+  baseline; Bin_Packing's gains small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..methods import METHODS_SECTION4
+from .config import Scale, get_scale
+from .grid import metric_table, run_grid
+from .workloads import ALL_WORKLOADS
+
+
+@dataclass(frozen=True)
+class UsageResult:
+    #: {workload: {method: usage fraction}}
+    node_usage: Dict[str, Dict[str, float]]
+    bb_usage: Dict[str, Dict[str, float]]
+    methods: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+
+    def best_method(self, metric: str, workload: str) -> str:
+        table = self.node_usage if metric == "node_usage" else self.bb_usage
+        row = table[workload]
+        return max(row, key=row.get)
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    methods: Sequence[str] = METHODS_SECTION4,
+) -> UsageResult:
+    """Assemble Figures 6 and 7 from the evaluation grid."""
+    sc = scale or get_scale()
+    grid = run_grid(sc, workloads=workloads, methods=methods)
+    return UsageResult(
+        node_usage=metric_table(grid, "node_usage", workloads, methods),
+        bb_usage=metric_table(grid, "bb_usage", workloads, methods),
+        methods=tuple(methods),
+        workloads=tuple(workloads),
+    )
+
+
+def render(result: UsageResult) -> str:
+    """ASCII versions of Figures 6 and 7."""
+    from .report import percent, pivot_table
+
+    fig6 = pivot_table(
+        result.node_usage, columns=result.methods,
+        fmt=percent, title="Figure 6: node usage",
+    )
+    fig7 = pivot_table(
+        result.bb_usage, columns=result.methods,
+        fmt=percent, title="Figure 7: burst buffer usage",
+    )
+    wins6 = sum(
+        1 for w in result.workloads
+        if result.best_method("node_usage", w) == "BBSched"
+    )
+    wins7 = sum(
+        1 for w in result.workloads
+        if result.best_method("bb_usage", w) == "BBSched"
+    )
+    note = (f"\nBBSched best node usage on {wins6}/{len(result.workloads)} "
+            f"workloads; best BB usage on {wins7}/{len(result.workloads)} "
+            "(paper: 7/10 and 10/10)")
+    return fig6 + "\n\n" + fig7 + note

@@ -1,0 +1,63 @@
+"""The §4 evaluation grid: 8 methods × 10 workloads.
+
+Figures 6, 7, 8, 12, and 13 all read from the same grid of simulation
+runs, so it is computed once per scale and memoised for the process
+lifetime.  Each cell is an independent simulation with its own seed;
+multi-core machines execute cells through
+:func:`repro.parallel.parallel_map`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..methods import METHODS_SECTION4
+from ..parallel import parallel_map
+from ..rng import stable_hash
+from .config import BASE_SEED, Scale, get_scale
+from .runner import RunResult, run_one
+from .workloads import ALL_WORKLOADS, get_workload
+
+#: Grid cell key: (workload label, method name).
+GridKey = Tuple[str, str]
+Grid = Dict[GridKey, RunResult]
+
+
+def _cell(workload: str, method: str, scale_name: str) -> RunResult:
+    """One grid cell (module-level so it pickles for the process pool)."""
+    scale = get_scale(scale_name)
+    trace = get_workload(workload, scale)
+    seed = (BASE_SEED * 31 + stable_hash(f"{workload}|{method}")) & 0x7FFFFFFF
+    return run_one(trace, method, scale, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def _grid_cached(scale_name: str, workloads: Tuple[str, ...],
+                 methods: Tuple[str, ...], workers: Optional[int]) -> tuple:
+    tasks = [(w, m, scale_name) for w in workloads for m in methods]
+    results = parallel_map(_cell, tasks, workers=workers)
+    return tuple(results)
+
+
+def run_grid(
+    scale: Optional[Scale] = None,
+    *,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    methods: Sequence[str] = METHODS_SECTION4,
+    workers: Optional[int] = None,
+) -> Grid:
+    """All (workload, method) runs as a dictionary keyed by (workload, method)."""
+    sc = scale or get_scale()
+    results = _grid_cached(sc.name, tuple(workloads), tuple(methods), workers)
+    return {(r.workload, r.method): r for r in results}
+
+
+def metric_table(
+    grid: Grid, metric: str, workloads: Sequence[str], methods: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """Pivot a grid into ``{workload: {method: value}}`` for one metric."""
+    return {
+        w: {m: grid[(w, m)].metric(metric) for m in methods if (w, m) in grid}
+        for w in workloads
+    }

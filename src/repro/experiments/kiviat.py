@@ -1,0 +1,76 @@
+"""Kiviat (radar) normalisation for the holistic comparison (Fig 13/14).
+
+The paper normalises every metric to [0, 1] across the methods of one
+workload — 1 for the best method, 0 for the worst — using the reciprocal
+of average wait time and slowdown so that "larger is better" holds on all
+axes.  A method's overall quality is the area of its polygon; BBSched's
+claim is the largest, most balanced area.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .runner import RunResult
+
+#: Axes of the §4 Kiviat chart, in presentation order.
+AXES_SECTION4 = ("node_usage", "bb_usage", "1/avg_wait", "1/avg_slowdown")
+#: §5 adds SSD utilization and the reciprocal of wasted SSD.
+AXES_SECTION5 = AXES_SECTION4 + ("ssd_usage", "1/ssd_waste")
+
+
+def axis_value(result: RunResult, axis: str) -> float:
+    """Raw value of one Kiviat axis (reciprocals applied)."""
+    if axis.startswith("1/"):
+        name = axis[2:]
+        raw = result.metric({"avg_wait": "avg_wait", "avg_slowdown": "avg_slowdown",
+                             "ssd_waste": "ssd_waste"}[name])
+        return 1.0 / raw if raw > 0 else math.inf
+    return result.metric(axis)
+
+
+def normalize(
+    per_method: Mapping[str, RunResult], axes: Sequence[str] = AXES_SECTION4
+) -> Dict[str, Dict[str, float]]:
+    """Normalise each axis to [0, 1] across methods (1=best, 0=worst)."""
+    if not per_method:
+        raise ConfigurationError("no methods to normalise")
+    raw = {
+        m: {a: axis_value(r, a) for a in axes} for m, r in per_method.items()
+    }
+    out: Dict[str, Dict[str, float]] = {m: {} for m in raw}
+    for a in axes:
+        finite = [v[a] for v in raw.values() if math.isfinite(v[a])]
+        hi = max(finite) if finite else 1.0
+        lo = min(finite) if finite else 0.0
+        for m in raw:
+            v = raw[m][a]
+            if not math.isfinite(v):
+                out[m][a] = 1.0
+            elif hi == lo:
+                out[m][a] = 1.0
+            else:
+                out[m][a] = (v - lo) / (hi - lo)
+    return out
+
+
+def polygon_area(values: Sequence[float]) -> float:
+    """Area of a Kiviat polygon with axes at equal angles.
+
+    For k axes with radii r_i, area = ½ sin(2π/k) Σ r_i·r_{i+1}.
+    """
+    k = len(values)
+    if k < 3:
+        raise ConfigurationError(f"a Kiviat polygon needs >= 3 axes, got {k}")
+    s = sum(values[i] * values[(i + 1) % k] for i in range(k))
+    return 0.5 * math.sin(2.0 * math.pi / k) * s
+
+
+def kiviat_areas(
+    per_method: Mapping[str, RunResult], axes: Sequence[str] = AXES_SECTION4
+) -> Dict[str, float]:
+    """Normalised Kiviat polygon area per method (Fig 13's visual metric)."""
+    norm = normalize(per_method, axes)
+    return {m: polygon_area([norm[m][a] for a in axes]) for m in norm}

@@ -1,0 +1,103 @@
+"""§4.4 "Scheduling Overheads": per-decision wall time of every method.
+
+The paper reports (on a 3.4 GHz i5): Bin_Packing cheapest after the
+baseline (~0.1 s at w=50); the optimization methods more expensive but
+comfortably within the 15–30 s scheduler budget (BBSched < 2 s even at
+G=2000, w=50).  We measure mean selection time per scheduling decision on
+window snapshots of configurable size, sweeping G for BBSched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..methods import METHODS_SECTION4, Selector, SystemCapacity, make_selector
+from ..simulator.cluster import Available
+from .config import BASE_SEED, Scale, get_scale
+from .fig2 import TIME_LIMIT_S
+from .workloads import get_workload
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    #: {method: mean seconds per selection decision} at the base G
+    per_method: Dict[str, float]
+    #: {G: mean seconds} for BBSched at the sweep window
+    bbsched_by_generations: Dict[int, float]
+    window: int
+    time_limit: float = TIME_LIMIT_S
+
+
+def _windows(scale: Scale, window: int, count: int):
+    trace = get_workload("Theta-S2", scale)
+    jobs = list(trace.jobs)
+    machine = trace.machine
+    avail = Available(
+        nodes=machine.nodes // 2,
+        bb=machine.schedulable_bb / 2.0,
+        ssd_free={0.0: machine.nodes // 2},
+    )
+    system = SystemCapacity(nodes=machine.nodes, bb=machine.schedulable_bb)
+    step = max((len(jobs) - window) // max(count, 1), 1)
+    snaps = [jobs[k * step:k * step + window] for k in range(count)]
+    return [s for s in snaps if len(s) == window], avail, system
+
+
+def _time_method(selector: Selector, snaps, avail, system) -> float:
+    selector.bind(system)
+    t0 = time.perf_counter()
+    for snap in snaps:
+        selector.select(snap, avail)
+    return (time.perf_counter() - t0) / len(snaps)
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    window: int = 50,
+    snapshots: int = 3,
+    generation_sweep: Sequence[int] = (100, 500, 1000, 2000),
+) -> OverheadResult:
+    """Measure mean per-decision time for all methods plus a G sweep."""
+    sc = scale or get_scale()
+    snaps, avail, system = _windows(sc, window, snapshots)
+    per_method: Dict[str, float] = {}
+    for method in METHODS_SECTION4:
+        selector = make_selector(
+            method, generations=sc.generations, population=sc.population,
+            seed=BASE_SEED,
+        )
+        per_method[method] = _time_method(selector, snaps, avail, system)
+    sweep: Dict[int, float] = {}
+    for G in generation_sweep:
+        selector = make_selector(
+            "BBSched", generations=G, population=sc.population, seed=BASE_SEED
+        )
+        sweep[G] = _time_method(selector, snaps, avail, system)
+    return OverheadResult(
+        per_method=per_method, bbsched_by_generations=sweep, window=window
+    )
+
+
+def render(result: OverheadResult) -> str:
+    from .report import bar_chart
+
+    a = bar_chart(
+        {m: t for m, t in result.per_method.items()},
+        fmt=lambda v: f"{v * 1e3:.1f}ms",
+        title=f"Scheduling overhead per decision (w={result.window})",
+    )
+    b = bar_chart(
+        {f"G={g}": t for g, t in result.bbsched_by_generations.items()},
+        fmt=lambda v: f"{v * 1e3:.1f}ms",
+        title="BBSched overhead vs generations",
+    )
+    worst = max(
+        list(result.per_method.values())
+        + list(result.bbsched_by_generations.values())
+    )
+    note = (f"\nworst decision time {worst:.3f}s vs the {result.time_limit:.0f}s "
+            "scheduler budget (paper: <2s at G=2000, w=50)")
+    return a + "\n\n" + b + note

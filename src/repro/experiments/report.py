@@ -1,0 +1,100 @@
+"""ASCII rendering of experiment results (tables and bar charts).
+
+The paper's figures are bar charts and Kiviat plots; on a terminal we
+render the same data as aligned tables and horizontal bars, which is what
+the benchmark harness prints and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+#: Width of the bar area in ASCII bar charts.
+BAR_WIDTH = 40
+
+
+def format_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pivot_table(
+    data: Mapping[str, Mapping[str, float]],
+    *,
+    columns: Sequence[str],
+    fmt: Callable[[float], str] = lambda v: f"{v:.3f}",
+    row_header: str = "workload",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{row: {column: value}}`` as a table."""
+    rows = []
+    for row_label, values in data.items():
+        rows.append([row_label] + [
+            fmt(values[c]) if c in values else "-" for c in columns
+        ])
+    return format_table(rows, [row_header] + list(columns), title=title)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    fmt: Callable[[float], str] = lambda v: f"{v:.3f}",
+    title: Optional[str] = None,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal ASCII bar chart of labelled values."""
+    if not values:
+        return title or ""
+    peak = max_value if max_value is not None else max(values.values())
+    peak = peak if peak > 0 else 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        n = int(round(BAR_WIDTH * max(value, 0.0) / peak))
+        lines.append(f"{label.ljust(label_w)} | {'#' * n:<{BAR_WIDTH}} {fmt(value)}")
+    return "\n".join(lines)
+
+
+def percent(v: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * v:.2f}%"
+
+
+def hours(seconds: float) -> str:
+    """Format seconds as hours."""
+    return f"{seconds / 3600.0:.2f}h"
+
+
+def improvement_vs(
+    data: Mapping[str, float], baseline_key: str, *, lower_is_better: bool = False
+) -> Dict[str, float]:
+    """Relative improvement of each entry over a baseline entry.
+
+    For lower-is-better metrics (wait, slowdown), improvement is the
+    fractional *reduction*; otherwise the fractional increase.
+    """
+    base = data[baseline_key]
+    out = {}
+    for key, value in data.items():
+        if base == 0:
+            out[key] = 0.0
+        elif lower_is_better:
+            out[key] = (base - value) / base
+        else:
+            out[key] = (value - base) / base
+    return out

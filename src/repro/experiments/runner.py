@@ -1,0 +1,110 @@
+"""Shared simulation runner: one (workload, method) → metrics.
+
+Every figure/table experiment funnels through :func:`run_one`, which wires
+the trace's machine spec into a fresh cluster, selects the site base policy
+(FCFS for Cori, WFP for Theta — §4.3), runs the engine, and evaluates the
+§4.2 metrics over the trimmed measurement interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..backfill import EasyBackfill
+from ..methods import make_selector
+from ..policies import FCFS, WFP, PriorityPolicy
+from ..rng import SeedLike, stable_hash
+from ..simulator.engine import SchedulingEngine, SimulationResult
+from ..simulator.metrics import (
+    MetricsSummary,
+    compute_summary,
+    trimmed_interval,
+    wait_by_bb_request,
+    wait_by_job_size,
+    wait_by_runtime,
+)
+from ..windows import WindowPolicy
+from ..workloads import Trace
+from .config import BASE_SEED, Scale, get_scale
+
+
+@dataclass
+class RunResult:
+    """Metrics of one simulation run, ready for table/figure assembly."""
+
+    workload: str
+    method: str
+    summary: MetricsSummary
+    wait_by_size: Dict[str, float]
+    wait_by_bb: Dict[str, float]
+    wait_by_runtime: Dict[str, float]
+    makespan: float
+    selector_calls: int
+    mean_selector_time: float
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by its §4.2 name."""
+        return self.summary.as_dict()[name]
+
+
+def policy_for(trace: Trace) -> PriorityPolicy:
+    """The site base policy named by the trace's machine spec."""
+    return WFP() if trace.machine.base_policy == "wfp" else FCFS()
+
+
+def run_one(
+    trace: Trace,
+    method: str,
+    scale: Optional[Scale] = None,
+    *,
+    seed: SeedLike = None,
+    window: Optional[int] = None,
+    generations: Optional[int] = None,
+) -> RunResult:
+    """Simulate ``trace`` under ``method`` and evaluate all metrics.
+
+    ``window`` and ``generations`` override the scale's values (used by
+    the Table 3 window sweep and the overhead study).
+    """
+    sc = scale or get_scale()
+    selector = make_selector(
+        method,
+        generations=generations if generations is not None else sc.generations,
+        population=sc.population,
+        mutation=sc.mutation,
+        seed=seed if seed is not None else BASE_SEED ^ stable_hash(method) & 0xFFFF,
+    )
+    engine = SchedulingEngine(
+        trace.machine.make_cluster(),
+        policy_for(trace),
+        selector,
+        WindowPolicy(
+            size=window if window is not None else sc.window,
+            starvation_bound=sc.starvation_bound,
+        ),
+        backfill=EasyBackfill(),
+    )
+    result = engine.run(trace.fresh_jobs())
+    interval = trimmed_interval(
+        0.0, result.makespan, warmup_fraction=sc.warmup, cooldown_fraction=sc.cooldown
+    )
+    summary = compute_summary(
+        result.jobs,
+        result.recorder,
+        interval,
+        total_nodes=result.total_nodes,
+        bb_capacity=result.bb_capacity,
+        ssd_capacity=result.ssd_capacity,
+    )
+    return RunResult(
+        workload=trace.name,
+        method=method,
+        summary=summary,
+        wait_by_size=wait_by_job_size(result.jobs, interval),
+        wait_by_bb=wait_by_bb_request(result.jobs, interval),
+        wait_by_runtime=wait_by_runtime(result.jobs, interval),
+        makespan=result.makespan,
+        selector_calls=result.stats.selector_calls,
+        mean_selector_time=result.stats.mean_selector_time,
+    )

@@ -1,0 +1,73 @@
+"""Table 3: BBSched sensitivity to the window size (§4.4).
+
+BBSched runs on Cori-S4 and Theta-S4 with windows of 10, 20, and 50.
+Expected shape: every metric improves markedly from w=10 to w=20, then
+flattens from w=20 to w=50 — the basis for the paper's recommendation of
+w≈20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .config import BASE_SEED, Scale, get_scale
+from .runner import RunResult, run_one
+from .workloads import get_workload
+
+#: Window sizes of Table 3.
+DEFAULT_WINDOWS: Tuple[int, ...] = (10, 20, 50)
+#: The two stressed workloads of Table 3.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("Cori-S4", "Theta-S4")
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    #: {workload: {window size: RunResult}}
+    runs: Dict[str, Dict[int, RunResult]]
+    windows: Tuple[int, ...]
+    workloads: Tuple[str, ...]
+
+    def metric(self, workload: str, window: int, name: str) -> float:
+        return self.runs[workload][window].metric(name)
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    windows: Sequence[int] = DEFAULT_WINDOWS,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> Table3Result:
+    sc = scale or get_scale()
+    runs: Dict[str, Dict[int, RunResult]] = {}
+    for wl in workloads:
+        trace = get_workload(wl, sc)
+        runs[wl] = {
+            w: run_one(trace, "BBSched", sc, window=w, seed=BASE_SEED + w)
+            for w in windows
+        }
+    return Table3Result(runs=runs, windows=tuple(windows),
+                        workloads=tuple(workloads))
+
+
+def render(result: Table3Result) -> str:
+    from .report import format_table, hours, percent
+
+    metrics = (
+        ("CPU usage", "node_usage", percent),
+        ("Burst buffer usage", "bb_usage", percent),
+        ("Average job wait time", "avg_wait", hours),
+        ("Average slowdown", "avg_slowdown", lambda v: f"{v:.2f}"),
+    )
+    rows = []
+    for label, key, fmt in metrics:
+        for wl in result.workloads:
+            rows.append(
+                [f"{label} ({wl})"]
+                + [fmt(result.metric(wl, w, key)) for w in result.windows]
+            )
+    headers = ["Metric"] + [f"w={w}" for w in result.windows]
+    return format_table(
+        rows, headers,
+        title="Table 3: BBSched performance under different window sizes",
+    )

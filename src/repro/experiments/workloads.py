@@ -1,0 +1,95 @@
+"""Deterministic construction of the paper's evaluation workloads.
+
+Builds the ten §4.1 workloads (Cori/Theta × {Original, S1–S4}) and the six
+§5 SSD workloads (Cori/Theta × {S5–S7}) from the synthetic generators, one
+fixed seed per (machine, scale) so every experiment sees identical traces.
+
+The Theta Original workload is produced through the full paper pipeline:
+generate a trace *without* burst-buffer requests, synthesise Darshan I/O
+records, and extract BB requests from data volumes — exactly the §4.1
+trace-enhancement path.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..rng import split_rng, stable_hash
+from ..workloads import (
+    CORI,
+    THETA,
+    Trace,
+    cori_profile,
+    enhance_trace_with_darshan,
+    generate,
+    make_bb_suite,
+    make_ssd_suite,
+    synthesize_darshan_log,
+    theta_profile,
+)
+from .config import BASE_SEED, Scale, get_scale
+
+#: Workload labels in the paper's presentation order (Figures 6-8, 12, 13).
+CORI_WORKLOADS = tuple(f"Cori-{s}" for s in ("Original", "S1", "S2", "S3", "S4"))
+THETA_WORKLOADS = tuple(f"Theta-{s}" for s in ("Original", "S1", "S2", "S3", "S4"))
+ALL_WORKLOADS = CORI_WORKLOADS + THETA_WORKLOADS
+
+
+@lru_cache(maxsize=8)
+def _suites(scale_name: str, n_jobs: int) -> Dict[str, Trace]:
+    """All §4.1 workloads for one scale (cached — traces are reused)."""
+    scale = get_scale(scale_name)
+    gen_rngs = split_rng(BASE_SEED, 6, salt=stable_hash(scale_name) & 0xFFFF)
+
+    cori_base = generate(
+        cori_profile(n_jobs=n_jobs, machine=CORI.scaled(scale.cori_factor)),
+        seed=gen_rngs[0],
+    )
+    theta_raw = generate(
+        theta_profile(
+            n_jobs=n_jobs, bb_fraction=0.0,
+            machine=THETA.scaled(scale.theta_factor),
+        ),
+        seed=gen_rngs[1],
+    )
+    # Theta's BB requests come from Darshan I/O volumes (§4.1).
+    darshan = synthesize_darshan_log(theta_raw, seed=gen_rngs[2])
+    theta_base = enhance_trace_with_darshan(theta_raw, darshan)
+
+    out: Dict[str, Trace] = {}
+    out.update(make_bb_suite(cori_base, seed=gen_rngs[3], machine_label="Cori"))
+    out.update(make_bb_suite(theta_base, seed=gen_rngs[4], machine_label="Theta"))
+    return out
+
+
+def get_workload(name: str, scale: Scale | None = None) -> Trace:
+    """One of the ten §4.1 workloads, e.g. ``"Theta-S4"``."""
+    sc = scale or get_scale()
+    suites = _suites(sc.name, sc.n_jobs)
+    if name not in suites:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(suites)}")
+    return suites[name]
+
+
+def get_all_workloads(scale: Scale | None = None) -> Dict[str, Trace]:
+    """All ten §4.1 workloads keyed by label."""
+    sc = scale or get_scale()
+    return dict(_suites(sc.name, sc.n_jobs))
+
+
+@lru_cache(maxsize=8)
+def _ssd_suites(scale_name: str, n_jobs: int) -> Dict[str, Trace]:
+    """The §5 S5–S7 workloads, built on the S2 traces."""
+    sc_rngs = split_rng(BASE_SEED, 2, salt=0x55D)
+    base = _suites(scale_name, n_jobs)
+    out: Dict[str, Trace] = {}
+    out.update(make_ssd_suite(base["Cori-S2"], seed=sc_rngs[0], machine_label="Cori"))
+    out.update(make_ssd_suite(base["Theta-S2"], seed=sc_rngs[1], machine_label="Theta"))
+    return out
+
+
+def get_ssd_workloads(scale: Scale | None = None) -> Dict[str, Trace]:
+    """The six §5 workloads (Cori/Theta × S5–S7)."""
+    sc = scale or get_scale()
+    return dict(_ssd_suites(sc.name, sc.n_jobs))

@@ -1,0 +1,27 @@
+"""Baseline (naive) method: Slurm-style in-order allocation (§1, §4.3).
+
+Slurm's burst-buffer co-scheduling allocates jobs from the queue front in
+sequence *until either CPU or burst buffer is exhausted* — i.e. it blocks
+at the first job that does not fit, and only EASY backfilling (run by the
+engine afterwards) lets anything slip past the blocker.  In the Table 1
+example this picks J1 and leaves 80 TB of burst buffer stranded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..simulator.cluster import Available
+from ..simulator.job import Job
+from .base import Selector
+
+
+class NaiveSelector(Selector):
+    """In-order allocation, blocking at the first non-fitting job."""
+
+    name = "Baseline"
+
+    def select(self, window: Sequence[Job], avail: Available) -> List[int]:
+        return self.greedy_in_order(
+            window, avail, range(len(window)), stop_at_first_miss=True
+        )

@@ -1,0 +1,85 @@
+"""Factory registry for the §4.3 / §5 scheduling methods.
+
+Experiments refer to methods by the paper's names; :func:`make_selector`
+builds a fresh, independently seeded selector per simulation run so
+parallel sweeps never share mutable state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.params import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION
+from ..errors import ConfigurationError
+from ..rng import SeedLike
+from .base import Selector
+from .binpacking import BinPackingSelector
+from .constrained import constrained_bb, constrained_cpu, constrained_ssd
+from .naive import NaiveSelector
+from .weighted import weighted_bb, weighted_cpu, weighted_equal
+
+#: The eight methods of the §4 evaluation, in the paper's presentation order.
+METHODS_SECTION4: tuple[str, ...] = (
+    "Baseline",
+    "Weighted",
+    "Weighted_CPU",
+    "Weighted_BB",
+    "Constrained_CPU",
+    "Constrained_BB",
+    "Bin_Packing",
+    "BBSched",
+)
+
+#: The seven methods of the §5 local-SSD case study.
+METHODS_SECTION5: tuple[str, ...] = (
+    "Baseline",
+    "Weighted",
+    "Constrained_CPU",
+    "Constrained_BB",
+    "Constrained_SSD",
+    "Bin_Packing",
+    "BBSched",
+)
+
+
+def make_selector(
+    name: str,
+    *,
+    generations: int = DEFAULT_GENERATIONS,
+    population: int = DEFAULT_POPULATION,
+    mutation: float = DEFAULT_MUTATION,
+    seed: SeedLike = None,
+) -> Selector:
+    """Build a selector by its §4.3 name.
+
+    GA parameters apply to every GA-backed method (identical optimization
+    budget keeps the comparison about the *formulation*, not solver time);
+    the greedy methods (Baseline, Bin_Packing) ignore them.
+    """
+    # Imported here, not at module scope: BBSchedSelector lives in repro.core,
+    # which itself imports repro.methods.base — a top-level import would cycle.
+    from ..core.bbsched import BBSchedSelector
+
+    ga = dict(generations=generations, population=population, mutation=mutation)
+    factories: Dict[str, Callable[[], Selector]] = {
+        "Baseline": NaiveSelector,
+        "Weighted": lambda: weighted_equal(seed=seed, **ga),
+        "Weighted_CPU": lambda: weighted_cpu(seed=seed, **ga),
+        "Weighted_BB": lambda: weighted_bb(seed=seed, **ga),
+        "Constrained_CPU": lambda: constrained_cpu(seed=seed, **ga),
+        "Constrained_BB": lambda: constrained_bb(seed=seed, **ga),
+        "Constrained_SSD": lambda: constrained_ssd(seed=seed, **ga),
+        "Bin_Packing": BinPackingSelector,
+        "BBSched": lambda: BBSchedSelector(seed=seed, **ga),
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown method {name!r}; known: {sorted(factories)}"
+        ) from None
+
+
+def available_methods() -> List[str]:
+    """All method names :func:`make_selector` accepts."""
+    return sorted(set(METHODS_SECTION4) | set(METHODS_SECTION5))

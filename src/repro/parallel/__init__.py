@@ -1,0 +1,5 @@
+"""Parallel execution helpers for experiment sweeps."""
+
+from .pool import default_workers, parallel_map
+
+__all__ = ["parallel_map", "default_workers"]

@@ -1,0 +1,7 @@
+"""Base-scheduler priority policies (FCFS, WFP)."""
+
+from .base import PriorityPolicy
+from .fcfs import FCFS
+from .wfp import WFP
+
+__all__ = ["PriorityPolicy", "FCFS", "WFP"]

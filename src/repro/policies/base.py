@@ -1,0 +1,38 @@
+"""Base-scheduler priority policies (§2.1).
+
+A *base scheduler* enforces job priority according to a site's policy; the
+multi-resource selection methods (BBSched and the comparison methods) run
+on top of it.  The paper pairs Cori workloads with FCFS and Theta workloads
+with WFP, ALCF's utility-based policy.
+
+A policy is a pure ordering function: given the queued jobs and the current
+time it returns them in descending priority.  Ties are always broken by
+``(submit_time, jid)`` so orderings are total and deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from ..simulator.job import Job
+
+
+class PriorityPolicy(abc.ABC):
+    """Orders the waiting queue; higher priority first."""
+
+    #: Short identifier used in reports.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def priority(self, job: Job, now: float) -> float:
+        """Numeric priority of ``job`` at time ``now`` (higher runs first)."""
+
+    def order(self, queue: Sequence[Job], now: float) -> List[Job]:
+        """Queue sorted by descending priority, ties by submit order."""
+        return sorted(
+            queue, key=lambda j: (-self.priority(j, now), j.submit_time, j.jid)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

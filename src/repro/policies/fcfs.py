@@ -1,0 +1,15 @@
+"""First-come, first-served priority (the Cori base policy in §4.3)."""
+
+from __future__ import annotations
+
+from ..simulator.job import Job
+from .base import PriorityPolicy
+
+
+class FCFS(PriorityPolicy):
+    """Jobs run in arrival order: priority is the negated submit time."""
+
+    name = "fcfs"
+
+    def priority(self, job: Job, now: float) -> float:
+        return -job.submit_time

@@ -1,0 +1,40 @@
+"""WFP utility priority — ALCF's capability-computing policy (§2.1).
+
+WFP periodically computes a priority increment for each waiting job that
+grows with queue wait and favours *large* jobs while normalising by the
+requested walltime so short jobs are not starved indefinitely:
+
+    score(job) = nodes × (wait / walltime) ** exponent
+
+with the cubic exponent used at ALCF (Allcock et al., JSSPP 2017).  Larger
+scores run first, which realises Theta's mission of prioritising
+capability-scale jobs (§4.4 notes "the baseline method on Theta (WFP)
+prefers large jobs").
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..simulator.job import Job
+from .base import PriorityPolicy
+
+
+class WFP(PriorityPolicy):
+    """Utility-based priority used on Theta.
+
+    Parameters
+    ----------
+    exponent:
+        Power applied to the normalised wait; ALCF uses 3.
+    """
+
+    name = "wfp"
+
+    def __init__(self, exponent: float = 3.0) -> None:
+        if exponent <= 0:
+            raise ConfigurationError(f"WFP exponent must be positive, got {exponent}")
+        self.exponent = exponent
+
+    def priority(self, job: Job, now: float) -> float:
+        wait = max(now - job.submit_time, 0.0)
+        return job.nodes * (wait / job.walltime) ** self.exponent

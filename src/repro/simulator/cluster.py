@@ -1,0 +1,200 @@
+"""Cluster resource model: compute nodes, shared burst buffer, local SSDs.
+
+The scheduler in the paper allocates three system-level resources:
+
+* **compute nodes** — an undifferentiated pool of ``N`` nodes (the paper
+  uses "CPU" and "compute node" interchangeably);
+* **shared burst buffer** — a global pool of ``B`` GB (Cori's DataWarp);
+* **local SSDs** — per-node storage of heterogeneous capacity (§5),
+  modelled by :class:`~repro.simulator.ssd_pool.SSDPool`.
+
+:class:`Cluster` enforces capacity invariants on allocate/release and
+exposes an :class:`Available` snapshot that selection methods consume.
+A fraction of the burst buffer can be carved out for persistent
+reservations (one third on Cori, §4.1), which simply reduces usable
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import AllocationError, ConfigurationError
+from .job import Job
+from .ssd_pool import SSDAssignment, SSDPool
+
+
+@dataclass(frozen=True)
+class Available:
+    """Snapshot of free capacity at a scheduling instant.
+
+    ``ssd_free`` maps SSD tier capacity (GB) → free node count; for systems
+    without local SSDs it has the single tier ``0.0`` covering every node.
+    """
+
+    nodes: int
+    bb: float
+    ssd_free: Mapping[float, int]
+
+    def fits(self, job: Job) -> bool:
+        """Would ``job`` fit into this snapshot on its own?"""
+        if job.nodes > self.nodes or job.bb > self.bb:
+            return False
+        qualifying = sum(n for cap, n in self.ssd_free.items() if cap >= job.ssd)
+        return qualifying >= job.nodes
+
+
+class Cluster:
+    """Mutable multi-resource cluster state.
+
+    Parameters
+    ----------
+    nodes:
+        Total compute nodes ``N``.
+    bb_capacity:
+        Total shared burst buffer in GB (``B``).  Zero disables the burst
+        buffer entirely (every BB request then fails to fit).
+    ssd_tiers:
+        Optional mapping of local-SSD capacity (GB) → node count.  When
+        given, counts must sum to ``nodes``.  ``None`` means no local SSDs
+        (a single 0-GB tier).
+    bb_reserved_fraction:
+        Fraction of ``bb_capacity`` carved out for persistent reservations
+        (Cori reserves one third, §4.1).  Reduces schedulable BB capacity.
+    """
+
+    def __init__(
+        self,
+        nodes: int,
+        bb_capacity: float,
+        *,
+        ssd_tiers: Optional[Mapping[float, int]] = None,
+        bb_reserved_fraction: float = 0.0,
+    ) -> None:
+        if nodes <= 0:
+            raise ConfigurationError(f"cluster needs a positive node count, got {nodes}")
+        if bb_capacity < 0:
+            raise ConfigurationError(f"negative burst buffer capacity {bb_capacity}")
+        if not 0.0 <= bb_reserved_fraction < 1.0:
+            raise ConfigurationError(
+                f"bb_reserved_fraction must be in [0, 1), got {bb_reserved_fraction}"
+            )
+        self.total_nodes = int(nodes)
+        self.bb_capacity = bb_capacity * (1.0 - bb_reserved_fraction)
+        self._ssd = SSDPool(ssd_tiers if ssd_tiers is not None else {0.0: nodes})
+        if self._ssd.total_nodes != self.total_nodes:
+            raise ConfigurationError(
+                f"SSD tiers cover {self._ssd.total_nodes} nodes, cluster has {nodes}"
+            )
+        self.nodes_used = 0
+        self.bb_used = 0.0
+        #: job id → SSD assignment, for symmetric release
+        self._assignments: Dict[int, SSDAssignment] = {}
+
+    # --- queries ---------------------------------------------------------------
+    @property
+    def nodes_free(self) -> int:
+        """Currently free compute nodes."""
+        return self.total_nodes - self.nodes_used
+
+    @property
+    def bb_free(self) -> float:
+        """Currently free burst buffer in GB."""
+        return self.bb_capacity - self.bb_used
+
+    @property
+    def ssd_pool(self) -> SSDPool:
+        """The underlying local-SSD pool (read for planning, don't mutate)."""
+        return self._ssd
+
+    @property
+    def has_ssd_tiers(self) -> bool:
+        """True when the cluster models heterogeneous local SSDs."""
+        return self._ssd.capacities != (0.0,)
+
+    def available(self) -> Available:
+        """Immutable snapshot of free capacity for selection methods."""
+        return Available(
+            nodes=self.nodes_free, bb=self.bb_free, ssd_free=self._ssd.free_per_tier()
+        )
+
+    def can_fit(self, job: Job) -> bool:
+        """Would ``job`` fit right now, considering all three resources?"""
+        return self.available().fits(job)
+
+    def node_utilization(self) -> float:
+        """Instantaneous fraction of nodes in use."""
+        return self.nodes_used / self.total_nodes
+
+    def bb_utilization(self) -> float:
+        """Instantaneous fraction of (schedulable) burst buffer in use."""
+        if self.bb_capacity == 0:
+            return 0.0
+        return self.bb_used / self.bb_capacity
+
+    # --- allocation --------------------------------------------------------------
+    def allocate(self, job: Job) -> None:
+        """Reserve the job's nodes, burst buffer, and local SSDs.
+
+        Atomic: on failure nothing is reserved.  Raises
+        :class:`AllocationError` when the job does not fit or is already
+        allocated.
+        """
+        if job.jid in self._assignments:
+            raise AllocationError(f"job {job.jid} is already allocated")
+        if job.nodes > self.nodes_free:
+            raise AllocationError(
+                f"job {job.jid} wants {job.nodes} nodes, only {self.nodes_free} free"
+            )
+        if job.bb > self.bb_free:
+            raise AllocationError(
+                f"job {job.jid} wants {job.bb}GB burst buffer, only {self.bb_free}GB free"
+            )
+        assignment = self._ssd.allocate(job.nodes, job.ssd)  # raises if no fit
+        self.nodes_used += job.nodes
+        self.bb_used += job.bb
+        self._assignments[job.jid] = assignment
+        job.assigned_ssd = assignment.capacities() if job.ssd > 0 else ()
+
+    def release(self, job: Job) -> None:
+        """Return the job's resources; inverse of :meth:`allocate`."""
+        assignment = self._assignments.pop(job.jid, None)
+        if assignment is None:
+            raise AllocationError(f"job {job.jid} is not allocated")
+        self._ssd.release(assignment)
+        self.nodes_used -= job.nodes
+        self.bb_used -= job.bb
+        # Repeated float add/subtract of large GB values accumulates error
+        # proportional to capacity; tolerate that, reject real bugs.
+        tolerance = 1e-6 * (1.0 + self.bb_capacity)
+        if self.nodes_used < 0 or self.bb_used < -tolerance:
+            raise AllocationError(
+                f"release of job {job.jid} drove usage negative "
+                f"(nodes={self.nodes_used}, bb={self.bb_used})"
+            )
+        self.bb_used = max(self.bb_used, 0.0)
+
+    def allocated_waste(self, job: Job) -> float:
+        """SSD over-provisioning (GB) of a currently allocated job."""
+        assignment = self._assignments.get(job.jid)
+        if assignment is None:
+            raise AllocationError(f"job {job.jid} is not allocated")
+        return assignment.waste
+
+    def nodes_by_tier(self, job: Job) -> Dict[float, int]:
+        """Per-SSD-tier node counts held by a currently allocated job."""
+        assignment = self._assignments.get(job.jid)
+        if assignment is None:
+            raise AllocationError(f"job {job.jid} is not allocated")
+        return dict(assignment.per_tier)
+
+    def running_jobs(self) -> list[int]:
+        """Ids of jobs currently holding resources."""
+        return list(self._assignments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes {self.nodes_used}/{self.total_nodes}, "
+            f"bb {self.bb_used:.0f}/{self.bb_capacity:.0f}GB)"
+        )

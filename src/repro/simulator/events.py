@@ -1,0 +1,113 @@
+"""Discrete-event machinery: typed events and a stable priority queue.
+
+The simulator is event-driven: job submissions and completions are the only
+exogenous events; scheduling passes are triggered by them.  The queue is a
+binary heap keyed on ``(time, priority, sequence)`` — the sequence number
+makes ordering *stable* for simultaneous events, which keeps runs exactly
+reproducible regardless of heap internals.
+
+Event priority at equal timestamps matters: completions must be processed
+before submissions before scheduling passes, so that a scheduling pass at
+time *t* sees every resource freed and every job submitted at *t*.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+class EventType(enum.IntEnum):
+    """Event kinds, ordered by processing priority at equal timestamps."""
+
+    JOB_END = 0     #: a running job completes; resources are released
+    JOB_SUBMIT = 1  #: a job arrives in the queue
+    SCHEDULE = 2    #: run a scheduling pass
+    TICK = 3        #: periodic metrics/usage sampling hook
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable simulation event.
+
+    ``payload`` carries the subject (a job for submit/end, ``None`` for
+    scheduling passes).
+    """
+
+    time: float
+    etype: EventType
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects.
+
+    Stability: two events with the same ``(time, etype)`` pop in insertion
+    order.  Cancellation is supported lazily via :meth:`cancel` (entries are
+    tombstoned and skipped on pop), which the engine uses to coalesce
+    redundant SCHEDULE events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> int:
+        """Insert ``event``; returns a token usable with :meth:`cancel`."""
+        token = next(self._counter)
+        heapq.heappush(self._heap, (event.time, int(event.etype), token, event))
+        self._live += 1
+        return token
+
+    def cancel(self, token: int) -> None:
+        """Tombstone a previously pushed event; popping will skip it."""
+        if token not in self._cancelled:
+            self._cancelled.add(token)
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            _, _, token, event = heapq.heappop(self._heap)
+            if token in self._cancelled:
+                self._cancelled.discard(token)
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest live event without removing it, or None."""
+        while self._heap:
+            _, _, token, event = self._heap[0]
+            if token in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(token)
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None when empty."""
+        ev = self.peek()
+        return None if ev is None else ev.time
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every remaining event in order (useful in tests)."""
+        while self:
+            yield self.pop()

@@ -1,0 +1,262 @@
+"""Scheduling evaluation metrics (§4.2).
+
+Four well-established metrics, two system-level and two user-level:
+
+* **node usage** — used node-hours / elapsed node-hours;
+* **burst buffer usage** — used BB(GB)-hours / elapsed BB(GB)-hours;
+* **job wait time** — submit → start interval;
+* **job slowdown** — (wait + runtime) / runtime, with abnormal jobs
+  (near-zero runtimes that end abruptly) filtered out of the average.
+
+The §5 case study adds **local SSD utilization** and **wasted local SSD**.
+
+Metrics are evaluated over a *measurement interval* that excludes warm-up
+and cool-down phases (the paper drops the first and last half month); a job
+contributes to the user-level averages iff it was submitted inside the
+interval.  Breakdown helpers regroup wait times by job size, BB request,
+and runtime — the groupings behind Figures 9–11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .job import Job, JobState
+from .recorder import UsageRecorder
+
+#: Jobs with actual runtime below this many seconds are considered abnormal
+#: (crashed at startup) and excluded from slowdown averages, following §4.2.
+ABNORMAL_RUNTIME = 60.0
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open measurement interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(f"interval end {self.end} < start {self.start}")
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+def trimmed_interval(
+    t_first: float, t_last: float, *, warmup_fraction: float = 0.1, cooldown_fraction: float = 0.1
+) -> Interval:
+    """Measurement interval dropping leading/trailing fractions of the run.
+
+    The paper drops the first and last half month of multi-month traces;
+    for arbitrary-length synthetic traces we drop fractions instead.
+    """
+    if not 0 <= warmup_fraction < 1 or not 0 <= cooldown_fraction < 1:
+        raise ConfigurationError("trim fractions must be in [0, 1)")
+    if warmup_fraction + cooldown_fraction >= 1:
+        raise ConfigurationError("trim fractions leave an empty interval")
+    span = t_last - t_first
+    return Interval(t_first + warmup_fraction * span, t_last - cooldown_fraction * span)
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregate scheduling metrics over a measurement interval.
+
+    Usage metrics are fractions in [0, 1]; wait times are seconds.
+    ``ssd_usage``/``ssd_waste`` are zero for runs without local SSD tiers.
+    """
+
+    node_usage: float
+    bb_usage: float
+    avg_wait: float
+    avg_slowdown: float
+    ssd_usage: float = 0.0
+    ssd_waste: float = 0.0
+    n_jobs: int = 0
+    interval: Optional[Interval] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for reports and CSV output)."""
+        return {
+            "node_usage": self.node_usage,
+            "bb_usage": self.bb_usage,
+            "avg_wait": self.avg_wait,
+            "avg_slowdown": self.avg_slowdown,
+            "ssd_usage": self.ssd_usage,
+            "ssd_waste": self.ssd_waste,
+            "n_jobs": float(self.n_jobs),
+        }
+
+
+def _measured_jobs(jobs: Sequence[Job], interval: Interval) -> List[Job]:
+    """Completed-or-running jobs submitted inside the measurement interval."""
+    return [
+        j
+        for j in jobs
+        if j.start_time is not None and interval.contains(j.submit_time)
+    ]
+
+
+def average_wait(jobs: Sequence[Job], interval: Interval) -> float:
+    """Mean queue wait (seconds) of jobs submitted in ``interval``."""
+    waits = [j.wait_time for j in _measured_jobs(jobs, interval)]
+    return float(np.mean(waits)) if waits else 0.0
+
+
+def average_slowdown(
+    jobs: Sequence[Job],
+    interval: Interval,
+    *,
+    abnormal_runtime: float = ABNORMAL_RUNTIME,
+) -> float:
+    """Mean slowdown, excluding abnormal (near-instantly-ending) jobs."""
+    values = [
+        j.slowdown()
+        for j in _measured_jobs(jobs, interval)
+        if j.runtime >= abnormal_runtime
+    ]
+    return float(np.mean(values)) if values else 0.0
+
+
+def compute_summary(
+    jobs: Sequence[Job],
+    recorder: UsageRecorder,
+    interval: Interval,
+    *,
+    total_nodes: int,
+    bb_capacity: float,
+    ssd_capacity: float = 0.0,
+    abnormal_runtime: float = ABNORMAL_RUNTIME,
+) -> MetricsSummary:
+    """Evaluate all §4.2 (and §5) metrics over ``interval``."""
+    if total_nodes <= 0:
+        raise ConfigurationError("total_nodes must be positive")
+    node_usage = recorder.nodes.mean(interval.start, interval.end) / total_nodes
+    bb_usage = (
+        recorder.bb.mean(interval.start, interval.end) / bb_capacity
+        if bb_capacity > 0
+        else 0.0
+    )
+    ssd_usage = (
+        recorder.ssd.mean(interval.start, interval.end) / ssd_capacity
+        if ssd_capacity > 0
+        else 0.0
+    )
+    ssd_waste = (
+        recorder.ssd_waste.mean(interval.start, interval.end) / ssd_capacity
+        if ssd_capacity > 0
+        else 0.0
+    )
+    return MetricsSummary(
+        node_usage=node_usage,
+        bb_usage=bb_usage,
+        avg_wait=average_wait(jobs, interval),
+        avg_slowdown=average_slowdown(jobs, interval, abnormal_runtime=abnormal_runtime),
+        ssd_usage=ssd_usage,
+        ssd_waste=ssd_waste,
+        n_jobs=len(_measured_jobs(jobs, interval)),
+        interval=interval,
+    )
+
+
+# --- breakdowns (Figures 9-11) -------------------------------------------------
+
+#: Job-size bins used in Figure 9 (node-count ranges on Theta).
+THETA_SIZE_BINS: Tuple[Tuple[float, float], ...] = (
+    (1, 8),
+    (9, 64),
+    (65, 256),
+    (257, 1023),
+    (1024, 4392),
+)
+
+#: Burst-buffer-request bins used in Figure 10 (GB).
+BB_REQUEST_BINS_TB: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0),            # no burst buffer request
+    (1e-9, 50.0),          # (0, 50] TB
+    (50.0, 100.0),
+    (100.0, 200.0),
+    (200.0, float("inf")),
+)
+
+#: Runtime bins used in Figure 11 (hours).
+RUNTIME_BINS_H: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.5),
+    (0.5, 2.0),
+    (2.0, 6.0),
+    (6.0, 12.0),
+    (12.0, float("inf")),
+)
+
+
+def _bin_label(lo: float, hi: float, unit: str) -> str:
+    if lo == hi == 0.0:
+        return f"0{unit}"
+    if hi == float("inf"):
+        return f">{lo:g}{unit}"
+    return f"{lo:g}-{hi:g}{unit}"
+
+
+def breakdown_wait(
+    jobs: Sequence[Job],
+    interval: Interval,
+    key: Callable[[Job], float],
+    bins: Sequence[Tuple[float, float]],
+    unit: str = "",
+) -> Dict[str, float]:
+    """Average wait time per bin of ``key(job)``.
+
+    A job lands in the first bin ``(lo, hi)`` with ``lo <= key <= hi``
+    (first bin is inclusive on both ends; the zero bin ``(0, 0)`` catches
+    exact zeros).  Jobs matching no bin are dropped.
+    """
+    groups: Dict[str, List[float]] = {
+        _bin_label(lo, hi, unit): [] for lo, hi in bins
+    }
+    for job in _measured_jobs(jobs, interval):
+        value = key(job)
+        for lo, hi in bins:
+            if lo <= value <= hi:
+                groups[_bin_label(lo, hi, unit)].append(job.wait_time)
+                break
+    return {
+        label: (float(np.mean(waits)) if waits else 0.0)
+        for label, waits in groups.items()
+    }
+
+
+def wait_by_job_size(
+    jobs: Sequence[Job],
+    interval: Interval,
+    bins: Sequence[Tuple[float, float]] = THETA_SIZE_BINS,
+) -> Dict[str, float]:
+    """Figure 9: average wait time grouped by requested node count."""
+    return breakdown_wait(jobs, interval, lambda j: j.nodes, bins, unit=" nodes")
+
+
+def wait_by_bb_request(
+    jobs: Sequence[Job],
+    interval: Interval,
+    bins: Sequence[Tuple[float, float]] = BB_REQUEST_BINS_TB,
+) -> Dict[str, float]:
+    """Figure 10: average wait time grouped by BB request (TB)."""
+    return breakdown_wait(jobs, interval, lambda j: j.bb / 1024.0, bins, unit="TB")
+
+
+def wait_by_runtime(
+    jobs: Sequence[Job],
+    interval: Interval,
+    bins: Sequence[Tuple[float, float]] = RUNTIME_BINS_H,
+) -> Dict[str, float]:
+    """Figure 11: average wait time grouped by actual runtime (hours)."""
+    return breakdown_wait(jobs, interval, lambda j: j.runtime / 3600.0, bins, unit="h")

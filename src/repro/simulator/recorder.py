@@ -1,0 +1,128 @@
+"""Time-weighted resource-usage recording.
+
+The paper's system-level metrics (§4.2) are *usages*: used node-hours over
+elapsed node-hours, and used burst-buffer(GB)-hours over elapsed ones, over
+a measurement interval that excludes warm-up and cool-down periods.
+
+:class:`UsageRecorder` integrates step functions exactly: each time the
+cluster's occupancy changes, the engine calls :meth:`observe` with the
+current timestamp and the *new* occupancy; the recorder accumulates
+``level × dt`` for the interval since the previous observation.  The full
+step series is retained so metrics can be re-evaluated over any trimmed
+sub-interval after the run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class StepSeries:
+    """A right-continuous step function sampled at change points.
+
+    ``observe(t, v)`` records that the level becomes ``v`` at time ``t``.
+    Observations must be time-ordered (equal timestamps allowed; the last
+    value at a timestamp wins, which matches processing several events at
+    one instant).
+    """
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self._times: List[float] = [start_time]
+        self._values: List[float] = [float(initial)]
+
+    def observe(self, time: float, value: float) -> None:
+        """Record the level changing to ``value`` at ``time``."""
+        last = self._times[-1]
+        if time < last:
+            raise ConfigurationError(
+                f"observations must be time-ordered: {time} < {last}"
+            )
+        if time == last:
+            self._values[-1] = float(value)
+        else:
+            self._times.append(float(time))
+            self._values.append(float(value))
+
+    @property
+    def last_time(self) -> float:
+        return self._times[-1]
+
+    @property
+    def last_value(self) -> float:
+        return self._values[-1]
+
+    def integral(self, t0: float, t1: float) -> float:
+        """∫ level dt over ``[t0, t1]``; the level extends flat beyond data."""
+        if t1 < t0:
+            raise ConfigurationError(f"empty interval [{t0}, {t1}]")
+        times = self._times
+        values = self._values
+        # index of the last change point at or before t0
+        i = max(bisect_right(times, t0) - 1, 0)
+        total = 0.0
+        t = t0
+        while i < len(times):
+            seg_end = times[i + 1] if i + 1 < len(times) else t1
+            seg_end = min(seg_end, t1)
+            if seg_end > t:
+                total += values[i] * (seg_end - t)
+                t = seg_end
+            if t >= t1:
+                break
+            i += 1
+        if t < t1:  # level persists past the last change point
+            total += values[-1] * (t1 - t)
+        return total
+
+    def mean(self, t0: float, t1: float) -> float:
+        """Time-average level over ``[t0, t1]`` (0 for a zero-length span)."""
+        if t1 <= t0:
+            return 0.0
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) numpy copies of the recorded steps."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+
+class UsageRecorder:
+    """Bundles the step series the simulator tracks.
+
+    Series
+    ------
+    ``nodes``      — compute nodes in use.
+    ``bb``         — burst buffer GB in use.
+    ``ssd``        — requested local SSD GB in use (``s_i × n_i`` summed).
+    ``ssd_waste``  — over-provisioned local SSD GB currently allocated.
+    ``queue``      — number of queued jobs (for diagnostics).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.nodes = StepSeries(0.0, start_time)
+        self.bb = StepSeries(0.0, start_time)
+        self.ssd = StepSeries(0.0, start_time)
+        self.ssd_waste = StepSeries(0.0, start_time)
+        self.queue = StepSeries(0.0, start_time)
+
+    def observe_cluster(
+        self,
+        time: float,
+        nodes_used: int,
+        bb_used: float,
+        ssd_used: float = 0.0,
+        ssd_waste: float = 0.0,
+    ) -> None:
+        """Record the cluster occupancy after an allocation change."""
+        self.nodes.observe(time, nodes_used)
+        self.bb.observe(time, bb_used)
+        self.ssd.observe(time, ssd_used)
+        self.ssd_waste.observe(time, ssd_waste)
+
+    def observe_queue(self, time: float, queued: int) -> None:
+        """Record the queue depth after a queue change."""
+        self.queue.observe(time, queued)

@@ -1,0 +1,164 @@
+"""Heterogeneous local-SSD node pool (§5 case study).
+
+Theta-style systems attach a local SSD to every compute node, and capacities
+differ across nodes (the paper assumes a 50/50 split of 128 GB and 256 GB
+SSDs).  A job requesting ``s`` GB of local SSD per node can only run on
+nodes whose SSD capacity is at least ``s``; assigning a larger-than-needed
+SSD wastes the difference (objective ``f4`` in §5).
+
+:class:`SSDPool` tracks free node counts per capacity *tier* and implements
+the paper's assignment preference: jobs are packed onto the smallest tier
+that satisfies their request first, spilling upward only when the small tier
+is exhausted, which minimises waste greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..errors import AllocationError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class SSDAssignment:
+    """Result of allocating nodes for one job.
+
+    ``per_tier`` maps SSD tier capacity (GB) → number of nodes taken from
+    that tier.  ``waste`` is the total over-provisioned SSD in GB, i.e.
+    ``sum((tier - request) * count)``.
+    """
+
+    per_tier: Tuple[Tuple[float, int], ...]
+    waste: float
+
+    @property
+    def node_count(self) -> int:
+        return sum(c for _, c in self.per_tier)
+
+    def capacities(self) -> tuple:
+        """Flat tuple of the per-node assigned capacities (for Job records)."""
+        out: list[float] = []
+        for cap, count in self.per_tier:
+            out.extend([cap] * count)
+        return tuple(out)
+
+
+class SSDPool:
+    """Free-node accounting across SSD capacity tiers.
+
+    Parameters
+    ----------
+    tiers:
+        Mapping of SSD capacity in GB → number of nodes with that capacity.
+        A homogeneous system with no local SSD is ``{0.0: total_nodes}``.
+    """
+
+    def __init__(self, tiers: Mapping[float, int]) -> None:
+        if not tiers:
+            raise ConfigurationError("SSDPool needs at least one tier")
+        clean: Dict[float, int] = {}
+        for cap, count in tiers.items():
+            if cap < 0:
+                raise ConfigurationError(f"negative SSD tier capacity {cap}")
+            if count < 0:
+                raise ConfigurationError(f"negative node count {count} for tier {cap}")
+            clean[float(cap)] = clean.get(float(cap), 0) + int(count)
+        #: tier capacities sorted ascending — allocation order
+        self.capacities: Tuple[float, ...] = tuple(sorted(clean))
+        self._total: Dict[float, int] = {c: clean[c] for c in self.capacities}
+        self._free: Dict[float, int] = dict(self._total)
+
+    # --- queries -------------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        """Total number of nodes across all tiers."""
+        return sum(self._total.values())
+
+    @property
+    def free_nodes(self) -> int:
+        """Total number of currently free nodes."""
+        return sum(self._free.values())
+
+    def free_per_tier(self) -> Dict[float, int]:
+        """Copy of the free-node count for each tier."""
+        return dict(self._free)
+
+    def total_per_tier(self) -> Dict[float, int]:
+        """Copy of the total node count for each tier."""
+        return dict(self._total)
+
+    def free_at_least(self, capacity: float) -> int:
+        """Number of free nodes whose SSD capacity is ≥ ``capacity``."""
+        return sum(n for cap, n in self._free.items() if cap >= capacity)
+
+    def can_fit(self, nodes: int, ssd_per_node: float) -> bool:
+        """Can ``nodes`` nodes each offering ≥ ``ssd_per_node`` GB be found?"""
+        return self.free_at_least(ssd_per_node) >= nodes
+
+    # --- allocation -----------------------------------------------------------
+    def allocate(self, nodes: int, ssd_per_node: float) -> SSDAssignment:
+        """Take ``nodes`` free nodes with SSD ≥ ``ssd_per_node``.
+
+        Smaller qualifying tiers are consumed first (waste-minimising
+        preference from §5).  Raises :class:`AllocationError` when the
+        request cannot be satisfied; the pool is left unchanged on failure.
+        """
+        if nodes <= 0:
+            raise AllocationError(f"must allocate a positive node count, got {nodes}")
+        if not self.can_fit(nodes, ssd_per_node):
+            raise AllocationError(
+                f"cannot allocate {nodes} nodes with >= {ssd_per_node}GB SSD "
+                f"(free qualifying: {self.free_at_least(ssd_per_node)})"
+            )
+        remaining = nodes
+        taken: list[tuple[float, int]] = []
+        waste = 0.0
+        for cap in self.capacities:
+            if cap < ssd_per_node or remaining == 0:
+                continue
+            grab = min(self._free[cap], remaining)
+            if grab:
+                self._free[cap] -= grab
+                taken.append((cap, grab))
+                waste += (cap - ssd_per_node) * grab
+                remaining -= grab
+        assert remaining == 0, "can_fit check guaranteed availability"
+        return SSDAssignment(per_tier=tuple(taken), waste=waste)
+
+    def release(self, assignment: SSDAssignment) -> None:
+        """Return the nodes of a previous :meth:`allocate` to the pool."""
+        for cap, count in assignment.per_tier:
+            if cap not in self._free:
+                raise AllocationError(f"unknown SSD tier {cap} in release")
+            if self._free[cap] + count > self._total[cap]:
+                raise AllocationError(
+                    f"tier {cap}: releasing {count} would exceed total "
+                    f"({self._free[cap]} free of {self._total[cap]})"
+                )
+            self._free[cap] += count
+
+    # --- planning (no mutation) -----------------------------------------------
+    def plan_waste(self, nodes: int, ssd_per_node: float) -> float:
+        """Waste the greedy assignment *would* incur, without allocating.
+
+        Used by the MOO objective ``f4`` to evaluate candidate selections.
+        Raises :class:`AllocationError` if the request does not fit.
+        """
+        if not self.can_fit(nodes, ssd_per_node):
+            raise AllocationError(f"{nodes} nodes @ >= {ssd_per_node}GB do not fit")
+        remaining = nodes
+        waste = 0.0
+        for cap in self.capacities:
+            if cap < ssd_per_node or remaining == 0:
+                continue
+            grab = min(self._free[cap], remaining)
+            waste += (cap - ssd_per_node) * grab
+            remaining -= grab
+        return waste
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{cap:g}GB:{self._free[cap]}/{self._total[cap]}" for cap in self.capacities
+        )
+        return f"SSDPool({parts})"

@@ -1,0 +1,172 @@
+"""Post-hoc schedule validation.
+
+A completed :class:`~repro.simulator.engine.SimulationResult` is re-checked
+against every scheduling invariant, independently of the engine's own
+bookkeeping.  This is the simulator's safety net — any engine, selector, or
+backfill bug that slips past allocation-time checks surfaces here — and the
+integration/property suites run it after every simulated trace.
+
+Checked invariants:
+
+* every job completed exactly once, with ``submit ≤ start`` and
+  ``end = start + runtime``;
+* dependencies finished before the dependent job started;
+* at every instant, the running set's node, burst-buffer, and per-SSD-tier
+  demands fit the machine (reconstructed by a sweep over start/end events,
+  not by trusting the recorder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from .job import Job, JobState
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single invariant violation."""
+
+    kind: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_schedule`."""
+
+    violations: List[Violation] = field(default_factory=list)
+    peak_nodes: int = 0
+    peak_bb: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`SchedulingError` summarising all violations."""
+        if self.violations:
+            detail = "; ".join(str(v) for v in self.violations[:5])
+            raise SchedulingError(
+                f"schedule invalid ({len(self.violations)} violations): {detail}"
+            )
+
+
+def validate_schedule(
+    jobs: Sequence[Job],
+    *,
+    total_nodes: int,
+    bb_capacity: float,
+    ssd_tiers: Optional[Mapping[float, int]] = None,
+) -> ValidationReport:
+    """Re-check every scheduling invariant on a finished job set."""
+    report = ValidationReport()
+    by_id: Dict[int, Job] = {}
+
+    for job in jobs:
+        if job.jid in by_id:
+            report.violations.append(Violation(
+                "duplicate", f"job {job.jid} appears twice"))
+            continue
+        by_id[job.jid] = job
+        if job.state is not JobState.COMPLETED:
+            report.violations.append(Violation(
+                "incomplete", f"job {job.jid} ended in state {job.state.value}"))
+            continue
+        assert job.start_time is not None and job.end_time is not None
+        if job.start_time < job.submit_time:
+            report.violations.append(Violation(
+                "time-travel",
+                f"job {job.jid} started at {job.start_time} before "
+                f"submission at {job.submit_time}"))
+        if abs(job.end_time - (job.start_time + job.runtime)) > 1e-6:
+            report.violations.append(Violation(
+                "duration",
+                f"job {job.jid} ran {job.end_time - job.start_time}s, "
+                f"runtime is {job.runtime}s"))
+
+    # Dependency ordering.
+    for job in jobs:
+        if job.start_time is None:
+            continue
+        for dep in job.deps:
+            parent = by_id.get(dep)
+            if parent is None or parent.end_time is None:
+                report.violations.append(Violation(
+                    "dependency", f"job {job.jid} depends on unfinished {dep}"))
+            elif parent.end_time > job.start_time + 1e-6:
+                report.violations.append(Violation(
+                    "dependency",
+                    f"job {job.jid} started at {job.start_time} before "
+                    f"dependency {dep} ended at {parent.end_time}"))
+
+    # Instantaneous capacity: sweep start (+demand) and end (−demand)
+    # events; ends sort before starts at equal timestamps, matching the
+    # engine's release-before-allocate event ordering.
+    events: List[Tuple[float, int, Job]] = []
+    for job in jobs:
+        if job.start_time is None or job.end_time is None:
+            continue
+        events.append((job.start_time, 1, job))
+        events.append((job.end_time, 0, job))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    nodes = 0
+    bb = 0.0
+    tier_free: Optional[Dict[float, int]] = (
+        dict(ssd_tiers) if ssd_tiers is not None else None
+    )
+    held: Dict[int, Dict[float, int]] = {}
+    for time_, kind, job in events:
+        if kind == 1:
+            nodes += job.nodes
+            bb += job.bb
+            if nodes > total_nodes:
+                report.violations.append(Violation(
+                    "capacity",
+                    f"{nodes} nodes in use at t={time_} exceed {total_nodes}"))
+            if bb > bb_capacity + 1e-6 * (1 + bb_capacity):
+                report.violations.append(Violation(
+                    "capacity",
+                    f"{bb:.0f}GB burst buffer at t={time_} exceeds {bb_capacity:.0f}"))
+            report.peak_nodes = max(report.peak_nodes, nodes)
+            report.peak_bb = max(report.peak_bb, bb)
+            if tier_free is not None:
+                taken = _take_tiers(tier_free, job)
+                if taken is None:
+                    report.violations.append(Violation(
+                        "ssd",
+                        f"job {job.jid} cannot find {job.nodes} nodes with "
+                        f">= {job.ssd}GB SSD at t={time_}"))
+                else:
+                    held[job.jid] = taken
+        else:
+            nodes -= job.nodes
+            bb -= job.bb
+            if tier_free is not None:
+                for cap, count in held.pop(job.jid, {}).items():
+                    tier_free[cap] += count
+    return report
+
+
+def _take_tiers(tier_free: Dict[float, int], job: Job) -> Optional[Dict[float, int]]:
+    """Greedy smallest-qualifying-tier allocation; None when infeasible."""
+    qualifying = sum(n for cap, n in tier_free.items() if cap >= job.ssd)
+    if qualifying < job.nodes:
+        return None
+    remaining = job.nodes
+    taken: Dict[float, int] = {}
+    for cap in sorted(tier_free):
+        if cap < job.ssd or remaining == 0:
+            continue
+        grab = min(tier_free[cap], remaining)
+        if grab:
+            tier_free[cap] -= grab
+            taken[cap] = grab
+            remaining -= grab
+    return taken

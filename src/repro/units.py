@@ -1,0 +1,67 @@
+"""Unit helpers shared across the package.
+
+All internal quantities use canonical units:
+
+* storage — **gigabytes** (GB).  Burst-buffer and SSD requests in the paper
+  span [1 GB, 285 TB], so GB keeps every value an exact small float.
+* time — **seconds**.  Traces and simulator clocks are in seconds since an
+  arbitrary epoch (usually the first submission).
+
+The constants below convert the units that appear in the paper (TB, PB,
+hours) into canonical ones, so experiment code can be written with the same
+figures the paper quotes (``1.8 * PB``, ``15 * MINUTES`` …).
+"""
+
+from __future__ import annotations
+
+# --- storage (canonical unit: GB) ------------------------------------------
+GB: float = 1.0
+TB: float = 1024.0 * GB
+PB: float = 1024.0 * TB
+
+# --- time (canonical unit: seconds) ----------------------------------------
+SECONDS: float = 1.0
+MINUTES: float = 60.0 * SECONDS
+HOURS: float = 3600.0 * SECONDS
+DAYS: float = 24.0 * HOURS
+WEEKS: float = 7.0 * DAYS
+
+
+def gb_to_tb(gb: float) -> float:
+    """Convert gigabytes to terabytes."""
+    return gb / TB
+
+
+def tb_to_gb(tb: float) -> float:
+    """Convert terabytes to gigabytes."""
+    return tb * TB
+
+
+def seconds_to_hours(s: float) -> float:
+    """Convert seconds to hours."""
+    return s / HOURS
+
+
+def hours_to_seconds(h: float) -> float:
+    """Convert hours to seconds."""
+    return h * HOURS
+
+
+def fmt_storage(gb: float) -> str:
+    """Human-readable storage string, e.g. ``fmt_storage(2048) == '2.0TB'``."""
+    if gb >= PB:
+        return f"{gb / PB:.2f}PB"
+    if gb >= TB:
+        return f"{gb / TB:.1f}TB"
+    return f"{gb:.0f}GB"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration string, e.g. ``fmt_duration(5400) == '1.5h'``."""
+    if seconds >= DAYS:
+        return f"{seconds / DAYS:.1f}d"
+    if seconds >= HOURS:
+        return f"{seconds / HOURS:.1f}h"
+    if seconds >= MINUTES:
+        return f"{seconds / MINUTES:.1f}m"
+    return f"{seconds:.1f}s"

@@ -1,0 +1,12 @@
+"""Window-based scheduling mechanism (§3.1)."""
+
+from .dynamic import DynamicWindowPolicy
+from .window import DEFAULT_STARVATION_BOUND, DEFAULT_WINDOW_SIZE, Window, WindowPolicy
+
+__all__ = [
+    "Window",
+    "WindowPolicy",
+    "DynamicWindowPolicy",
+    "DEFAULT_WINDOW_SIZE",
+    "DEFAULT_STARVATION_BOUND",
+]

@@ -1,0 +1,74 @@
+"""Dynamic window sizing — the §3.1 extension.
+
+    "In addition, the window size could be dynamically adjusted in
+    response to system status.  Job queue length often changes…"  (§3.1)
+
+:class:`DynamicWindowPolicy` scales the window with the eligible queue
+length: a fixed fraction of the queue, clamped to ``[min_size, max_size]``.
+Long workday queues get a wide optimization window; near-empty weekend
+queues keep the original job order almost untouched (and keep the MOO
+cheap).  It is a drop-in replacement for the static
+:class:`~repro.windows.window.WindowPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Sequence
+
+from ..errors import ConfigurationError
+from ..simulator.job import Job
+from .window import DEFAULT_STARVATION_BOUND, Window, WindowPolicy
+
+
+class DynamicWindowPolicy(WindowPolicy):
+    """Window sized as a fraction of the eligible queue.
+
+    Parameters
+    ----------
+    fraction:
+        Window size as a share of the eligible queue length (0, 1].
+    min_size, max_size:
+        Clamp; ``max_size`` also bounds the MOO search space (the §3.2.2
+        exhaustive blow-up applies to whatever the window admits).
+    starvation_bound:
+        As in the static policy.
+    """
+
+    def __init__(
+        self,
+        fraction: float = 0.25,
+        min_size: int = 5,
+        max_size: int = 50,
+        starvation_bound: int | None = DEFAULT_STARVATION_BOUND,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        if not 1 <= min_size <= max_size:
+            raise ConfigurationError(
+                f"need 1 <= min_size <= max_size, got [{min_size}, {max_size}]"
+            )
+        super().__init__(size=max_size, starvation_bound=starvation_bound)
+        self.fraction = fraction
+        self.min_size = min_size
+        self.max_size = max_size
+
+    def current_size(self, eligible_count: int) -> int:
+        """Window size for a queue of ``eligible_count`` eligible jobs."""
+        raw = int(round(self.fraction * eligible_count))
+        return max(self.min_size, min(raw, self.max_size))
+
+    def scope_size(self, eligible_count: int) -> int:
+        return self.current_size(eligible_count)
+
+    def extract(
+        self, ordered_queue: Sequence[Job], completed: AbstractSet[int]
+    ) -> Window:
+        eligible = self.eligible(ordered_queue, completed)
+        size = self.current_size(len(eligible))
+        jobs = tuple(eligible[:size])
+        if self.starvation_bound is None:
+            return Window(jobs=jobs)
+        forced = tuple(
+            i for i, j in enumerate(jobs) if j.window_age >= self.starvation_bound
+        )
+        return Window(jobs=jobs, forced=forced)

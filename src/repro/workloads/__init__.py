@@ -1,0 +1,43 @@
+"""Workload traces: machine specs, synthesis, augmentation, and I/O."""
+
+from .augment import add_ssd_requests, expand_bb_requests, make_bb_suite, make_ssd_suite
+from .darshan import (
+    BB_EXTRACTION_THRESHOLD,
+    DarshanRecord,
+    enhance_trace_with_darshan,
+    extract_bb_requests,
+    read_darshan_csv,
+    synthesize_darshan_log,
+    write_darshan_csv,
+)
+from .generator import WorkloadProfile, cori_profile, generate, theta_profile
+from .spec import CORI, MACHINES, THETA, MachineSpec, get_machine
+from .swf import read_swf, write_swf
+from .trace import CSV_FIELDS, Trace
+
+__all__ = [
+    "MachineSpec",
+    "CORI",
+    "THETA",
+    "MACHINES",
+    "get_machine",
+    "Trace",
+    "CSV_FIELDS",
+    "WorkloadProfile",
+    "cori_profile",
+    "theta_profile",
+    "generate",
+    "expand_bb_requests",
+    "add_ssd_requests",
+    "make_bb_suite",
+    "make_ssd_suite",
+    "DarshanRecord",
+    "synthesize_darshan_log",
+    "extract_bb_requests",
+    "enhance_trace_with_darshan",
+    "read_darshan_csv",
+    "write_darshan_csv",
+    "BB_EXTRACTION_THRESHOLD",
+    "read_swf",
+    "write_swf",
+]

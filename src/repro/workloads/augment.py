@@ -1,0 +1,260 @@
+"""Synthetic workload augmentation: S1–S4 (burst buffer) and S5–S7 (SSD).
+
+§4.1: because burst buffers were lightly used in the 2018 logs, the paper
+stresses the schedulers with eight synthetic workloads per machine pair —
+expanding the percentage of jobs requesting burst buffer to 50 % (S1, S3)
+or 75 % (S2, S4), with the assigned request drawn from the *original*
+requests above 5 TB (S1, S2) or above 20 TB (S3, S4).
+
+§5 builds S5–S7 on top of the S2 workloads by adding per-node local-SSD
+requests: 80/20, 50/50, and 20/80 splits between the 0–128 GB and
+129–256 GB ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from ..simulator.job import Job
+from ..units import TB
+from .distributions import bounded_pareto
+from .trace import Trace
+
+
+def _replace_bb(job: Job, bb: float) -> Job:
+    return Job(
+        jid=job.jid,
+        submit_time=job.submit_time,
+        runtime=job.runtime,
+        walltime=job.walltime,
+        nodes=job.nodes,
+        bb=bb,
+        ssd=job.ssd,
+        deps=job.deps,
+        user=job.user,
+    )
+
+
+def _replace_ssd(job: Job, ssd: float) -> Job:
+    return Job(
+        jid=job.jid,
+        submit_time=job.submit_time,
+        runtime=job.runtime,
+        walltime=job.walltime,
+        nodes=job.nodes,
+        bb=job.bb,
+        ssd=ssd,
+        deps=job.deps,
+        user=job.user,
+    )
+
+
+#: Minimum pool size below which request sampling falls back to the
+#: synthetic law (tiny pools would just replay a couple of values).
+_MIN_POOL = 30
+
+
+def offered_bb_load(trace: Trace) -> float:
+    """Offered burst-buffer load ρ_bb: Σ bb·runtime / (capacity × span)."""
+    t0, t1 = trace.span()
+    cap = trace.machine.schedulable_bb
+    if t1 <= t0 or cap <= 0:
+        return 0.0
+    return sum(j.bb * j.runtime for j in trace.jobs) / (cap * (t1 - t0))
+
+
+def expand_bb_requests(
+    trace: Trace,
+    *,
+    fraction: float,
+    min_request: float,
+    max_request: Optional[float] = None,
+    target_bb_load: Optional[float] = None,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Trace:
+    """Raise the share of BB-requesting jobs to ``fraction`` (§4.1 S1–S4).
+
+    New requests are sampled (with replacement) from the trace's original
+    requests inside ``(min_request, max_request]`` GB.  When fewer than 30
+    such originals exist — the normal case for laptop-scale synthetic
+    traces, and also true of the real logs' >20 TB tail — a uniform law
+    over the same range stands in, matching the broad S3/S4 histograms of
+    Figure 5.  Requests never exceed the machine's schedulable burst
+    buffer, so every job remains runnable.
+
+    ``target_bb_load`` optionally calibrates the *offered burst-buffer
+    load* ρ_bb (aggregate BB-GB-seconds over capacity × trace span): after
+    assignment, the newly added requests are rescaled by a common factor
+    so the realised ρ_bb matches the target.  The paper controls
+    contention regimes through request sizes on fixed machines; with
+    synthetic traces the load target is the machine-independent way to
+    land each S-workload in its intended regime (S1/S2 moderate, S3/S4
+    burst-buffer-bound).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be a probability, got {fraction}")
+    if min_request < 0:
+        raise ConfigurationError("min_request must be non-negative")
+    rng = make_rng(seed)
+    cap = trace.machine.schedulable_bb
+    if cap <= 0:
+        raise ConfigurationError(
+            f"machine {trace.machine.name} has no schedulable burst buffer"
+        )
+    high = min(max_request if max_request is not None else cap, cap)
+    if high <= min_request:
+        raise ConfigurationError(
+            f"max_request {high} must exceed min_request {min_request}"
+        )
+    pool = trace.bb_requests()
+    pool = pool[(pool > min_request) & (pool <= high)]
+
+    jobs = list(trace.jobs)
+    have = [i for i, j in enumerate(jobs) if j.uses_bb]
+    lack = [i for i, j in enumerate(jobs) if not j.uses_bb]
+    target = int(round(fraction * len(jobs)))
+    need = max(target - len(have), 0)
+    chosen = rng.choice(len(lack), size=min(need, len(lack)), replace=False)
+    new_idx = []
+    for k in chosen:
+        i = lack[int(k)]
+        if pool.size >= _MIN_POOL:
+            request = float(rng.choice(pool))
+        else:
+            request = float(rng.uniform(min_request, high))
+        jobs[i] = _replace_bb(jobs[i], min(request, cap))
+        new_idx.append(i)
+
+    out = trace.with_jobs(jobs, name=name or trace.name)
+    if target_bb_load is not None and new_idx:
+        if target_bb_load <= 0:
+            raise ConfigurationError("target_bb_load must be positive")
+        realised = offered_bb_load(out)
+        base = offered_bb_load(trace)  # load carried by pre-existing requests
+        if realised > base:
+            factor = (target_bb_load - base) / (realised - base)
+            factor = max(factor, 0.0)
+            for i in new_idx:
+                jobs[i] = _replace_bb(jobs[i], min(jobs[i].bb * factor, cap))
+            out = trace.with_jobs(jobs, name=name or trace.name)
+    return out
+
+
+#: §4.1 request ranges as fractions of the schedulable burst buffer.
+#: The S1/S2 range reproduces the paper's absolute figures on full-size
+#: machines: its 5 TB threshold and 165 TB / 285 TB request maxima are
+#: 0.4 % and ~13 % of Cori's / Theta's schedulable capacity.  The S3/S4
+#: range is calibrated upward (5 %–25 % of capacity, versus the paper's
+#: literal 20 TB ≈ 1.6 % threshold) so that the S3/S4 *contention regime*
+#: — burst buffer saturated, node usage dragged down by BB shortage, the
+#: setting Figures 6–8 revolve around — emerges at simulatable trace
+#: scale; see DESIGN.md §Substitutions.  Fractions, not absolutes, keep
+#: the regimes intact when experiments shrink the machine.
+S12_RANGE_FRACTION = (0.004, 0.13)
+S34_RANGE_FRACTION = (0.05, 0.25)
+
+#: Offered burst-buffer load targets per synthetic workload.  Calibrated
+#: to land each workload in the paper's observed regime: S1/S2 moderate
+#: BB pressure (BB usage well under capacity, nodes the bottleneck),
+#: S3 near-critical, S4 burst-buffer-bound (BB saturates, node usage
+#: drops, waits surge — §4.4's "severe burst buffer contention").
+BB_LOAD_TARGETS = {"S1": 0.50, "S2": 0.80, "S3": 1.00, "S4": 1.40}
+
+
+def make_bb_suite(
+    trace: Trace, seed: SeedLike = None, *, machine_label: Optional[str] = None
+) -> Dict[str, Trace]:
+    """The five §4.1 workloads: Original plus S1–S4.
+
+    Keys are ``"<machine>-Original"`` … ``"<machine>-S4"`` (Figure 6–8,
+    12–13 x-axis labels).  S1/S3 put burst-buffer requests on 50 % of the
+    jobs, S2/S4 on 75 %; S1/S2 draw from the small-request range, S3/S4
+    from the large one (see the range-fraction constants above).
+    """
+    rng = make_rng(seed)
+    label = machine_label or trace.machine.name.split("/")[0]
+    cap = trace.machine.schedulable_bb
+    specs = {
+        "S1": (0.50, S12_RANGE_FRACTION),
+        "S2": (0.75, S12_RANGE_FRACTION),
+        "S3": (0.50, S34_RANGE_FRACTION),
+        "S4": (0.75, S34_RANGE_FRACTION),
+    }
+    suite = {f"{label}-Original": trace.rename(f"{label}-Original")}
+    for sname, (fraction, (lo, hi)) in specs.items():
+        suite[f"{label}-{sname}"] = expand_bb_requests(
+            trace,
+            fraction=fraction,
+            min_request=lo * cap,
+            max_request=hi * cap,
+            target_bb_load=BB_LOAD_TARGETS[sname],
+            seed=rng,
+            name=f"{label}-{sname}",
+        )
+    return suite
+
+
+def add_ssd_requests(
+    trace: Trace,
+    *,
+    small_fraction: float,
+    small_range: tuple[float, float] = (0.0, 128.0),
+    large_range: tuple[float, float] = (129.0, 256.0),
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Trace:
+    """Attach per-node local-SSD requests to every job (§5 S5–S7).
+
+    ``small_fraction`` of the jobs draw uniformly from ``small_range``
+    GB/node; the rest from ``large_range``.
+    """
+    if not 0.0 <= small_fraction <= 1.0:
+        raise ConfigurationError("small_fraction must be a probability")
+    rng = make_rng(seed)
+    # Jobs gain local-SSD needs; bind the trace to the §5 machine variant
+    # (50/50 split of 128 GB and 256 GB nodes) unless the spec already has
+    # tiers covering the largest request.
+    machine = trace.machine
+    if machine.ssd_tiers is None:
+        machine = machine.with_ssd_split(
+            small=max(small_range[1], 1.0), large=max(large_range[1], 1.0)
+        )
+    tiers = dict(machine.ssd_tiers)
+    jobs = []
+    for job in trace.jobs:
+        if rng.random() < small_fraction:
+            lo, hi = small_range
+        else:
+            lo, hi = large_range
+        ssd = float(rng.uniform(lo, hi))
+        # A job larger than the count of qualifying nodes could never run;
+        # §5 notes jobs over 128 GB "have to be allocated to nodes with
+        # 256GB SSD" — jobs too wide for that pool get a small request.
+        qualifying = sum(n for cap, n in tiers.items() if cap >= ssd)
+        if qualifying < job.nodes:
+            ssd = float(rng.uniform(*small_range))
+        jobs.append(_replace_ssd(job, ssd))
+    return trace.with_jobs(jobs, name=name or trace.name, machine=machine)
+
+
+def make_ssd_suite(
+    s2_trace: Trace, seed: SeedLike = None, *, machine_label: Optional[str] = None
+) -> Dict[str, Trace]:
+    """The §5 workloads S5–S7, built on an S2 trace.
+
+    S5: 80 % small SSD requests; S6: 50 %; S7: 20 %.
+    """
+    rng = make_rng(seed)
+    label = machine_label or s2_trace.machine.name.split("/")[0]
+    fractions = {"S5": 0.8, "S6": 0.5, "S7": 0.2}
+    return {
+        f"{label}-{sname}": add_ssd_requests(
+            s2_trace, small_fraction=f, seed=rng, name=f"{label}-{sname}"
+        )
+        for sname, f in fractions.items()
+    }

@@ -1,0 +1,174 @@
+"""Synthetic Darshan-style I/O logs and burst-buffer request extraction.
+
+§4.1: the Theta trace lacks burst-buffer request sizes, so the paper joins
+it with Darshan I/O characterisation logs — "we use a corresponding
+Darshan trace to extract the amount of data moved between PFS and nodes
+and consider this amount to be the potential burst buffer requests"; 40 %
+of Theta jobs had Darshan recording, and the 17.18 % of jobs with more
+than 1 GB transferred received that volume as their BB request.
+
+We cannot ship ALCF's Darshan logs, so this module synthesises records
+with the same statistical profile and implements the *identical
+extraction rule*, exercising the same trace-enhancement code path
+(DESIGN.md §Substitutions 2).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from ..simulator.job import Job
+from ..units import GB, TB
+from .distributions import bounded_pareto
+from .trace import Trace
+
+#: Jobs moving more than this many GB get a burst-buffer request (§4.1).
+BB_EXTRACTION_THRESHOLD = 1.0 * GB
+
+
+@dataclass(frozen=True)
+class DarshanRecord:
+    """One job's I/O summary, as Darshan's job-level counters expose it."""
+
+    jid: int
+    bytes_read: float      #: GB read from the parallel file system
+    bytes_written: float   #: GB written to the parallel file system
+    n_files: int = 1
+
+    @property
+    def data_moved(self) -> float:
+        """Total GB moved between PFS and compute nodes."""
+        return self.bytes_read + self.bytes_written
+
+
+def synthesize_darshan_log(
+    trace: Trace,
+    *,
+    instrumented_fraction: float = 0.40,
+    heavy_io_fraction: float = 0.4295,
+    io_alpha: float = 0.5,
+    io_max: float = 285.0 * TB,
+    seed: SeedLike = None,
+) -> List[DarshanRecord]:
+    """Generate Darshan records for a fraction of the trace's jobs.
+
+    Defaults mirror §4.1's Theta numbers: 40 % of jobs are instrumented,
+    and 17.18 % of *all* jobs (= 42.95 % of instrumented ones) move more
+    than 1 GB; heavy movers draw a bounded-Pareto volume up to 285 TB,
+    light movers stay under the 1 GB threshold.
+    """
+    if not 0 <= instrumented_fraction <= 1 or not 0 <= heavy_io_fraction <= 1:
+        raise ConfigurationError("fractions must be probabilities")
+    rng = make_rng(seed)
+    records: List[DarshanRecord] = []
+    for job in trace.jobs:
+        if rng.random() >= instrumented_fraction:
+            continue
+        if rng.random() < heavy_io_fraction:
+            volume = float(
+                bounded_pareto(
+                    rng, 1, alpha=io_alpha, low=BB_EXTRACTION_THRESHOLD, high=io_max
+                )[0]
+            )
+        else:
+            volume = float(rng.uniform(0.0, BB_EXTRACTION_THRESHOLD))
+        write_share = float(rng.uniform(0.3, 0.9))
+        records.append(
+            DarshanRecord(
+                jid=job.jid,
+                bytes_read=volume * (1.0 - write_share),
+                bytes_written=volume * write_share,
+                n_files=int(rng.integers(1, 64)),
+            )
+        )
+    return records
+
+
+def extract_bb_requests(
+    records: Iterable[DarshanRecord],
+    *,
+    threshold: float = BB_EXTRACTION_THRESHOLD,
+) -> Dict[int, float]:
+    """The paper's extraction rule: data moved → BB request when > 1 GB."""
+    return {
+        r.jid: r.data_moved for r in records if r.data_moved > threshold
+    }
+
+
+def enhance_trace_with_darshan(
+    trace: Trace,
+    records: Iterable[DarshanRecord],
+    *,
+    threshold: float = BB_EXTRACTION_THRESHOLD,
+    name: Optional[str] = None,
+) -> Trace:
+    """Attach Darshan-derived BB requests to a trace (§4.1 Theta pipeline).
+
+    Jobs without a qualifying record keep their existing request.
+    Requests are capped at the machine's schedulable burst buffer.
+    """
+    requests = extract_bb_requests(records, threshold=threshold)
+    cap = trace.machine.schedulable_bb
+    jobs = []
+    for job in trace.jobs:
+        bb = requests.get(job.jid)
+        if bb is None:
+            jobs.append(job)
+        else:
+            jobs.append(
+                Job(
+                    jid=job.jid,
+                    submit_time=job.submit_time,
+                    runtime=job.runtime,
+                    walltime=job.walltime,
+                    nodes=job.nodes,
+                    bb=min(bb, cap),
+                    ssd=job.ssd,
+                    deps=job.deps,
+                    user=job.user,
+                )
+            )
+    return trace.with_jobs(jobs, name=name or trace.name)
+
+
+# --- log file I/O (so the pipeline can run from files, like the real one) -----
+
+_CSV_FIELDS = ("jid", "bytes_read", "bytes_written", "n_files")
+
+
+def write_darshan_csv(
+    records: Sequence[DarshanRecord], path: Union[str, Path]
+) -> None:
+    """Persist synthetic Darshan records as CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_FIELDS)
+        for r in records:
+            # repr-precision floats so the round trip is exact
+            writer.writerow([r.jid, repr(r.bytes_read), repr(r.bytes_written), r.n_files])
+
+
+def read_darshan_csv(path: Union[str, Path]) -> List[DarshanRecord]:
+    """Load records written by :func:`write_darshan_csv`."""
+    records: List[DarshanRecord] = []
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != _CSV_FIELDS:
+            raise ConfigurationError(f"{path}: unexpected Darshan CSV header")
+        for row in reader:
+            records.append(
+                DarshanRecord(
+                    jid=int(row["jid"]),
+                    bytes_read=float(row["bytes_read"]),
+                    bytes_written=float(row["bytes_written"]),
+                    n_files=int(row["n_files"]),
+                )
+            )
+    return records

@@ -1,0 +1,275 @@
+"""Synthetic workload generation matched to the Cori and Theta traces (§4.1).
+
+The paper's evaluation uses proprietary job logs; this module is the
+documented substitution (DESIGN.md §Substitutions 1): statistical
+generators whose knobs are set from everything Table 2 and §4.1 disclose
+about the real traces —
+
+* **Cori** (capacity computing): large numbers of predominantly small
+  jobs; 0.618 % of jobs request burst buffer, sizes in [1 GB, 165 TB];
+* **Theta** (capability computing): far fewer, much larger jobs (128-node
+  minimum allocation); 17.18 % of jobs have >1 GB of Darshan-recorded I/O
+  that becomes their burst-buffer request, sizes in [1 GB, 285 TB].
+
+The generator fixes the *offered load* ρ (node-demand over capacity per
+unit time) rather than an absolute arrival rate, so scheduling contention
+— the regime the method comparison depends on — is controlled explicitly
+and survives machine scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+from ..simulator.job import Job
+from ..units import GB, HOURS, MINUTES, TB
+from .distributions import (
+    bounded_pareto,
+    power_of_two_sizes,
+    truncated_lognormal,
+    walltime_estimates,
+)
+from .spec import CORI, THETA, MachineSpec
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything needed to synthesise one workload.
+
+    Size parameters are in nodes, time parameters in seconds, storage in
+    GB.  ``load`` is the offered node load ρ (1.0 = demand exactly equals
+    capacity over the trace span; >1 builds a queue, which all §4
+    experiments need).
+    """
+
+    name: str
+    machine: MachineSpec
+    n_jobs: int = 1000
+    load: float = 1.0
+    # --- job sizes -------------------------------------------------------------
+    min_nodes: int = 1
+    max_nodes: Optional[int] = None          #: default: machine size
+    size_log_mean: float = np.log(16.0)      #: lognormal mean of node counts
+    size_log_sigma: float = 1.5
+    # --- runtimes / walltimes ----------------------------------------------------
+    runtime_median: float = 1.0 * HOURS
+    runtime_sigma: float = 1.2
+    runtime_min: float = 2.0 * MINUTES
+    runtime_max: float = 24.0 * HOURS
+    walltime_max_factor: float = 4.0
+    # --- burst buffer ---------------------------------------------------------------
+    bb_fraction: float = 0.0                 #: fraction of jobs requesting BB
+    bb_alpha: float = 0.45                   #: bounded-Pareto tail exponent
+    bb_low: float = 1.0 * GB
+    bb_high: float = 165.0 * TB
+    # --- arrival pattern ---------------------------------------------------------
+    #: Diurnal arrival modulation: the instantaneous arrival rate is
+    #: ``λ(t) ∝ 1 + amplitude × sin(2πt / period)``.  Production logs are
+    #: strongly diurnal; the lulls let the queue drain, which is what makes
+    #: scheduling quality *matter* — under a monotonically growing backlog
+    #: every work-conserving method converges to the same usage.
+    diurnal_amplitude: float = 0.8
+    diurnal_period: float = 24.0 * HOURS
+    # --- dependencies ------------------------------------------------------------
+    dep_fraction: float = 0.0                #: fraction of jobs depending on a predecessor
+
+    def __post_init__(self) -> None:
+        if self.n_jobs <= 0:
+            raise ConfigurationError("n_jobs must be positive")
+        if self.load <= 0:
+            raise ConfigurationError("load must be positive")
+        if not 0.0 <= self.bb_fraction <= 1.0:
+            raise ConfigurationError("bb_fraction must be a probability")
+        if not 0.0 <= self.dep_fraction <= 1.0:
+            raise ConfigurationError("dep_fraction must be a probability")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigurationError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0:
+            raise ConfigurationError("diurnal_period must be positive")
+        if self.runtime_min <= 0 or self.runtime_max < self.runtime_min:
+            raise ConfigurationError("invalid runtime bounds")
+
+    @property
+    def effective_max_nodes(self) -> int:
+        return self.max_nodes if self.max_nodes is not None else self.machine.nodes
+
+
+def cori_profile(
+    *,
+    n_jobs: int = 1000,
+    load: float = 1.0,
+    machine: MachineSpec = CORI,
+    bb_fraction: float = 0.00618,
+    name: str = "Cori-Original",
+) -> WorkloadProfile:
+    """Capacity-computing profile matching the Cori trace description.
+
+    Small-job dominated (median request ~16 nodes), burst-buffer requests
+    on 0.618 % of jobs spanning [1 GB, 165 TB] (§4.1).
+    """
+    return WorkloadProfile(
+        name=name,
+        machine=machine,
+        n_jobs=n_jobs,
+        load=load,
+        min_nodes=1,
+        size_log_mean=np.log(16.0),
+        size_log_sigma=1.6,
+        runtime_median=50.0 * MINUTES,
+        runtime_sigma=1.3,
+        # Capacity jobs are short; capping at 6 h keeps synthetic traces
+        # short enough that the arrival span dominates single-job runtimes
+        # (a sustained queue, not one burst).
+        runtime_max=6.0 * HOURS,
+        bb_fraction=bb_fraction,
+        bb_high=min(165.0 * TB, machine.schedulable_bb),
+    )
+
+
+def theta_profile(
+    *,
+    n_jobs: int = 1000,
+    load: float = 1.0,
+    machine: MachineSpec = THETA,
+    bb_fraction: float = 0.1718,
+    name: str = "Theta-Original",
+) -> WorkloadProfile:
+    """Capability-computing profile matching the Theta trace description.
+
+    Large-job-biased sizes — but the full 1..4392 range is present, as
+    Figure 9's 1–8-node bin shows — and burst-buffer requests derived
+    from Darshan I/O volumes on 17.18 % of jobs spanning [1 GB, 285 TB]
+    (§4.1).
+    """
+    return WorkloadProfile(
+        name=name,
+        machine=machine,
+        n_jobs=n_jobs,
+        load=load,
+        min_nodes=1,
+        size_log_mean=np.log(max(machine.nodes / 48.0, 2.0)),
+        size_log_sigma=1.3,
+        runtime_median=2.0 * HOURS,
+        runtime_sigma=1.0,
+        runtime_max=12.0 * HOURS,
+        bb_fraction=bb_fraction,
+        bb_high=min(285.0 * TB, machine.schedulable_bb),
+    )
+
+
+def _invert_diurnal(operational: np.ndarray, amplitude: float, period: float) -> np.ndarray:
+    """Map operational times through the inverse cumulative diurnal rate.
+
+    With rate ``λ(t) = 1 + A sin(2πt/P)`` the cumulative intensity is
+    ``Λ(t) = t + (A·P/2π)(1 − cos(2πt/P))``, strictly increasing for
+    ``A < 1``.  Each operational timestamp ``u`` maps to ``Λ⁻¹(u)``, found
+    by bisection (vectorised, ~40 iterations for float precision).
+    """
+    w = 2.0 * np.pi / period
+    c = amplitude / w
+
+    def big_lambda(t: np.ndarray) -> np.ndarray:
+        return t + c * (1.0 - np.cos(w * t))
+
+    lo = np.zeros_like(operational)
+    hi = np.full_like(operational, operational.max() + 2.0 * period + 1.0)
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        too_low = big_lambda(mid) < operational
+        lo = np.where(too_low, mid, lo)
+        hi = np.where(too_low, hi, mid)
+    return 0.5 * (lo + hi)
+
+
+def generate(profile: WorkloadProfile, seed: SeedLike = None) -> Trace:
+    """Synthesise a :class:`Trace` from ``profile``.
+
+    Deterministic for a given ``(profile, seed)`` pair.  Submission times
+    are scaled so the realised offered load equals ``profile.load``.
+    """
+    rng = make_rng(seed)
+    n = profile.n_jobs
+    machine = profile.machine
+
+    nodes = power_of_two_sizes(
+        rng,
+        n,
+        min_nodes=profile.min_nodes,
+        max_nodes=profile.effective_max_nodes,
+        log_mean=profile.size_log_mean,
+        log_sigma=profile.size_log_sigma,
+    )
+    runtimes = truncated_lognormal(
+        rng,
+        n,
+        mean=profile.runtime_median,
+        sigma=profile.runtime_sigma,
+        low=profile.runtime_min,
+        high=profile.runtime_max,
+    )
+    walltimes = walltime_estimates(
+        rng, runtimes, max_factor=profile.walltime_max_factor
+    )
+
+    # Burst-buffer requests: a Bernoulli mask over a heavy-tailed size law.
+    bb = np.zeros(n)
+    has_bb = rng.random(n) < profile.bb_fraction
+    if has_bb.any():
+        bb[has_bb] = bounded_pareto(
+            rng,
+            int(has_bb.sum()),
+            alpha=profile.bb_alpha,
+            low=profile.bb_low,
+            high=profile.bb_high,
+        )
+
+    # Submission times: a (possibly diurnally modulated) Poisson process,
+    # rescaled so the realised offered load equals the target.  The
+    # nonhomogeneous process is sampled by time-rescaling: unit-rate
+    # exponential gaps accumulate in "operational time" Λ, then map back
+    # through the inverse of Λ(t) = t + (A·period/2π)(1 − cos(2πt/period)).
+    demand = float((nodes * runtimes).sum())
+    span = demand / (profile.load * machine.nodes)
+    gaps = rng.exponential(scale=1.0, size=n)
+    operational = np.concatenate([[0.0], np.cumsum(gaps)[:-1]])
+    if operational[-1] > 0:
+        operational = operational * (span / operational[-1])
+    if profile.diurnal_amplitude > 0:
+        submit = _invert_diurnal(
+            operational, profile.diurnal_amplitude, profile.diurnal_period
+        )
+        submit -= submit[0]  # bisection leaves ~1e-13 residue at the origin
+        if submit[-1] > 0:  # re-pin the span so the load target holds
+            submit = submit * (span / submit[-1])
+    else:
+        submit = operational
+
+    # Optional linear dependencies (the paper's traces carry none, §4.1).
+    deps = [frozenset()] * n
+    if profile.dep_fraction > 0:
+        chained = rng.random(n) < profile.dep_fraction
+        deps = [
+            frozenset({i - 1}) if (chained[i] and i > 0) else frozenset()
+            for i in range(n)
+        ]
+
+    jobs = tuple(
+        Job(
+            jid=i,
+            submit_time=float(submit[i]),
+            runtime=float(runtimes[i]),
+            walltime=float(walltimes[i]),
+            nodes=int(nodes[i]),
+            bb=float(bb[i]),
+            deps=deps[i],
+            user=f"u{int(rng.integers(0, max(n // 20, 1)))}",
+        )
+        for i in range(n)
+    )
+    return Trace(name=profile.name, machine=machine, jobs=jobs)

@@ -1,0 +1,162 @@
+"""Machine specifications for the paper's two production systems (Table 2).
+
+* **Cori** (NERSC) — capacity computing: 12,076 nodes, 1.8 PB shared Cray
+  DataWarp burst buffer, Slurm/FCFS base scheduling.  One third of the
+  burst buffer is persistently reserved (§4.1), which the cluster models
+  as a capacity carve-out.
+* **Theta** (ALCF) — capability computing: 4,392 nodes, Cobalt/WFP base
+  scheduling.  Theta has no shared burst buffer; the paper assumes a
+  2.16 PB one, scaled from Cori's memory:burst-buffer ratio (§4.1).  For
+  the §5 case study each node carries a local SSD, split 50/50 between
+  128 GB and 256 GB capacities.
+
+Specs are immutable and convertible into fresh
+:class:`~repro.simulator.cluster.Cluster` instances per run.  For
+laptop-scale experiments :meth:`MachineSpec.scaled` shrinks node and
+burst-buffer capacity by an integer factor while preserving every ratio
+that drives the scheduling comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..simulator.cluster import Cluster
+from ..units import PB, TB
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """An HPC system as the scheduler sees it.
+
+    ``ssd_tiers`` maps local-SSD capacity (GB) → node count; ``None`` means
+    no local SSDs.  ``base_policy`` names the site's priority policy
+    (``"fcfs"`` or ``"wfp"``).
+    """
+
+    name: str
+    nodes: int
+    bb_capacity: float
+    base_policy: str = "fcfs"
+    bb_reserved_fraction: float = 0.0
+    ssd_tiers: Optional[Tuple[Tuple[float, int], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError(f"{self.name}: nodes must be positive")
+        if self.bb_capacity < 0:
+            raise ConfigurationError(f"{self.name}: negative burst buffer capacity")
+        if self.base_policy not in ("fcfs", "wfp"):
+            raise ConfigurationError(
+                f"{self.name}: unknown base policy {self.base_policy!r}"
+            )
+        if self.ssd_tiers is not None:
+            total = sum(n for _, n in self.ssd_tiers)
+            if total != self.nodes:
+                raise ConfigurationError(
+                    f"{self.name}: SSD tiers cover {total} nodes, spec has {self.nodes}"
+                )
+
+    @property
+    def schedulable_bb(self) -> float:
+        """Burst buffer available to the scheduler after reservations."""
+        return self.bb_capacity * (1.0 - self.bb_reserved_fraction)
+
+    @property
+    def ssd_total(self) -> float:
+        """Aggregate local SSD over all nodes (GB)."""
+        if self.ssd_tiers is None:
+            return 0.0
+        return sum(cap * n for cap, n in self.ssd_tiers)
+
+    def make_cluster(self) -> Cluster:
+        """Fresh mutable cluster instance for one simulation run."""
+        tiers: Optional[Dict[float, int]] = (
+            dict(self.ssd_tiers) if self.ssd_tiers is not None else None
+        )
+        return Cluster(
+            nodes=self.nodes,
+            bb_capacity=self.bb_capacity,
+            ssd_tiers=tiers,
+            bb_reserved_fraction=self.bb_reserved_fraction,
+        )
+
+    def scaled(self, factor: int) -> "MachineSpec":
+        """Shrink the machine by an integer factor (≥ 1).
+
+        Node counts, burst buffer, and SSD tier counts divide by
+        ``factor``; job generators built against a scaled spec produce
+        proportionally scaled demands, so contention behaviour (the thing
+        the comparison measures) is preserved while simulations run
+        orders of magnitude faster.
+        """
+        if factor < 1:
+            raise ConfigurationError(f"scale factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        nodes = max(self.nodes // factor, 1)
+        tiers = None
+        if self.ssd_tiers is not None:
+            scaled = [(cap, max(n // factor, 0)) for cap, n in self.ssd_tiers]
+            # Rounding can strand nodes; pin the total to the scaled count.
+            covered = sum(n for _, n in scaled)
+            if covered < nodes:
+                cap0, n0 = scaled[0]
+                scaled[0] = (cap0, n0 + nodes - covered)
+            elif covered > nodes:
+                nodes = covered
+            tiers = tuple((cap, n) for cap, n in scaled if n > 0)
+        return replace(
+            self,
+            name=f"{self.name}/{factor}",
+            nodes=nodes,
+            bb_capacity=self.bb_capacity / factor,
+            ssd_tiers=tiers,
+        )
+
+    def with_ssd_split(
+        self, small: float = 128.0, large: float = 256.0, small_fraction: float = 0.5
+    ) -> "MachineSpec":
+        """Spec variant with the §5 heterogeneous local-SSD node split."""
+        if not 0.0 <= small_fraction <= 1.0:
+            raise ConfigurationError("small_fraction must be in [0, 1]")
+        n_small = int(round(self.nodes * small_fraction))
+        tiers = tuple(
+            (cap, n)
+            for cap, n in ((small, n_small), (large, self.nodes - n_small))
+            if n > 0
+        )
+        return replace(self, ssd_tiers=tiers)
+
+
+#: Cori per Table 2 (12,076 nodes, 1.8 PB DataWarp, 1/3 persistently reserved).
+CORI = MachineSpec(
+    name="Cori",
+    nodes=12_076,
+    bb_capacity=1.8 * PB,
+    base_policy="fcfs",
+    bb_reserved_fraction=1.0 / 3.0,
+)
+
+#: Theta per Table 2 with the paper's assumed 2.16 PB shared burst buffer.
+THETA = MachineSpec(
+    name="Theta",
+    nodes=4_392,
+    bb_capacity=2.16 * PB,
+    base_policy="wfp",
+)
+
+#: Registry used by the CLI and experiment configs.
+MACHINES: Dict[str, MachineSpec] = {"cori": CORI, "theta": THETA}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by case-insensitive name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None

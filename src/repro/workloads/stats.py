@@ -1,0 +1,117 @@
+"""Workload characterisation statistics.
+
+Summarises a trace the way §4.1 and Table 2 characterise the real logs:
+job-size and runtime distributions, walltime-estimate accuracy, burst
+buffer request profile, offered loads.  Used by the CLI's workload report
+and by EXPERIMENTS.md to document exactly what the synthetic traces look
+like next to the paper's descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..units import TB
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of one positive quantity."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "DistributionSummary":
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return cls(count=0, mean=0.0, median=0.0, p90=0.0, maximum=0.0)
+        return cls(
+            count=int(values.size),
+            mean=float(values.mean()),
+            median=float(np.median(values)),
+            p90=float(np.percentile(values, 90)),
+            maximum=float(values.max()),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Full characterisation of one trace."""
+
+    name: str
+    n_jobs: int
+    span_seconds: float
+    nodes: DistributionSummary          #: requested node counts
+    runtime_seconds: DistributionSummary
+    walltime_factor: DistributionSummary  #: walltime / runtime overestimation
+    bb_requests_gb: DistributionSummary   #: positive BB requests only
+    bb_fraction: float
+    offered_node_load: float
+    offered_bb_load: float
+    power_of_two_fraction: float        #: share of jobs at exact 2^k sizes
+
+
+def characterize(trace: Trace) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a trace."""
+    nodes = np.array([j.nodes for j in trace.jobs], dtype=float)
+    runtimes = np.array([j.runtime for j in trace.jobs], dtype=float)
+    factors = np.array(
+        [j.walltime / j.runtime for j in trace.jobs if j.runtime > 0], dtype=float
+    )
+    t0, t1 = trace.span()
+    span = t1 - t0
+    cap = trace.machine.schedulable_bb
+    bb_load = (
+        sum(j.bb * j.runtime for j in trace.jobs) / (cap * span)
+        if span > 0 and cap > 0
+        else 0.0
+    )
+    if nodes.size:
+        log2 = np.log2(nodes)
+        p2 = float((log2 == np.round(log2)).mean())
+    else:
+        p2 = 0.0
+    return WorkloadStats(
+        name=trace.name,
+        n_jobs=len(trace),
+        span_seconds=span,
+        nodes=DistributionSummary.of(nodes),
+        runtime_seconds=DistributionSummary.of(runtimes),
+        walltime_factor=DistributionSummary.of(factors),
+        bb_requests_gb=DistributionSummary.of(trace.bb_requests()),
+        bb_fraction=trace.bb_fraction(),
+        offered_node_load=trace.offered_load(),
+        offered_bb_load=bb_load,
+        power_of_two_fraction=p2,
+    )
+
+
+def render_stats(stats: WorkloadStats) -> str:
+    """Multi-line human-readable characterisation."""
+    lines = [
+        f"workload {stats.name}: {stats.n_jobs} jobs over "
+        f"{stats.span_seconds / 3600:.1f}h",
+        f"  node requests   med {stats.nodes.median:.0f}  "
+        f"mean {stats.nodes.mean:.0f}  p90 {stats.nodes.p90:.0f}  "
+        f"max {stats.nodes.maximum:.0f}  "
+        f"(power-of-two: {100 * stats.power_of_two_fraction:.0f}%)",
+        f"  runtimes        med {stats.runtime_seconds.median / 60:.0f}m  "
+        f"mean {stats.runtime_seconds.mean / 60:.0f}m  "
+        f"max {stats.runtime_seconds.maximum / 3600:.1f}h",
+        f"  walltime factor med {stats.walltime_factor.median:.2f}  "
+        f"p90 {stats.walltime_factor.p90:.2f}",
+        f"  burst buffer    {100 * stats.bb_fraction:.1f}% of jobs, "
+        f"med {stats.bb_requests_gb.median / TB:.1f}TB, "
+        f"max {stats.bb_requests_gb.maximum / TB:.1f}TB",
+        f"  offered load    nodes {stats.offered_node_load:.2f}  "
+        f"burst buffer {stats.offered_bb_load:.2f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Workload trace container and CSV I/O.
+
+A :class:`Trace` is an immutable, validated, submit-time-ordered sequence
+of :class:`~repro.simulator.job.Job` records plus the machine spec it
+targets.  Simulation runs consume *copies* of the jobs (jobs carry mutable
+scheduling state), so one trace can drive many runs.
+
+The on-disk format is a plain CSV with a header — trivially diffable and
+loadable without this library.  For interoperability with the classic
+scheduling-research toolchain, :mod:`repro.workloads.swf` reads and writes
+the Standard Workload Format.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import TraceError
+from ..simulator.job import Job
+from .spec import MachineSpec
+
+#: Column order of the CSV trace format.
+CSV_FIELDS = (
+    "jid",
+    "submit_time",
+    "runtime",
+    "walltime",
+    "nodes",
+    "bb",
+    "ssd",
+    "deps",
+    "user",
+)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered job trace bound to a machine spec."""
+
+    name: str
+    machine: MachineSpec
+    jobs: Tuple[Job, ...]
+
+    def __post_init__(self) -> None:
+        ids = set()
+        prev = -np.inf
+        for job in self.jobs:
+            if job.jid in ids:
+                raise TraceError(f"trace {self.name}: duplicate job id {job.jid}")
+            ids.add(job.jid)
+            if job.submit_time < prev:
+                raise TraceError(
+                    f"trace {self.name}: jobs must be submit-time ordered"
+                )
+            prev = job.submit_time
+            if job.nodes > self.machine.nodes:
+                raise TraceError(
+                    f"trace {self.name}: job {job.jid} wants {job.nodes} nodes, "
+                    f"machine has {self.machine.nodes}"
+                )
+        for job in self.jobs:
+            missing = job.deps - ids
+            if missing:
+                raise TraceError(
+                    f"trace {self.name}: job {job.jid} depends on unknown {missing}"
+                )
+
+    # --- basics -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def fresh_jobs(self) -> List[Job]:
+        """Deep-enough copies for one simulation run (state reset)."""
+        return [
+            Job(
+                jid=j.jid,
+                submit_time=j.submit_time,
+                runtime=j.runtime,
+                walltime=j.walltime,
+                nodes=j.nodes,
+                bb=j.bb,
+                ssd=j.ssd,
+                deps=j.deps,
+                user=j.user,
+            )
+            for j in self.jobs
+        ]
+
+    def head(self, n: int) -> "Trace":
+        """Trace restricted to the first ``n`` jobs (Figure 2/4 use 1000)."""
+        return replace(self, name=f"{self.name}[:{n}]", jobs=self.jobs[:n])
+
+    def rename(self, name: str) -> "Trace":
+        """Same jobs under a new workload label."""
+        return replace(self, name=name)
+
+    def with_jobs(
+        self,
+        jobs: Sequence[Job],
+        *,
+        name: Optional[str] = None,
+        machine: Optional[MachineSpec] = None,
+    ) -> "Trace":
+        """New trace with replaced jobs (and optionally a new machine spec)."""
+        return Trace(
+            name=name or self.name,
+            machine=machine or self.machine,
+            jobs=tuple(jobs),
+        )
+
+    # --- statistics ----------------------------------------------------------------
+    def bb_requests(self, *, positive_only: bool = True) -> np.ndarray:
+        """Burst-buffer request sizes (GB), optionally only the non-zero ones."""
+        vals = np.array([j.bb for j in self.jobs])
+        return vals[vals > 0] if positive_only else vals
+
+    def bb_fraction(self) -> float:
+        """Fraction of jobs requesting any burst buffer."""
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.uses_bb) / len(self.jobs)
+
+    def total_bb_volume(self) -> float:
+        """Aggregate requested burst buffer (GB) — Figure 5's parenthetical."""
+        return float(sum(j.bb for j in self.jobs))
+
+    def span(self) -> Tuple[float, float]:
+        """(first submit, last submit) times."""
+        if not self.jobs:
+            return (0.0, 0.0)
+        return (self.jobs[0].submit_time, self.jobs[-1].submit_time)
+
+    def offered_load(self) -> float:
+        """Offered node load: Σ node-seconds / (machine nodes × span)."""
+        t0, t1 = self.span()
+        if t1 <= t0:
+            return 0.0
+        demand = sum(j.node_seconds for j in self.jobs)
+        return demand / (self.machine.nodes * (t1 - t0))
+
+    # --- I/O ----------------------------------------------------------------------
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write the trace as CSV (header + one row per job)."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(CSV_FIELDS)
+            for j in self.jobs:
+                deps = ";".join(str(d) for d in sorted(j.deps))
+                writer.writerow(
+                    [
+                        j.jid,
+                        f"{j.submit_time:.6f}",
+                        f"{j.runtime:.6f}",
+                        f"{j.walltime:.6f}",
+                        j.nodes,
+                        f"{j.bb:.6f}",
+                        f"{j.ssd:.6f}",
+                        deps,
+                        j.user,
+                    ]
+                )
+
+    @classmethod
+    def from_csv(
+        cls, path: Union[str, Path], machine: MachineSpec, *, name: Optional[str] = None
+    ) -> "Trace":
+        """Load a trace written by :meth:`to_csv`."""
+        jobs: List[Job] = []
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames is None or tuple(reader.fieldnames) != CSV_FIELDS:
+                raise TraceError(
+                    f"{path}: unexpected header {reader.fieldnames}, "
+                    f"expected {CSV_FIELDS}"
+                )
+            for row in reader:
+                deps = frozenset(
+                    int(d) for d in row["deps"].split(";") if d.strip()
+                )
+                jobs.append(
+                    Job(
+                        jid=int(row["jid"]),
+                        submit_time=float(row["submit_time"]),
+                        runtime=float(row["runtime"]),
+                        walltime=float(row["walltime"]),
+                        nodes=int(row["nodes"]),
+                        bb=float(row["bb"]),
+                        ssd=float(row["ssd"]),
+                        deps=deps,
+                        user=row["user"],
+                    )
+                )
+        return cls(name=name or Path(path).stem, machine=machine, jobs=tuple(jobs))

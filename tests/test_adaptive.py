@@ -1,0 +1,84 @@
+"""Adaptive decision making (§3.2.4 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveDecisionRule
+from repro.core.ga import ParetoSet
+from repro.errors import SolverError
+
+
+def pareto():
+    return ParetoSet(
+        genes=np.array([[1, 0, 0, 0, 1], [0, 1, 1, 1, 1]], dtype=np.uint8),
+        objectives=np.array([[100.0, 20.0], [80.0, 90.0]]),
+    )
+
+
+class TestConstruction:
+    def test_defaults(self):
+        rule = AdaptiveDecisionRule()
+        assert rule.factor == 2.0
+
+    def test_initial_outside_band(self):
+        with pytest.raises(SolverError):
+            AdaptiveDecisionRule(initial_factor=100.0, band=(0.5, 8.0))
+
+    def test_bad_gain(self):
+        with pytest.raises(SolverError):
+            AdaptiveDecisionRule(gain=0.0)
+
+    def test_bad_window(self):
+        with pytest.raises(SolverError):
+            AdaptiveDecisionRule(window=0)
+
+
+class TestAdaptation:
+    def test_slack_nodes_lower_factor(self):
+        rule = AdaptiveDecisionRule(window=3)
+        for _ in range(10):
+            rule.observe(node_utilization=0.4, bb_utilization=0.9)
+        assert rule.factor < 2.0
+
+    def test_slack_bb_raises_factor(self):
+        rule = AdaptiveDecisionRule(window=3)
+        for _ in range(10):
+            rule.observe(node_utilization=0.9, bb_utilization=0.4)
+        assert rule.factor > 2.0
+
+    def test_balanced_usage_keeps_factor(self):
+        rule = AdaptiveDecisionRule(window=3)
+        for _ in range(10):
+            rule.observe(node_utilization=0.8, bb_utilization=0.8)
+        assert rule.factor == pytest.approx(2.0)
+
+    def test_factor_clamped_to_band(self):
+        rule = AdaptiveDecisionRule(band=(1.0, 3.0), gain=0.5, window=1)
+        for _ in range(50):
+            rule.observe(0.1, 0.9)
+        assert rule.factor == pytest.approx(1.0)
+        for _ in range(100):
+            rule.observe(0.9, 0.1)
+        assert rule.factor == pytest.approx(3.0)
+
+
+class TestChoose:
+    def test_low_factor_trades(self):
+        rule = AdaptiveDecisionRule(initial_factor=0.5)
+        d = rule.choose(pareto(), scales=(100.0, 100.0))
+        assert d.traded  # BB gain 0.7 > 0.5 × node loss 0.2
+
+    def test_high_factor_refuses(self):
+        rule = AdaptiveDecisionRule(initial_factor=8.0)
+        d = rule.choose(pareto(), scales=(100.0, 100.0))
+        assert not d.traded  # 0.7 < 8 × 0.2
+
+    def test_adaptation_changes_decision(self):
+        """The point of the extension: feedback flips the chosen solution."""
+        rule = AdaptiveDecisionRule(initial_factor=4.0, band=(0.5, 8.0),
+                                    gain=0.2, window=1)
+        assert not rule.choose(pareto(), scales=(100.0, 100.0)).traded
+        # Nodes persistently slack → factor drops → trade now accepted.
+        for _ in range(20):
+            rule.observe(0.3, 0.95)
+        assert rule.choose(pareto(), scales=(100.0, 100.0)).traded

@@ -1,0 +1,145 @@
+"""Workload augmentation: S1–S4 burst buffer, S5–S7 local SSD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.augment import (
+    S12_RANGE_FRACTION,
+    S34_RANGE_FRACTION,
+    add_ssd_requests,
+    expand_bb_requests,
+    make_bb_suite,
+    make_ssd_suite,
+)
+from repro.workloads.generator import generate, theta_profile
+from repro.workloads.spec import THETA
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    return generate(theta_profile(n_jobs=400), seed=1)
+
+
+class TestExpandBBRequests:
+    def test_fraction_reached(self, base_trace):
+        out = expand_bb_requests(base_trace, fraction=0.5,
+                                 min_request=1000.0, seed=0)
+        assert out.bb_fraction() == pytest.approx(0.5, abs=0.01)
+
+    def test_existing_requests_untouched(self, base_trace):
+        out = expand_bb_requests(base_trace, fraction=0.5,
+                                 min_request=1000.0, seed=0)
+        for a, b in zip(base_trace, out):
+            if a.uses_bb:
+                assert b.bb == a.bb
+
+    def test_new_requests_within_range(self, base_trace):
+        lo, hi = 5000.0, 50000.0
+        out = expand_bb_requests(base_trace, fraction=0.75, min_request=lo,
+                                 max_request=hi, seed=0)
+        new = [b.bb for a, b in zip(base_trace, out)
+               if not a.uses_bb and b.uses_bb]
+        assert new
+        assert all(lo <= v <= hi for v in new)
+
+    def test_capped_at_schedulable(self, base_trace):
+        out = expand_bb_requests(base_trace, fraction=1.0,
+                                 min_request=1.0, seed=0)
+        cap = base_trace.machine.schedulable_bb
+        assert all(j.bb <= cap for j in out)
+
+    def test_deterministic(self, base_trace):
+        a = expand_bb_requests(base_trace, fraction=0.5, min_request=1.0, seed=3)
+        b = expand_bb_requests(base_trace, fraction=0.5, min_request=1.0, seed=3)
+        assert [j.bb for j in a] == [j.bb for j in b]
+
+    def test_other_fields_preserved(self, base_trace):
+        out = expand_bb_requests(base_trace, fraction=0.5,
+                                 min_request=1.0, seed=0)
+        for a, b in zip(base_trace, out):
+            assert (a.jid, a.submit_time, a.runtime, a.nodes) == \
+                   (b.jid, b.submit_time, b.runtime, b.nodes)
+
+    def test_invalid_fraction(self, base_trace):
+        with pytest.raises(ConfigurationError):
+            expand_bb_requests(base_trace, fraction=1.5, min_request=1.0)
+
+    def test_invalid_range(self, base_trace):
+        with pytest.raises(ConfigurationError):
+            expand_bb_requests(base_trace, fraction=0.5,
+                               min_request=100.0, max_request=50.0)
+
+
+class TestBBSuite:
+    def test_five_workloads(self, base_trace):
+        suite = make_bb_suite(base_trace, seed=2)
+        assert set(suite) == {f"Theta-{s}"
+                              for s in ("Original", "S1", "S2", "S3", "S4")}
+
+    def test_fractions(self, base_trace):
+        suite = make_bb_suite(base_trace, seed=2)
+        assert suite["Theta-S1"].bb_fraction() == pytest.approx(0.50, abs=0.01)
+        assert suite["Theta-S2"].bb_fraction() == pytest.approx(0.75, abs=0.01)
+        assert suite["Theta-S3"].bb_fraction() == pytest.approx(0.50, abs=0.01)
+        assert suite["Theta-S4"].bb_fraction() == pytest.approx(0.75, abs=0.01)
+
+    def test_s3_s4_have_larger_requests(self, base_trace):
+        """Figure 5's key feature: S3/S4 distributions sit above S1/S2."""
+        suite = make_bb_suite(base_trace, seed=2)
+        assert np.median(suite["Theta-S3"].bb_requests()) > \
+            np.median(suite["Theta-S1"].bb_requests())
+        assert suite["Theta-S4"].total_bb_volume() > \
+            suite["Theta-S2"].total_bb_volume()
+
+    def test_volume_ordering(self, base_trace):
+        """More requesting jobs → more aggregate volume (S2>S1, S4>S3)."""
+        suite = make_bb_suite(base_trace, seed=2)
+        assert suite["Theta-S2"].total_bb_volume() > \
+            suite["Theta-S1"].total_bb_volume()
+        assert suite["Theta-S4"].total_bb_volume() > \
+            suite["Theta-S3"].total_bb_volume()
+
+    def test_range_constants_sane(self):
+        assert S12_RANGE_FRACTION[0] < S12_RANGE_FRACTION[1]
+        assert S34_RANGE_FRACTION[0] < S34_RANGE_FRACTION[1]
+        assert S34_RANGE_FRACTION[0] > S12_RANGE_FRACTION[0]
+
+
+class TestAddSSDRequests:
+    def test_all_jobs_get_requests(self, base_trace):
+        out = add_ssd_requests(base_trace, small_fraction=0.8, seed=0)
+        assert all(j.ssd >= 0.0 for j in out)
+        assert any(j.ssd > 0.0 for j in out)
+
+    def test_split_fractions(self, base_trace):
+        out = add_ssd_requests(base_trace, small_fraction=0.8, seed=0)
+        small = sum(1 for j in out if j.ssd <= 128.0)
+        assert small / len(out) == pytest.approx(0.8, abs=0.05)
+
+    def test_ranges(self, base_trace):
+        out = add_ssd_requests(base_trace, small_fraction=0.5, seed=0)
+        assert all(0.0 <= j.ssd <= 256.0 for j in out)
+
+    def test_machine_gains_ssd_tiers(self, base_trace):
+        out = add_ssd_requests(base_trace, small_fraction=0.5, seed=0)
+        assert out.machine.ssd_tiers is not None
+        tiers = dict(out.machine.ssd_tiers)
+        assert set(tiers) == {128.0, 256.0}
+
+    def test_invalid_fraction(self, base_trace):
+        with pytest.raises(ConfigurationError):
+            add_ssd_requests(base_trace, small_fraction=-0.1)
+
+
+class TestSSDSuite:
+    def test_three_workloads(self, base_trace):
+        suite = make_ssd_suite(base_trace, seed=3)
+        assert set(suite) == {"Theta-S5", "Theta-S6", "Theta-S7"}
+
+    def test_s7_has_largest_requests(self, base_trace):
+        """§5: S7 is 80 % large-SSD requests, S5 only 20 %."""
+        suite = make_ssd_suite(base_trace, seed=3)
+        mean5 = np.mean([j.ssd for j in suite["Theta-S5"]])
+        mean7 = np.mean([j.ssd for j in suite["Theta-S7"]])
+        assert mean7 > mean5

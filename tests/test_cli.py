@@ -1,0 +1,66 @@
+"""Command-line interface (smoke scale)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "table1", "--scale", "smoke"])
+        assert args.experiment == "table1"
+        assert args.scale == "smoke"
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestRun:
+    def test_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1(b)" in out
+        assert "BBSched" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_fig5(self, capsys):
+        assert main(["run", "fig5", "--scale", "smoke"]) == 0
+        assert "Cori-S4" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_summary(self, capsys):
+        assert main(["workloads", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Theta-S4" in out
+        assert "Cori-S7" in out
+
+
+class TestSimulate:
+    def test_simulate_run(self, capsys):
+        assert main(["simulate", "Theta-S2", "Bin_Packing",
+                     "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "node usage" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["simulate", "Mars-S1", "Baseline"]) == 1
+
+    def test_unknown_method(self, capsys):
+        assert main(["simulate", "Theta-S2", "Sorcery"]) == 1

@@ -1,0 +1,111 @@
+"""Synthetic Darshan logs and BB-request extraction (§4.1 Theta pipeline)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+from repro.workloads.darshan import (
+    BB_EXTRACTION_THRESHOLD,
+    DarshanRecord,
+    enhance_trace_with_darshan,
+    extract_bb_requests,
+    read_darshan_csv,
+    synthesize_darshan_log,
+    write_darshan_csv,
+)
+from repro.workloads.generator import generate, theta_profile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate(theta_profile(n_jobs=500, bb_fraction=0.0), seed=4)
+
+
+class TestDarshanRecord:
+    def test_data_moved(self):
+        r = DarshanRecord(jid=1, bytes_read=2.0, bytes_written=3.0)
+        assert r.data_moved == 5.0
+
+
+class TestSynthesize:
+    def test_instrumented_fraction(self, trace):
+        records = synthesize_darshan_log(trace, seed=0)
+        # §4.1: 40 % of Theta jobs have Darshan recording.
+        assert len(records) / len(trace) == pytest.approx(0.40, abs=0.06)
+
+    def test_heavy_fraction_of_all_jobs(self, trace):
+        records = synthesize_darshan_log(trace, seed=0)
+        heavy = [r for r in records if r.data_moved > BB_EXTRACTION_THRESHOLD]
+        # §4.1: 17.18 % of all jobs move more than 1 GB.
+        assert len(heavy) / len(trace) == pytest.approx(0.1718, abs=0.05)
+
+    def test_deterministic(self, trace):
+        a = synthesize_darshan_log(trace, seed=1)
+        b = synthesize_darshan_log(trace, seed=1)
+        assert [(r.jid, r.data_moved) for r in a] == \
+               [(r.jid, r.data_moved) for r in b]
+
+    def test_record_jids_belong_to_trace(self, trace):
+        ids = {j.jid for j in trace}
+        assert all(r.jid in ids for r in synthesize_darshan_log(trace, seed=2))
+
+    def test_invalid_fraction(self, trace):
+        with pytest.raises(ConfigurationError):
+            synthesize_darshan_log(trace, instrumented_fraction=2.0)
+
+
+class TestExtraction:
+    def test_threshold_rule(self):
+        records = [
+            DarshanRecord(jid=1, bytes_read=0.3, bytes_written=0.3),  # 0.6 GB
+            DarshanRecord(jid=2, bytes_read=5.0, bytes_written=5.0),  # 10 GB
+        ]
+        out = extract_bb_requests(records)
+        assert out == {2: 10.0}
+
+    def test_exact_threshold_excluded(self):
+        records = [DarshanRecord(jid=1, bytes_read=1.0 * GB, bytes_written=0.0)]
+        assert extract_bb_requests(records) == {}
+
+
+class TestEnhancement:
+    def test_requests_attached(self, trace):
+        records = synthesize_darshan_log(trace, seed=3)
+        enhanced = enhance_trace_with_darshan(trace, records)
+        expected = extract_bb_requests(records)
+        by_id = {j.jid: j for j in enhanced}
+        cap = trace.machine.schedulable_bb
+        for jid, bb in expected.items():
+            assert by_id[jid].bb == pytest.approx(min(bb, cap))
+
+    def test_unrecorded_jobs_unchanged(self, trace):
+        records = synthesize_darshan_log(trace, seed=3)
+        enhanced = enhance_trace_with_darshan(trace, records)
+        touched = set(extract_bb_requests(records))
+        for a, b in zip(trace, enhanced):
+            if a.jid not in touched:
+                assert b.bb == a.bb
+
+    def test_full_paper_pipeline(self, trace):
+        """Synthesize → extract → enhance gives ≈17 % BB-requesting jobs."""
+        records = synthesize_darshan_log(trace, seed=5)
+        enhanced = enhance_trace_with_darshan(trace, records)
+        assert enhanced.bb_fraction() == pytest.approx(0.1718, abs=0.05)
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, trace, tmp_path):
+        records = synthesize_darshan_log(trace, seed=6)[:20]
+        path = tmp_path / "darshan.csv"
+        write_darshan_csv(records, path)
+        back = read_darshan_csv(path)
+        assert [(r.jid, r.n_files) for r in back] == \
+               [(r.jid, r.n_files) for r in records]
+        for a, b in zip(records, back):
+            assert a.data_moved == pytest.approx(b.data_moved)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            read_darshan_csv(path)

@@ -1,0 +1,118 @@
+"""Decision rules (§3.2.4 two-resource, §5 four-resource)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import (
+    DecisionRule,
+    FOUR_RESOURCE_FACTOR,
+    TWO_RESOURCE_FACTOR,
+    four_resource_rule,
+    two_resource_rule,
+)
+from repro.core.ga import ParetoSet
+from repro.errors import SolverError
+
+
+def pareto(genes, objectives):
+    return ParetoSet(genes=np.asarray(genes, dtype=np.uint8),
+                     objectives=np.asarray(objectives, dtype=float))
+
+
+class TestFactories:
+    def test_two_resource_factor(self):
+        assert two_resource_rule().trade_factor == TWO_RESOURCE_FACTOR == 2.0
+
+    def test_four_resource_factor(self):
+        assert four_resource_rule().trade_factor == FOUR_RESOURCE_FACTOR == 4.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(SolverError):
+            DecisionRule(trade_factor=0.0)
+
+
+class TestTwoResourceRule:
+    def test_table1_trades_to_solution3(self):
+        """§1 example: BB gain 0.7 > 2 × node loss 0.2 → pick Solution 3."""
+        ps = pareto([[1, 0, 0, 0, 1], [0, 1, 1, 1, 1]],
+                    [[100.0, 20.0], [80.0, 90.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert d.genes.tolist() == [0, 1, 1, 1, 1]
+        assert d.traded
+        assert d.improvement == pytest.approx(0.7)
+
+    def test_no_trade_when_gain_insufficient(self):
+        # BB gain 0.3 < 2 × node loss 0.2 → keep the node-max solution.
+        ps = pareto([[1, 0], [0, 1]], [[100.0, 20.0], [80.0, 50.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert d.genes.tolist() == [1, 0]
+        assert not d.traded
+
+    def test_boundary_is_strict(self):
+        # Gain exactly 2× the loss does NOT trade (strict inequality).
+        ps = pareto([[1, 0], [0, 1]], [[100.0, 20.0], [80.0, 60.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert not d.traded
+
+    def test_max_improvement_wins_among_qualifying(self):
+        ps = pareto([[1, 0, 0], [0, 1, 0], [0, 0, 1]],
+                    [[100.0, 10.0], [95.0, 60.0], [90.0, 80.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert d.genes.tolist() == [0, 0, 1]
+        assert d.improvement == pytest.approx(0.7)
+
+    def test_tie_on_primary_prefers_front_of_window(self):
+        # Equal node utilization; genes selecting earlier slots win.
+        ps = pareto([[0, 1, 1], [1, 1, 0]], [[50.0, 30.0], [50.0, 30.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert d.genes.tolist() == [1, 1, 0]
+
+    def test_single_solution(self):
+        ps = pareto([[1, 0]], [[10.0, 5.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert d.index == 0
+        assert not d.traded
+
+    def test_empty_pareto_rejected(self):
+        ps = pareto(np.zeros((0, 2)), np.zeros((0, 2)))
+        with pytest.raises(SolverError):
+            two_resource_rule().choose(ps, scales=(1.0, 1.0))
+
+    def test_scale_validation(self):
+        ps = pareto([[1, 0]], [[1.0, 1.0]])
+        with pytest.raises(SolverError):
+            two_resource_rule().choose(ps, scales=(1.0,))
+        with pytest.raises(SolverError):
+            two_resource_rule().choose(ps, scales=(0.0, 1.0))
+
+    def test_candidate_must_actually_improve(self):
+        # A candidate with zero secondary gain never displaces the pick,
+        # even with zero primary loss.
+        ps = pareto([[1, 1], [1, 0]], [[100.0, 50.0], [100.0, 50.0]])
+        d = two_resource_rule().choose(ps, scales=(100.0, 100.0))
+        assert not d.traded
+
+
+class TestFourResourceRule:
+    def test_summed_secondary_gain(self):
+        # Secondary gains: bb +0.3, ssd +0.3, waste +0.3 → 0.9 > 4 × 0.2.
+        ps = pareto([[1, 0], [0, 1]],
+                    [[100.0, 10.0, 10.0, -50.0], [80.0, 40.0, 40.0, -20.0]])
+        d = four_resource_rule().choose(ps, scales=(100.0, 100.0, 100.0, 100.0))
+        assert d.genes.tolist() == [0, 1]
+        assert d.traded
+        assert d.improvement == pytest.approx(0.9)
+
+    def test_insufficient_summed_gain(self):
+        # Gains sum to 0.3 < 4 × 0.2.
+        ps = pareto([[1, 0], [0, 1]],
+                    [[100.0, 10.0, 10.0, -50.0], [80.0, 20.0, 20.0, -40.0]])
+        d = four_resource_rule().choose(ps, scales=(100.0, 100.0, 100.0, 100.0))
+        assert not d.traded
+
+    def test_negative_secondary_deltas_subtract(self):
+        # BB improves hugely but SSD collapses; net gain is what counts.
+        ps = pareto([[1, 0], [0, 1]],
+                    [[100.0, 10.0, 90.0, 0.0], [95.0, 95.0, 5.0, 0.0]])
+        d = four_resource_rule().choose(ps, scales=(100.0,) * 4)
+        assert not d.traded

@@ -1,0 +1,147 @@
+"""Workload distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+from repro.workloads.distributions import (
+    bounded_pareto,
+    choice_weighted,
+    exponential_interarrivals,
+    power_of_two_sizes,
+    truncated_lognormal,
+    walltime_estimates,
+)
+
+
+@pytest.fixture
+def rng():
+    return make_rng(123)
+
+
+class TestTruncatedLognormal:
+    def test_bounds_respected(self, rng):
+        x = truncated_lognormal(rng, 5000, mean=100.0, sigma=2.0, low=10.0, high=500.0)
+        assert (x >= 10.0).all() and (x <= 500.0).all()
+
+    def test_median_near_mean_parameter(self, rng):
+        x = truncated_lognormal(rng, 20000, mean=100.0, sigma=0.5, low=1.0, high=1e6)
+        assert np.median(x) == pytest.approx(100.0, rel=0.05)
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            truncated_lognormal(rng, 1, mean=1.0, sigma=1.0, low=10.0, high=5.0)
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ConfigurationError):
+            truncated_lognormal(rng, 1, mean=-1.0, sigma=1.0, low=1.0, high=2.0)
+
+
+class TestPowerOfTwoSizes:
+    def test_bounds(self, rng):
+        n = power_of_two_sizes(rng, 2000, min_nodes=1, max_nodes=512,
+                               log_mean=np.log(16), log_sigma=1.5)
+        assert (n >= 1).all() and (n <= 512).all()
+        assert n.dtype == np.int64
+
+    def test_power_of_two_clustering(self, rng):
+        n = power_of_two_sizes(rng, 5000, min_nodes=1, max_nodes=4096,
+                               log_mean=np.log(64), log_sigma=1.0,
+                               exact_fraction=1.0)
+        inner = n[(n > 1) & (n < 4096)]  # clipping can break the property
+        assert (np.log2(inner) == np.round(np.log2(inner))).all()
+
+    def test_zero_exact_fraction_spreads(self, rng):
+        n = power_of_two_sizes(rng, 5000, min_nodes=1, max_nodes=4096,
+                               log_mean=np.log(64), log_sigma=1.0,
+                               exact_fraction=0.0)
+        non_p2 = np.log2(n) != np.round(np.log2(n))
+        assert non_p2.mean() > 0.5
+
+    def test_invalid_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            power_of_two_sizes(rng, 1, min_nodes=10, max_nodes=5,
+                               log_mean=1.0, log_sigma=1.0)
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ConfigurationError):
+            power_of_two_sizes(rng, 1, min_nodes=1, max_nodes=2,
+                               log_mean=1.0, log_sigma=1.0, exact_fraction=2.0)
+
+
+class TestWalltimeEstimates:
+    def test_never_below_runtime(self, rng):
+        rt = np.full(1000, 3600.0)
+        wt = walltime_estimates(rng, rt)
+        assert (wt >= rt).all()
+
+    def test_quantisation(self, rng):
+        rt = np.full(1000, 3700.0)
+        wt = walltime_estimates(rng, rt, quantum=1800.0)
+        assert (np.mod(wt, 1800.0) == 0).all()
+
+    def test_exact_fraction(self, rng):
+        rt = np.full(5000, 1800.0)
+        wt = walltime_estimates(rng, rt, exact_fraction=1.0, quantum=1800.0)
+        assert (wt == rt).all()
+
+    def test_overestimation_bounded(self, rng):
+        rt = np.full(5000, 3600.0)
+        wt = walltime_estimates(rng, rt, max_factor=2.0, quantum=0.0,
+                                exact_fraction=0.0)
+        assert (wt <= 2.0 * rt).all()
+
+    def test_invalid_factor(self, rng):
+        with pytest.raises(ConfigurationError):
+            walltime_estimates(rng, np.ones(1), max_factor=0.5)
+
+
+class TestExponentialInterarrivals:
+    def test_mean_matches_rate(self, rng):
+        gaps = exponential_interarrivals(rng, 50000, rate=0.1)
+        assert gaps.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_nonnegative(self, rng):
+        assert (exponential_interarrivals(rng, 100, rate=1.0) >= 0).all()
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ConfigurationError):
+            exponential_interarrivals(rng, 1, rate=0.0)
+
+
+class TestBoundedPareto:
+    def test_bounds(self, rng):
+        x = bounded_pareto(rng, 10000, alpha=0.5, low=1.0, high=1000.0)
+        assert (x >= 1.0).all() and (x <= 1000.0).all()
+
+    def test_heavy_tail_mass_near_low(self, rng):
+        x = bounded_pareto(rng, 20000, alpha=1.5, low=1.0, high=1000.0)
+        assert np.median(x) < 5.0
+
+    def test_smaller_alpha_heavier_tail(self, rng):
+        light = bounded_pareto(make_rng(1), 20000, alpha=2.0, low=1.0, high=1e5)
+        heavy = bounded_pareto(make_rng(1), 20000, alpha=0.3, low=1.0, high=1e5)
+        assert heavy.mean() > light.mean()
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ConfigurationError):
+            bounded_pareto(rng, 1, alpha=0.0, low=1.0, high=2.0)
+        with pytest.raises(ConfigurationError):
+            bounded_pareto(rng, 1, alpha=1.0, low=2.0, high=1.0)
+
+
+class TestChoiceWeighted:
+    def test_respects_weights(self, rng):
+        x = choice_weighted(rng, [0.0, 1.0], [0.0, 1.0], 100)
+        assert (x == 1.0).all()
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            choice_weighted(rng, [], [], 1)
+
+    def test_bad_weights(self, rng):
+        with pytest.raises(ConfigurationError):
+            choice_weighted(rng, [1.0], [-1.0], 1)
+        with pytest.raises(ConfigurationError):
+            choice_weighted(rng, [1.0, 2.0], [0.0, 0.0], 1)

@@ -1,0 +1,76 @@
+"""Dynamic window sizing (§3.1 extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.methods import make_selector
+from repro.policies import FCFS
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SchedulingEngine
+from repro.simulator.job import Job, JobState
+from repro.windows import DynamicWindowPolicy
+
+
+def make_job(jid, submit=0.0):
+    return Job(jid=jid, submit_time=submit, runtime=10.0, walltime=10.0, nodes=1)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        wp = DynamicWindowPolicy()
+        assert wp.fraction == 0.25
+        assert wp.min_size == 5
+        assert wp.max_size == 50
+
+    @pytest.mark.parametrize("kw", [
+        dict(fraction=0.0), dict(fraction=1.5),
+        dict(min_size=0), dict(min_size=10, max_size=5),
+    ])
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigurationError):
+            DynamicWindowPolicy(**kw)
+
+
+class TestSizing:
+    def test_scales_with_queue(self):
+        wp = DynamicWindowPolicy(fraction=0.5, min_size=2, max_size=10)
+        assert wp.current_size(4) == 2      # clamped up to min
+        assert wp.current_size(10) == 5     # fraction
+        assert wp.current_size(100) == 10   # clamped down to max
+
+    def test_scope_size_tracks_current(self):
+        wp = DynamicWindowPolicy(fraction=0.5, min_size=2, max_size=10)
+        assert wp.scope_size(10) == wp.current_size(10)
+
+    def test_extract_uses_dynamic_size(self):
+        wp = DynamicWindowPolicy(fraction=0.5, min_size=1, max_size=10)
+        queue = [make_job(i) for i in range(6)]
+        window = wp.extract(queue, completed=set())
+        assert len(window) == 3
+
+    def test_extract_respects_max(self):
+        wp = DynamicWindowPolicy(fraction=1.0, min_size=1, max_size=4)
+        queue = [make_job(i) for i in range(20)]
+        assert len(wp.extract(queue, completed=set())) == 4
+
+    def test_forced_detection_carries_over(self):
+        wp = DynamicWindowPolicy(fraction=1.0, min_size=1, max_size=4,
+                                 starvation_bound=3)
+        job = make_job(0)
+        job.window_age = 3
+        window = wp.extract([job], completed=set())
+        assert window.forced == (0,)
+
+
+class TestEngineIntegration:
+    def test_full_run_with_dynamic_window(self):
+        jobs = [Job(jid=i, submit_time=float(i), runtime=20.0, walltime=30.0,
+                    nodes=1 + i % 4, bb=float(i % 3) * 5.0)
+                for i in range(25)]
+        engine = SchedulingEngine(
+            Cluster(nodes=8, bb_capacity=20.0), FCFS(),
+            make_selector("BBSched", generations=10, seed=0),
+            DynamicWindowPolicy(fraction=0.5, min_size=2, max_size=8),
+        )
+        result = engine.run(jobs)
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)

@@ -1,0 +1,252 @@
+"""Discrete-event scheduling engine: full simulation behaviour."""
+
+import pytest
+
+from repro.backfill import EasyBackfill
+from repro.errors import TraceError
+from repro.methods import NaiveSelector, make_selector
+from repro.policies import FCFS, WFP
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SchedulingEngine
+from repro.simulator.job import Job, JobState
+from repro.windows import WindowPolicy
+
+TB = 1024.0
+
+
+def make_job(jid, submit=0.0, runtime=100.0, nodes=1, bb=0.0, ssd=0.0,
+             walltime=None, deps=()):
+    return Job(jid=jid, submit_time=submit, runtime=runtime,
+               walltime=walltime or runtime, nodes=nodes, bb=bb, ssd=ssd,
+               deps=frozenset(deps))
+
+
+def run_sim(jobs, nodes=10, bb=0.0, selector=None, policy=None, window=None,
+            backfill=True, ssd_tiers=None, backfill_scope="window"):
+    cluster = Cluster(nodes=nodes, bb_capacity=bb, ssd_tiers=ssd_tiers)
+    engine = SchedulingEngine(
+        cluster,
+        policy or FCFS(),
+        selector or NaiveSelector(),
+        window or WindowPolicy(size=5),
+        backfill=EasyBackfill() if backfill else None,
+        backfill_scope=backfill_scope,
+    )
+    return engine.run(jobs)
+
+
+class TestBasicExecution:
+    def test_single_job(self):
+        res = run_sim([make_job(1, submit=5.0, runtime=50.0)])
+        job = res.jobs[0]
+        assert job.state is JobState.COMPLETED
+        assert job.start_time == 5.0
+        assert job.end_time == 55.0
+        assert res.makespan == 55.0
+
+    def test_all_jobs_complete(self):
+        jobs = [make_job(i, submit=float(i), nodes=3) for i in range(20)]
+        res = run_sim(jobs)
+        assert all(j.state is JobState.COMPLETED for j in res.jobs)
+
+    def test_parallel_execution_when_fits(self):
+        jobs = [make_job(1, nodes=5), make_job(2, nodes=5)]
+        res = run_sim(jobs)
+        assert res.jobs[0].start_time == res.jobs[1].start_time == 0.0
+
+    def test_queueing_when_full(self):
+        jobs = [make_job(1, nodes=10, runtime=100.0), make_job(2, nodes=10)]
+        res = run_sim(jobs)
+        assert res.jobs[1].start_time == 100.0
+
+    def test_never_fitting_job_rejected_upfront(self):
+        with pytest.raises(TraceError):
+            run_sim([make_job(1, nodes=99)])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TraceError):
+            run_sim([make_job(1), make_job(1)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(TraceError):
+            run_sim([make_job(1, deps={42})])
+
+    def test_empty_trace(self):
+        res = run_sim([])
+        assert res.jobs == []
+        assert res.makespan == 0.0
+
+
+class TestResourceAccounting:
+    def test_usage_recorded(self):
+        res = run_sim([make_job(1, nodes=5, runtime=100.0)])
+        # 5 nodes busy for the full makespan.
+        assert res.recorder.nodes.mean(0.0, 100.0) == pytest.approx(5.0)
+
+    def test_bb_released_at_completion(self):
+        jobs = [make_job(1, runtime=50.0, bb=40.0),
+                make_job(2, submit=60.0, runtime=50.0, bb=80.0)]
+        res = run_sim(jobs, bb=100.0)
+        assert res.jobs[1].start_time == 60.0
+        assert res.recorder.bb.mean(0.0, 50.0) == pytest.approx(40.0)
+
+    def test_bb_contention_serialises(self):
+        jobs = [make_job(1, runtime=100.0, bb=80.0), make_job(2, bb=80.0)]
+        res = run_sim(jobs, bb=100.0)
+        assert res.jobs[1].start_time == 100.0
+
+    def test_ssd_accounting(self):
+        jobs = [make_job(1, nodes=2, runtime=100.0, ssd=64.0)]
+        res = run_sim(jobs, nodes=4, ssd_tiers={128.0: 2, 256.0: 2})
+        assert res.recorder.ssd.mean(0.0, 100.0) == pytest.approx(128.0)
+        assert res.recorder.ssd_waste.mean(0.0, 100.0) == pytest.approx(128.0)
+        assert res.ssd_capacity == 2 * 128.0 + 2 * 256.0
+
+
+class TestDependencies:
+    def test_dependent_job_waits(self):
+        jobs = [make_job(1, runtime=100.0), make_job(2, deps={1})]
+        res = run_sim(jobs)
+        assert res.jobs[1].start_time >= 100.0
+
+    def test_chain(self):
+        jobs = [make_job(1, runtime=10.0),
+                make_job(2, runtime=10.0, deps={1}),
+                make_job(3, runtime=10.0, deps={2})]
+        res = run_sim(jobs)
+        assert res.jobs[2].start_time >= 20.0
+
+
+class TestBackfillIntegration:
+    def test_small_job_backfills_around_blocker(self):
+        # J1 occupies 8 nodes; J2 (8 nodes) must wait; J3 (2 nodes, short)
+        # backfills immediately because it ends before J1 does.
+        jobs = [make_job(1, nodes=8, runtime=100.0),
+                make_job(2, submit=1.0, nodes=8, runtime=100.0),
+                make_job(3, submit=2.0, nodes=2, runtime=10.0)]
+        res = run_sim(jobs, window=WindowPolicy(size=3))
+        assert res.jobs[2].start_time == 2.0
+        assert res.stats.backfilled_jobs >= 1
+
+    def test_window_scope_limits_candidates(self):
+        # With a 1-job window and window-scoped backfill, J3 never enters
+        # the candidate set, so it waits despite fitting.
+        jobs = [make_job(1, nodes=8, runtime=100.0),
+                make_job(2, submit=1.0, nodes=8, runtime=100.0),
+                make_job(3, submit=2.0, nodes=2, runtime=10.0)]
+        res = run_sim(jobs, window=WindowPolicy(size=1))
+        assert res.jobs[2].start_time > 2.0
+
+    def test_queue_scope_admits_beyond_window(self):
+        jobs = [make_job(1, nodes=8, runtime=100.0),
+                make_job(2, submit=1.0, nodes=8, runtime=100.0),
+                make_job(3, submit=2.0, nodes=2, runtime=10.0)]
+        res = run_sim(jobs, window=WindowPolicy(size=1), backfill_scope="queue")
+        assert res.jobs[2].start_time == 2.0
+
+    def test_backfill_never_delays_head(self):
+        # J3 is long: backfilling it would delay J2 → it must wait.
+        jobs = [make_job(1, nodes=8, runtime=100.0),
+                make_job(2, submit=1.0, nodes=8, runtime=100.0),
+                make_job(3, submit=2.0, nodes=4, runtime=1000.0)]
+        res = run_sim(jobs, window=WindowPolicy(size=1))
+        assert res.jobs[1].start_time == pytest.approx(100.0)
+
+    def test_disable_backfill(self):
+        jobs = [make_job(1, nodes=8, runtime=100.0),
+                make_job(2, submit=1.0, nodes=8, runtime=100.0),
+                make_job(3, submit=2.0, nodes=2, runtime=10.0)]
+        res = run_sim(jobs, window=WindowPolicy(size=1), backfill=False)
+        assert res.jobs[2].start_time > 2.0
+
+
+class TestTable1EndToEnd:
+    def test_naive_runs_j1_then_backfills_j4(self):
+        """The full Table 1 scenario through the engine: the naive method
+        starts J1, blocks on J2, and EASY backfilling slips J4 in."""
+        jobs = [make_job(1, nodes=80, bb=20 * TB, runtime=100.0),
+                make_job(2, nodes=10, bb=85 * TB, runtime=100.0),
+                make_job(3, nodes=40, bb=5 * TB, runtime=100.0),
+                make_job(4, nodes=10, bb=0.0, runtime=100.0),
+                make_job(5, nodes=20, bb=0.0, runtime=100.0)]
+        res = run_sim(jobs, nodes=100, bb=100 * TB, window=WindowPolicy(size=5))
+        by_id = {j.jid: j for j in res.jobs}
+        assert by_id[1].start_time == 0.0
+        assert by_id[4].start_time == 0.0     # backfilled
+        assert by_id[2].start_time > 0.0
+        # Node usage at t=0: J1 + J4 = 90 of 100 (Table 1b, Solution 1).
+        assert res.recorder.nodes.mean(0.0, 1.0) == pytest.approx(90.0)
+
+    def test_bbsched_achieves_solution3(self):
+        jobs = [make_job(1, nodes=80, bb=20 * TB, runtime=100.0),
+                make_job(2, nodes=10, bb=85 * TB, runtime=100.0),
+                make_job(3, nodes=40, bb=5 * TB, runtime=100.0),
+                make_job(4, nodes=10, bb=0.0, runtime=100.0),
+                make_job(5, nodes=20, bb=0.0, runtime=100.0)]
+        sel = make_selector("BBSched", generations=300, seed=0)
+        res = run_sim(jobs, nodes=100, bb=100 * TB, selector=sel,
+                      window=WindowPolicy(size=5))
+        by_id = {j.jid: j for j in res.jobs}
+        for jid in (2, 3, 4, 5):
+            assert by_id[jid].start_time == 0.0
+        assert by_id[1].start_time > 0.0
+
+
+class TestStarvation:
+    def test_forced_job_eventually_runs(self):
+        # A BB-hungry job the naive method would block on forever gets
+        # forced after the starvation bound.
+        jobs = [make_job(1, nodes=2, runtime=50.0, bb=90.0)]
+        # Keep the machine busy with a stream of small jobs.
+        jobs += [make_job(10 + i, submit=float(i), nodes=2, runtime=30.0, bb=20.0)
+                 for i in range(30)]
+        res = run_sim(jobs, nodes=10, bb=100.0,
+                      selector=make_selector("Constrained_CPU", generations=10, seed=0),
+                      window=WindowPolicy(size=3, starvation_bound=5))
+        big = res.jobs[0]
+        assert big.state is JobState.COMPLETED
+
+    def test_forced_stat_counted(self):
+        jobs = [make_job(1, nodes=2, runtime=50.0, bb=90.0)]
+        jobs += [make_job(10 + i, submit=float(i), nodes=2, runtime=30.0, bb=20.0)
+                 for i in range(30)]
+        res = run_sim(jobs, nodes=10, bb=100.0,
+                      selector=make_selector("Constrained_CPU", generations=10, seed=0),
+                      window=WindowPolicy(size=3, starvation_bound=5))
+        assert res.stats.forced_jobs + res.stats.selected_jobs + \
+            res.stats.backfilled_jobs == len(jobs)
+
+
+class TestStats:
+    def test_stats_account_for_every_job(self):
+        jobs = [make_job(i, submit=float(i), nodes=3, runtime=50.0)
+                for i in range(15)]
+        res = run_sim(jobs)
+        total = (res.stats.selected_jobs + res.stats.forced_jobs +
+                 res.stats.backfilled_jobs)
+        assert total == len(jobs)
+
+    def test_selector_timing_recorded(self):
+        jobs = [make_job(i, submit=float(i), nodes=3) for i in range(5)]
+        sel = make_selector("BBSched", generations=10, seed=0)
+        res = run_sim(jobs, selector=sel)
+        assert res.stats.selector_calls > 0
+        assert res.stats.selector_time > 0.0
+        assert res.stats.mean_selector_time > 0.0
+
+    def test_mean_selector_time_zero_without_calls(self):
+        res = run_sim([])
+        assert res.stats.mean_selector_time == 0.0
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def once():
+            jobs = [make_job(i, submit=float(i % 7), nodes=1 + i % 5,
+                             runtime=30.0 + i, bb=float(i % 3) * 10.0)
+                    for i in range(25)]
+            sel = make_selector("BBSched", generations=20, seed=11)
+            res = run_sim(jobs, nodes=12, bb=100.0, selector=sel, policy=WFP())
+            return [(j.jid, j.start_time) for j in res.jobs]
+
+        assert once() == once()

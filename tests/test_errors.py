@@ -1,0 +1,37 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SolverError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, TraceError, AllocationError,
+        SchedulingError, SolverError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_for_bad_input(self):
+        # Config/trace problems are caller bugs → ValueError family.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(TraceError, ValueError)
+
+    def test_runtime_errors_for_state_violations(self):
+        assert issubclass(AllocationError, RuntimeError)
+        assert issubclass(SchedulingError, RuntimeError)
+        assert issubclass(SolverError, RuntimeError)
+
+    def test_one_catch_all(self):
+        try:
+            raise TraceError("x")
+        except ReproError:
+            pass

@@ -1,0 +1,84 @@
+"""Event queue: ordering, stability, cancellation."""
+
+import pytest
+
+from repro.simulator.events import Event, EventQueue, EventType
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, EventType.JOB_SUBMIT)
+
+    def test_priority_order_of_types(self):
+        # Completions release resources first, then submissions, then passes.
+        assert EventType.JOB_END < EventType.JOB_SUBMIT < EventType.SCHEDULE
+
+
+class TestEventQueue:
+    def test_empty(self):
+        q = EventQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.peek() is None
+        assert q.peek_time() is None
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.JOB_SUBMIT, "b"))
+        q.push(Event(1.0, EventType.JOB_SUBMIT, "a"))
+        q.push(Event(9.0, EventType.JOB_SUBMIT, "c"))
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_type_ordering_at_same_time(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventType.SCHEDULE, "sched"))
+        q.push(Event(1.0, EventType.JOB_SUBMIT, "submit"))
+        q.push(Event(1.0, EventType.JOB_END, "end"))
+        assert [q.pop().payload for _ in range(3)] == ["end", "submit", "sched"]
+
+    def test_insertion_stability(self):
+        q = EventQueue()
+        for i in range(10):
+            q.push(Event(1.0, EventType.JOB_SUBMIT, i))
+        assert [q.pop().payload for _ in range(10)] == list(range(10))
+
+    def test_len_tracks_pushes_and_pops(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventType.JOB_SUBMIT))
+        q.push(Event(2.0, EventType.JOB_SUBMIT))
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_cancel(self):
+        q = EventQueue()
+        token = q.push(Event(1.0, EventType.JOB_SUBMIT, "x"))
+        q.push(Event(2.0, EventType.JOB_SUBMIT, "y"))
+        q.cancel(token)
+        assert len(q) == 1
+        assert q.pop().payload == "y"
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        token = q.push(Event(1.0, EventType.JOB_SUBMIT))
+        q.cancel(token)
+        q.cancel(token)
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        token = q.push(Event(1.0, EventType.JOB_SUBMIT, "dead"))
+        q.push(Event(2.0, EventType.JOB_SUBMIT, "live"))
+        q.cancel(token)
+        assert q.peek().payload == "live"
+        assert q.peek_time() == 2.0
+
+    def test_drain(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.push(Event(t, EventType.JOB_SUBMIT, t))
+        assert [e.payload for e in q.drain()] == [1.0, 2.0, 3.0]
+        assert not q

@@ -1,0 +1,52 @@
+"""The shipped examples must run end to end (the fast ones, at least)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestQuickstart:
+    def test_runs_and_reproduces_table1(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "True Pareto set" in proc.stdout
+        assert "J2+J3+J4+J5" in proc.stdout
+        assert "BBSched decision" in proc.stdout
+
+
+class TestDarshanPipeline:
+    def test_runs(self, tmp_path):
+        proc = run_example("darshan_pipeline.py", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "wrote job log" in proc.stdout
+        assert "simulation:" in proc.stdout
+        assert (tmp_path / "theta.swf").exists()
+        assert (tmp_path / "theta_darshan.csv").exists()
+
+
+class TestGAWalkthrough:
+    def test_runs_and_shows_front(self):
+        proc = run_example("ga_walkthrough.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "True Pareto set" in proc.stdout
+        assert "generation 0:" in proc.stdout
+        assert "final Pareto approximation" in proc.stdout
+
+
+class TestCompareMethods:
+    def test_runs_small(self):
+        proc = run_example("compare_methods.py", "60")
+        assert proc.returncode == 0, proc.stderr
+        assert "Baseline" in proc.stdout
+        assert "BBSched" in proc.stdout

@@ -1,0 +1,101 @@
+"""Exhaustive (true Pareto) solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import ExhaustiveSolver, bit_matrix
+from repro.core.pareto import non_dominated_mask
+from repro.core.problem import SelectionProblem, SSDSelectionProblem
+from repro.errors import SolverError
+from repro.simulator.job import Job
+
+
+def make_job(jid, nodes, bb=0.0, ssd=0.0):
+    return Job(jid=jid, submit_time=0.0, runtime=10.0, walltime=10.0,
+               nodes=nodes, bb=bb, ssd=ssd)
+
+
+class TestBitMatrix:
+    def test_enumeration(self):
+        M = bit_matrix(0, 8, 3)
+        assert M.shape == (8, 3)
+        # Row r is the little-endian binary expansion of r.
+        assert M[5].tolist() == [1, 0, 1]
+
+    def test_range_slicing(self):
+        full = bit_matrix(0, 16, 4)
+        part = bit_matrix(4, 8, 4)
+        assert (part == full[4:8]).all()
+
+    def test_negative_w_rejected(self):
+        with pytest.raises(SolverError):
+            bit_matrix(0, 1, -1)
+
+
+class TestSolve:
+    def test_table1(self):
+        jobs = [make_job(1, 80, 20.0), make_job(2, 10, 85.0),
+                make_job(3, 40, 5.0), make_job(4, 10, 0.0), make_job(5, 20, 0.0)]
+        problem = SelectionProblem.from_window(jobs, 100, 100.0)
+        result = ExhaustiveSolver().solve(problem)
+        sols = {tuple(g) for g in result.genes}
+        assert sols == {(1, 0, 0, 0, 1), (0, 1, 1, 1, 1)}
+
+    def test_matches_brute_force_reference(self):
+        rng = np.random.default_rng(7)
+        jobs = [make_job(i, int(rng.integers(1, 30)), float(rng.integers(0, 40)))
+                for i in range(10)]
+        problem = SelectionProblem.from_window(jobs, 60, 60.0)
+        result = ExhaustiveSolver().solve(problem)
+        # Reference: evaluate all 1024 selections directly.
+        all_pop = bit_matrix(0, 1 << 10, 10)
+        feas = problem.feasible(all_pop)
+        F = problem.evaluate(all_pop[feas])
+        mask = non_dominated_mask(F)
+        ref_objs = {tuple(o) for o in F[mask]}
+        got_objs = {tuple(o) for o in result.objectives}
+        assert got_objs == ref_objs
+
+    def test_all_results_feasible(self):
+        jobs = [make_job(i, 10 + i, 5.0 * i) for i in range(8)]
+        problem = SelectionProblem.from_window(jobs, 40, 40.0)
+        result = ExhaustiveSolver().solve(problem)
+        assert problem.feasible(result.genes).all()
+
+    def test_respects_forced(self):
+        jobs = [make_job(i, 10, 5.0) for i in range(6)]
+        problem = SelectionProblem.from_window(jobs, 60, 60.0, forced=[2])
+        result = ExhaustiveSolver().solve(problem)
+        assert (result.genes[:, 2] == 1).all()
+
+    def test_window_cap(self):
+        problem = SelectionProblem(np.ones((30, 2)), [100.0, 100.0])
+        with pytest.raises(SolverError):
+            ExhaustiveSolver(max_w=26).solve(problem)
+
+    def test_empty_window(self):
+        problem = SelectionProblem(np.zeros((0, 2)), [1.0, 1.0])
+        result = ExhaustiveSolver().solve(problem)
+        assert len(result) == 0
+
+    def test_four_objective_ssd_problem(self):
+        jobs = [make_job(1, 2, 5.0, ssd=64.0), make_job(2, 2, 0.0, ssd=200.0),
+                make_job(3, 1, 3.0, ssd=0.0)]
+        problem = SSDSelectionProblem(jobs, 4, 10.0, {128.0: 2, 256.0: 2})
+        result = ExhaustiveSolver().solve(problem)
+        assert problem.feasible(result.genes).all()
+        assert result.objectives.shape[1] == 4
+
+    def test_chunking_consistency(self):
+        # Force multiple chunks by monkeypatching the chunk size.
+        import repro.core.exhaustive as ex
+        jobs = [make_job(i, 5 + i, 2.0 * i) for i in range(9)]
+        problem = SelectionProblem.from_window(jobs, 40, 40.0)
+        full = ExhaustiveSolver().solve(problem)
+        old = ex._CHUNK
+        try:
+            ex._CHUNK = 64
+            chunked = ExhaustiveSolver().solve(problem)
+        finally:
+            ex._CHUNK = old
+        assert {tuple(g) for g in full.genes} == {tuple(g) for g in chunked.genes}

@@ -1,0 +1,42 @@
+"""Experiment configuration and scales."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import BASE_SEED, SCALES, Scale, get_scale
+
+
+class TestScales:
+    def test_three_scales(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+
+    def test_paper_scale_matches_section43(self):
+        p = SCALES["paper"]
+        assert p.generations == 500
+        assert p.population == 20
+        assert p.window == 20
+        assert p.mutation == pytest.approx(0.0005)
+
+    def test_get_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "default"
+
+    def test_get_scale_explicit(self):
+        assert get_scale("smoke").name == "smoke"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale().name == "paper"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale("smoke").name == "smoke"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("galactic")
+
+    def test_scales_ordered_by_effort(self):
+        assert SCALES["smoke"].n_jobs < SCALES["default"].n_jobs < \
+            SCALES["paper"].n_jobs
+        assert SCALES["smoke"].generations < SCALES["paper"].generations

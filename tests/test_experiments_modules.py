@@ -1,0 +1,128 @@
+"""Smoke-scale functional tests of the per-figure experiment modules.
+
+The benchmarks exercise these at full scale; here we verify the plumbing —
+result structure, rendering, parameter validation — at smoke scale so the
+unit suite stays fast.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablation,
+    fig2,
+    fig4,
+    fig5,
+    get_scale,
+    overheads,
+    table1,
+    table3,
+)
+
+SMOKE = get_scale("smoke")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run(generations=200)
+
+    def test_eight_rows(self, result):
+        assert len(result.rows) == 8
+
+    def test_pareto_set(self, result):
+        assert {n for n, _, _ in result.pareto} == {
+            ("J1", "J5"), ("J2", "J3", "J4", "J5")
+        }
+
+    def test_render_mentions_all_methods(self, result):
+        text = table1.render(result)
+        for row in result.rows:
+            assert row.method in text
+
+    def test_baseline_blocks(self, result):
+        rows = {r.method: r for r in result.rows}
+        assert rows["Baseline"].selected == ("J1",)
+
+
+class TestFig2:
+    def test_small_sweep(self):
+        result = fig2.run(SMOKE, sizes=(4, 8, 10), repeats=1)
+        assert set(result.times) == {4, 8, 10}
+        assert all(t > 0 for t in result.times.values())
+        assert "Figure 2" in fig2.render(result)
+
+    def test_bad_repeats(self):
+        with pytest.raises(ConfigurationError):
+            fig2.run(SMOKE, repeats=0)
+
+    def test_max_w_filter(self):
+        result = fig2.run(SMOKE, sizes=(4, 8, 12), repeats=1, max_w=8)
+        assert 12 not in result.times
+
+
+class TestFig4:
+    def test_small_sweep(self):
+        result = fig4.run(SMOKE, generations=(0, 20), populations=(8,),
+                          window=8, n_windows=2)
+        assert len(result.cells) == 2
+        cell = result.cell(20, 8)
+        assert cell.gd >= 0.0
+        assert cell.seconds > 0.0
+        assert "Figure 4" in fig4.render(result)
+
+    def test_unknown_cell(self):
+        result = fig4.run(SMOKE, generations=(0,), populations=(8,),
+                          window=6, n_windows=1)
+        with pytest.raises(KeyError):
+            result.cell(99, 8)
+
+    def test_oversized_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fig4.run(SMOKE, window=30)
+
+
+class TestFig5:
+    def test_histograms(self):
+        result = fig5.run(SMOKE, workloads=("Theta-S1", "Theta-Original"))
+        assert set(result.histograms) == {"Theta-S1", "Theta-Original"}
+        h = result.histograms["Theta-S1"]
+        assert h.n_requests > 0
+        assert h.total_volume_tb > 0
+        assert sum(c for _, c in h.bins) == h.n_requests
+        assert "Theta-S1" in fig5.render(result)
+
+
+class TestTable3:
+    def test_window_sweep(self):
+        result = table3.run(SMOKE, windows=(5, 10), workloads=("Theta-S2",))
+        assert set(result.runs["Theta-S2"]) == {5, 10}
+        assert 0.0 <= result.metric("Theta-S2", 5, "node_usage") <= 1.0
+        assert "Table 3" in table3.render(result)
+
+
+class TestOverheads:
+    def test_measures_all_methods(self):
+        result = overheads.run(SMOKE, window=10, snapshots=1,
+                               generation_sweep=(10, 20))
+        assert len(result.per_method) == 8
+        assert all(t >= 0 for t in result.per_method.values())
+        assert set(result.bbsched_by_generations) == {10, 20}
+        assert "overhead" in overheads.render(result).lower()
+
+
+class TestAblation:
+    def test_ga_selection(self):
+        result = ablation.ablate_ga_selection(SMOKE, window=8, n_windows=1)
+        assert set(result.gd) == {"age", "crowding"}
+        assert all(v >= 0 for v in result.gd.values())
+
+    def test_trade_factor(self):
+        result = ablation.ablate_trade_factor(SMOKE, factors=(1.0, 4.0),
+                                              workload="Theta-S2")
+        assert set(result.usages) == {1.0, 4.0}
+
+    def test_starvation_bound(self):
+        result = ablation.ablate_starvation_bound(SMOKE, bounds=(5, 50),
+                                                  workload="Theta-S2")
+        assert set(result.outcomes) == {5, 50}

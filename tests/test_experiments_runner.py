@@ -1,0 +1,76 @@
+"""Shared simulation runner and grid plumbing (smoke scale)."""
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.grid import metric_table, run_grid
+from repro.experiments.runner import RunResult, policy_for, run_one
+from repro.experiments.workloads import get_workload
+from repro.policies import FCFS, WFP
+
+SMOKE = get_scale("smoke")
+
+
+class TestPolicyFor:
+    def test_cori_gets_fcfs(self):
+        assert isinstance(policy_for(get_workload("Cori-S1", SMOKE)), FCFS)
+
+    def test_theta_gets_wfp(self):
+        assert isinstance(policy_for(get_workload("Theta-S1", SMOKE)), WFP)
+
+
+class TestRunOne:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_one(get_workload("Theta-S2", SMOKE), "BBSched", SMOKE, seed=1)
+
+    def test_result_fields(self, result):
+        assert isinstance(result, RunResult)
+        assert result.workload == "Theta-S2"
+        assert result.method == "BBSched"
+        assert result.makespan > 0
+
+    def test_metrics_in_range(self, result):
+        assert 0.0 <= result.metric("node_usage") <= 1.0
+        assert 0.0 <= result.metric("bb_usage") <= 1.0
+        assert result.metric("avg_wait") >= 0.0
+
+    def test_breakdowns_populated(self, result):
+        assert result.wait_by_size
+        assert result.wait_by_bb
+        assert result.wait_by_runtime
+
+    def test_unknown_metric(self, result):
+        with pytest.raises(KeyError):
+            result.metric("latency")
+
+    def test_window_override(self):
+        r = run_one(get_workload("Theta-S2", SMOKE), "Baseline", SMOKE,
+                    seed=1, window=3)
+        assert r.makespan > 0
+
+    def test_deterministic(self):
+        trace = get_workload("Theta-S2", SMOKE)
+        a = run_one(trace, "BBSched", SMOKE, seed=5)
+        b = run_one(trace, "BBSched", SMOKE, seed=5)
+        assert a.summary.as_dict() == b.summary.as_dict()
+
+
+class TestGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_grid(SMOKE, workloads=("Theta-S2",),
+                        methods=("Baseline", "Bin_Packing"), workers=1)
+
+    def test_keys(self, grid):
+        assert set(grid) == {("Theta-S2", "Baseline"), ("Theta-S2", "Bin_Packing")}
+
+    def test_cached(self, grid):
+        again = run_grid(SMOKE, workloads=("Theta-S2",),
+                         methods=("Baseline", "Bin_Packing"), workers=1)
+        assert again[("Theta-S2", "Baseline")] is grid[("Theta-S2", "Baseline")]
+
+    def test_metric_table(self, grid):
+        table = metric_table(grid, "node_usage", ["Theta-S2"],
+                             ["Baseline", "Bin_Packing"])
+        assert set(table["Theta-S2"]) == {"Baseline", "Bin_Packing"}

@@ -1,0 +1,74 @@
+"""Deterministic evaluation-workload construction."""
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.workloads import (
+    ALL_WORKLOADS,
+    CORI_WORKLOADS,
+    THETA_WORKLOADS,
+    get_all_workloads,
+    get_ssd_workloads,
+    get_workload,
+)
+
+SMOKE = get_scale("smoke")
+
+
+class TestWorkloadSet:
+    def test_ten_workloads(self):
+        assert len(ALL_WORKLOADS) == 10
+        assert len(CORI_WORKLOADS) == len(THETA_WORKLOADS) == 5
+
+    def test_get_all(self):
+        suites = get_all_workloads(SMOKE)
+        assert set(suites) == set(ALL_WORKLOADS)
+
+    def test_get_single(self):
+        tr = get_workload("Theta-S4", SMOKE)
+        assert tr.name == "Theta-S4"
+        assert len(tr) == SMOKE.n_jobs
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("Summit-S1", SMOKE)
+
+    def test_deterministic_across_calls(self):
+        a = get_workload("Cori-S2", SMOKE)
+        b = get_workload("Cori-S2", SMOKE)
+        assert [(j.jid, j.bb) for j in a] == [(j.jid, j.bb) for j in b]
+
+    def test_machines_assigned(self):
+        assert get_workload("Cori-S1", SMOKE).machine.base_policy == "fcfs"
+        assert get_workload("Theta-S1", SMOKE).machine.base_policy == "wfp"
+
+    def test_machine_scaled_per_config(self):
+        tr = get_workload("Cori-Original", SMOKE)
+        assert tr.machine.nodes == 12_076 // SMOKE.cori_factor
+
+    def test_theta_original_via_darshan(self):
+        """Theta-Original's BB requests come from the Darshan pipeline."""
+        tr = get_workload("Theta-Original", SMOKE)
+        assert 0.0 < tr.bb_fraction() < 0.5
+
+    def test_bb_fractions_match_s_workloads(self):
+        suites = get_all_workloads(SMOKE)
+        assert suites["Theta-S1"].bb_fraction() == pytest.approx(0.5, abs=0.05)
+        assert suites["Theta-S4"].bb_fraction() == pytest.approx(0.75, abs=0.05)
+
+
+class TestSSDWorkloads:
+    def test_six_workloads(self):
+        suites = get_ssd_workloads(SMOKE)
+        assert set(suites) == {
+            "Cori-S5", "Cori-S6", "Cori-S7",
+            "Theta-S5", "Theta-S6", "Theta-S7",
+        }
+
+    def test_every_job_has_ssd_request_possibility(self):
+        tr = get_ssd_workloads(SMOKE)["Theta-S6"]
+        assert any(j.ssd > 0 for j in tr)
+
+    def test_machines_have_tiers(self):
+        for tr in get_ssd_workloads(SMOKE).values():
+            assert tr.machine.ssd_tiers is not None

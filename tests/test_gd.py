@@ -1,0 +1,85 @@
+"""Generational distance and hypervolume (§3.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gd import generational_distance, hypervolume_2d
+from repro.errors import SolverError
+
+
+class TestGenerationalDistance:
+    def test_zero_when_subset(self):
+        front = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert generational_distance(front, front) == 0.0
+
+    def test_average_of_min_distances(self):
+        true = np.array([[0.0, 0.0]])
+        sols = np.array([[3.0, 4.0], [0.0, 0.0]])  # distances 5 and 0
+        assert generational_distance(sols, true) == pytest.approx(2.5)
+
+    def test_min_over_true_set(self):
+        true = np.array([[0.0, 0.0], [10.0, 10.0]])
+        sols = np.array([[9.0, 10.0]])
+        assert generational_distance(sols, true) == pytest.approx(1.0)
+
+    def test_normalization(self):
+        true = np.array([[0.0, 0.0]])
+        sols = np.array([[100.0, 0.0]])
+        gd = generational_distance(sols, true, normalize=[100.0, 1.0])
+        assert gd == pytest.approx(1.0)
+
+    def test_both_empty(self):
+        assert generational_distance(np.zeros((0, 2)), np.zeros((0, 2))) == 0.0
+
+    def test_one_empty_raises(self):
+        with pytest.raises(SolverError):
+            generational_distance(np.zeros((0, 2)), np.ones((1, 2)))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(SolverError):
+            generational_distance(np.ones((1, 2)), np.ones((1, 3)))
+
+    def test_bad_normalize(self):
+        with pytest.raises(SolverError):
+            generational_distance(np.ones((1, 2)), np.ones((1, 2)), normalize=[1.0])
+        with pytest.raises(SolverError):
+            generational_distance(np.ones((1, 2)), np.ones((1, 2)),
+                                  normalize=[1.0, 0.0])
+
+    def test_1d_rejected(self):
+        with pytest.raises(SolverError):
+            generational_distance(np.ones(3), np.ones((1, 2)))
+
+
+class TestHypervolume2D:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[2.0, 3.0]])) == pytest.approx(6.0)
+
+    def test_staircase(self):
+        front = np.array([[3.0, 1.0], [1.0, 3.0]])
+        # 3x1 plus 1x(3-1) = 5
+        assert hypervolume_2d(front) == pytest.approx(5.0)
+
+    def test_dominated_point_ignored(self):
+        front = np.array([[3.0, 3.0], [1.0, 1.0]])
+        assert hypervolume_2d(front) == pytest.approx(9.0)
+
+    def test_reference_point(self):
+        assert hypervolume_2d(np.array([[2.0, 3.0]]),
+                              reference=(1.0, 1.0)) == pytest.approx(2.0)
+
+    def test_points_below_reference_excluded(self):
+        assert hypervolume_2d(np.array([[0.5, 0.5]]),
+                              reference=(1.0, 1.0)) == 0.0
+
+    def test_empty(self):
+        assert hypervolume_2d(np.zeros((0, 2))) == 0.0
+
+    def test_wrong_shape(self):
+        with pytest.raises(SolverError):
+            hypervolume_2d(np.zeros((2, 3)))
+
+    def test_monotone_in_front_growth(self):
+        small = np.array([[2.0, 2.0]])
+        large = np.array([[2.0, 2.0], [3.0, 1.0]])
+        assert hypervolume_2d(large) >= hypervolume_2d(small)

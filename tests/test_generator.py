@@ -1,0 +1,119 @@
+"""Synthetic workload generator (§4.1 substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import HOURS
+from repro.workloads.generator import (
+    WorkloadProfile,
+    cori_profile,
+    generate,
+    theta_profile,
+)
+from repro.workloads.spec import CORI, THETA
+
+
+class TestProfiles:
+    def test_cori_profile_defaults(self):
+        p = cori_profile()
+        assert p.machine is CORI
+        assert p.bb_fraction == pytest.approx(0.00618)  # §4.1
+        assert p.min_nodes == 1
+
+    def test_theta_profile_defaults(self):
+        p = theta_profile()
+        assert p.machine is THETA
+        assert p.bb_fraction == pytest.approx(0.1718)   # §4.1
+        # Figure 9 bins from 1-8 nodes: the full size range is present,
+        # with a large-job bias (capability computing).
+        assert p.min_nodes == 1
+        assert p.size_log_mean > cori_profile().size_log_mean
+
+    def test_invalid_profile_params(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", machine=THETA, n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", machine=THETA, load=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="x", machine=THETA, bb_fraction=1.5)
+
+    def test_scaled_machine_profile(self):
+        p = theta_profile(machine=THETA.scaled(8))
+        assert p.min_nodes <= THETA.scaled(8).nodes
+
+
+class TestGenerate:
+    def test_job_count(self):
+        tr = generate(theta_profile(n_jobs=200), seed=0)
+        assert len(tr) == 200
+
+    def test_deterministic(self):
+        a = generate(theta_profile(n_jobs=100), seed=7)
+        b = generate(theta_profile(n_jobs=100), seed=7)
+        assert [(j.jid, j.submit_time, j.nodes, j.bb) for j in a] == \
+               [(j.jid, j.submit_time, j.nodes, j.bb) for j in b]
+
+    def test_seed_changes_trace(self):
+        a = generate(theta_profile(n_jobs=100), seed=1)
+        b = generate(theta_profile(n_jobs=100), seed=2)
+        assert [j.nodes for j in a] != [j.nodes for j in b]
+
+    def test_offered_load_matches_target(self):
+        tr = generate(cori_profile(n_jobs=800, load=1.3), seed=3)
+        assert tr.offered_load() == pytest.approx(1.3, rel=0.02)
+
+    def test_sizes_within_machine(self):
+        tr = generate(theta_profile(n_jobs=300), seed=4)
+        assert all(1 <= j.nodes <= THETA.nodes for j in tr)
+
+    def test_theta_large_job_bias(self):
+        """Capability vs capacity: Theta's median job dwarfs Cori's."""
+        theta = generate(theta_profile(n_jobs=500), seed=5)
+        cori = generate(cori_profile(n_jobs=500), seed=5)
+        med_theta = np.median([j.nodes for j in theta])
+        med_cori = np.median([j.nodes for j in cori])
+        assert med_theta / THETA.nodes > 4 * med_cori / 12_076
+
+    def test_cori_small_job_dominance(self):
+        """Capacity computing: most Cori jobs are small (§4.1)."""
+        tr = generate(cori_profile(n_jobs=1000), seed=6)
+        sizes = np.array([j.nodes for j in tr])
+        assert np.median(sizes) < 100
+
+    def test_bb_fraction_realised(self):
+        tr = generate(theta_profile(n_jobs=2000), seed=7)
+        assert tr.bb_fraction() == pytest.approx(0.1718, abs=0.03)
+
+    def test_walltimes_at_least_runtime(self):
+        tr = generate(cori_profile(n_jobs=300), seed=8)
+        assert all(j.walltime >= j.runtime for j in tr)
+
+    def test_runtime_bounds(self):
+        p = theta_profile(n_jobs=300)
+        tr = generate(p, seed=9)
+        assert all(p.runtime_min <= j.runtime <= p.runtime_max for j in tr)
+
+    def test_submit_times_ordered_from_zero(self):
+        tr = generate(theta_profile(n_jobs=100), seed=10)
+        submits = [j.submit_time for j in tr]
+        assert submits[0] == 0.0
+        assert submits == sorted(submits)
+
+    def test_no_dependencies_by_default(self):
+        tr = generate(theta_profile(n_jobs=100), seed=11)
+        assert all(not j.deps for j in tr)
+
+    def test_dep_fraction_generates_chains(self):
+        p = WorkloadProfile(name="x", machine=THETA, n_jobs=200,
+                            min_nodes=128, size_log_mean=np.log(192),
+                            dep_fraction=0.5)
+        tr = generate(p, seed=12)
+        withdeps = [j for j in tr if j.deps]
+        assert len(withdeps) > 50
+        # Each dependency points at the immediately preceding job.
+        assert all(max(j.deps) == j.jid - 1 for j in withdeps)
+
+    def test_users_assigned(self):
+        tr = generate(cori_profile(n_jobs=50), seed=13)
+        assert all(j.user.startswith("u") for j in tr)

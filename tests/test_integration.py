@@ -1,0 +1,92 @@
+"""End-to-end integration tests across subsystem boundaries (smoke scale)."""
+
+import pytest
+
+from repro import (
+    FCFS,
+    SchedulingEngine,
+    WindowPolicy,
+    make_selector,
+)
+from repro.experiments import get_scale, get_ssd_workloads, get_workload, run_one
+from repro.simulator.job import JobState
+from repro.simulator.metrics import compute_summary, trimmed_interval
+from repro.workloads import (
+    THETA,
+    enhance_trace_with_darshan,
+    expand_bb_requests,
+    generate,
+    read_swf,
+    synthesize_darshan_log,
+    theta_profile,
+    write_swf,
+)
+
+SMOKE = get_scale("smoke")
+
+
+class TestFullPaperPipeline:
+    """§4.1's trace path: generate → Darshan → enhance → augment → simulate."""
+
+    def test_pipeline(self, tmp_path):
+        machine = THETA.scaled(16)
+        base = generate(theta_profile(n_jobs=60, bb_fraction=0.0,
+                                      machine=machine), seed=5)
+        records = synthesize_darshan_log(base, seed=6)
+        enhanced = enhance_trace_with_darshan(base, records)
+        cap = machine.schedulable_bb
+        s2 = expand_bb_requests(enhanced, fraction=0.75,
+                                min_request=0.004 * cap, max_request=0.13 * cap,
+                                target_bb_load=0.6, seed=7)
+        # Round-trip through SWF to prove file interop end to end.
+        path = tmp_path / "s2.swf"
+        write_swf(s2, path)
+        loaded = read_swf(path, machine)
+        assert len(loaded) == len(s2)
+
+        selector = make_selector("BBSched", generations=15, seed=8)
+        engine = SchedulingEngine(machine.make_cluster(), FCFS(), selector,
+                                  WindowPolicy(size=8))
+        result = engine.run(loaded.fresh_jobs())
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)
+        interval = trimmed_interval(0.0, result.makespan)
+        summary = compute_summary(result.jobs, result.recorder, interval,
+                                  total_nodes=result.total_nodes,
+                                  bb_capacity=result.bb_capacity)
+        assert 0.0 < summary.node_usage <= 1.0
+
+
+class TestGridCellsAllMethods:
+    @pytest.mark.parametrize("method", [
+        "Baseline", "Weighted", "Weighted_CPU", "Weighted_BB",
+        "Constrained_CPU", "Constrained_BB", "Bin_Packing", "BBSched",
+    ])
+    def test_section4_method_completes(self, method):
+        r = run_one(get_workload("Theta-S2", SMOKE), method, SMOKE, seed=2)
+        assert 0.0 <= r.metric("node_usage") <= 1.0
+        assert r.makespan > 0
+
+
+class TestSSDWorkloadsAllMethods:
+    @pytest.mark.parametrize("method", [
+        "Baseline", "Weighted", "Constrained_CPU", "Constrained_BB",
+        "Constrained_SSD", "Bin_Packing", "BBSched",
+    ])
+    def test_section5_method_completes(self, method):
+        trace = get_ssd_workloads(SMOKE)["Theta-S6"]
+        r = run_one(trace, method, SMOKE, seed=3)
+        assert r.metric("ssd_usage") >= 0.0
+        assert r.metric("ssd_waste") >= 0.0
+
+
+class TestCrossMethodInvariants:
+    def test_all_methods_complete_same_jobs(self):
+        trace = get_workload("Cori-S2", SMOKE)
+        makespans = {}
+        for method in ("Baseline", "Bin_Packing", "BBSched"):
+            r = run_one(trace, method, SMOKE, seed=4)
+            makespans[method] = r.makespan
+        # Work conservation keeps makespans in the same ballpark even
+        # though scheduling orders differ.
+        lo, hi = min(makespans.values()), max(makespans.values())
+        assert hi <= 2.0 * lo

@@ -1,0 +1,103 @@
+"""Kiviat normalisation and polygon areas (Figures 13/14)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.kiviat import (
+    AXES_SECTION4,
+    AXES_SECTION5,
+    axis_value,
+    kiviat_areas,
+    normalize,
+    polygon_area,
+)
+from repro.experiments.runner import RunResult
+from repro.simulator.metrics import MetricsSummary
+
+
+def make_result(node=0.5, bb=0.5, wait=3600.0, slowdown=2.0,
+                ssd=0.0, waste=0.0):
+    return RunResult(
+        workload="w", method="m",
+        summary=MetricsSummary(node_usage=node, bb_usage=bb, avg_wait=wait,
+                               avg_slowdown=slowdown, ssd_usage=ssd,
+                               ssd_waste=waste),
+        wait_by_size={}, wait_by_bb={}, wait_by_runtime={},
+        makespan=1.0, selector_calls=0, mean_selector_time=0.0,
+    )
+
+
+class TestAxisValue:
+    def test_direct_axis(self):
+        assert axis_value(make_result(node=0.7), "node_usage") == 0.7
+
+    def test_reciprocal_axis(self):
+        assert axis_value(make_result(wait=100.0), "1/avg_wait") == pytest.approx(0.01)
+
+    def test_reciprocal_of_zero_is_inf(self):
+        assert math.isinf(axis_value(make_result(wait=0.0), "1/avg_wait"))
+
+
+class TestNormalize:
+    def test_best_is_one_worst_is_zero(self):
+        per = {"a": make_result(node=0.9), "b": make_result(node=0.3)}
+        out = normalize(per, axes=("node_usage",))
+        assert out["a"]["node_usage"] == 1.0
+        assert out["b"]["node_usage"] == 0.0
+
+    def test_ties_all_one(self):
+        per = {"a": make_result(), "b": make_result()}
+        out = normalize(per, axes=AXES_SECTION4)
+        for m in per:
+            assert all(v == 1.0 for v in out[m].values())
+
+    def test_reciprocal_axes_flip_order(self):
+        fast = make_result(wait=10.0)
+        slow = make_result(wait=100.0)
+        out = normalize({"fast": fast, "slow": slow}, axes=("1/avg_wait",))
+        assert out["fast"]["1/avg_wait"] == 1.0
+        assert out["slow"]["1/avg_wait"] == 0.0
+
+    def test_infinite_values_pin_to_one(self):
+        out = normalize({"zero": make_result(wait=0.0),
+                         "some": make_result(wait=100.0)},
+                        axes=("1/avg_wait",))
+        assert out["zero"]["1/avg_wait"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize({}, axes=AXES_SECTION4)
+
+
+class TestPolygonArea:
+    def test_unit_square_polygon(self):
+        # 4 axes all at radius 1: area = ½·sin(π/2)·4 = 2.
+        assert polygon_area([1.0, 1.0, 1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_monotone_in_radii(self):
+        small = polygon_area([0.5, 0.5, 0.5, 0.5])
+        large = polygon_area([1.0, 1.0, 1.0, 1.0])
+        assert large > small
+
+    def test_degenerate_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            polygon_area([1.0, 1.0])
+
+    def test_zero_polygon(self):
+        assert polygon_area([0.0, 0.0, 0.0, 0.0]) == 0.0
+
+
+class TestKiviatAreas:
+    def test_dominant_method_has_larger_area(self):
+        better = make_result(node=0.9, bb=0.9, wait=10.0, slowdown=1.5)
+        worse = make_result(node=0.3, bb=0.3, wait=100.0, slowdown=5.0)
+        areas = kiviat_areas({"better": better, "worse": worse}, AXES_SECTION4)
+        assert areas["better"] > areas["worse"]
+
+    def test_section5_axes(self):
+        a = make_result(ssd=0.8, waste=0.1)
+        b = make_result(ssd=0.2, waste=0.5)
+        areas = kiviat_areas({"a": a, "b": b}, AXES_SECTION5)
+        assert areas["a"] > areas["b"]

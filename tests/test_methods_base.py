@@ -1,0 +1,63 @@
+"""Selector base-class helpers."""
+
+import pytest
+
+from repro.methods.base import Selector, SystemCapacity
+from repro.simulator.cluster import Available
+from repro.simulator.job import Job
+
+
+def make_job(jid, nodes, bb=0.0, ssd=0.0):
+    return Job(jid=jid, submit_time=0.0, runtime=10.0, walltime=10.0,
+               nodes=nodes, bb=bb, ssd=ssd)
+
+
+AVAIL = Available(nodes=10, bb=100.0, ssd_free={0.0: 10})
+
+
+class TestGreedyInOrder:
+    def test_fills_in_order(self):
+        jobs = [make_job(i, 3) for i in range(5)]
+        picks = Selector.greedy_in_order(jobs, AVAIL, range(5))
+        assert picks == [0, 1, 2]
+
+    def test_skips_non_fitting_by_default(self):
+        jobs = [make_job(0, 8), make_job(1, 8), make_job(2, 2)]
+        picks = Selector.greedy_in_order(jobs, AVAIL, range(3))
+        assert picks == [0, 2]
+
+    def test_blocking_mode(self):
+        jobs = [make_job(0, 8), make_job(1, 8), make_job(2, 2)]
+        picks = Selector.greedy_in_order(jobs, AVAIL, range(3),
+                                         stop_at_first_miss=True)
+        assert picks == [0]
+
+    def test_custom_order(self):
+        jobs = [make_job(0, 8), make_job(1, 8)]
+        picks = Selector.greedy_in_order(jobs, AVAIL, [1, 0])
+        assert picks == [1]
+
+    def test_bb_respected(self):
+        jobs = [make_job(0, 1, bb=60.0), make_job(1, 1, bb=60.0)]
+        picks = Selector.greedy_in_order(jobs, AVAIL, range(2))
+        assert picks == [0]
+
+    def test_ssd_tier_preference(self):
+        # Greedy must consume small tiers first so large-SSD jobs fit later.
+        avail = Available(nodes=4, bb=0.0, ssd_free={128.0: 2, 256.0: 2})
+        jobs = [make_job(0, 2, ssd=64.0), make_job(1, 2, ssd=200.0)]
+        picks = Selector.greedy_in_order(jobs, avail, range(2))
+        assert picks == [0, 1]
+
+    def test_empty(self):
+        assert Selector.greedy_in_order([], AVAIL, []) == []
+
+
+class TestBinding:
+    def test_bind_stores_capacity(self):
+        from repro.methods import NaiveSelector
+
+        sel = NaiveSelector()
+        cap = SystemCapacity(nodes=10, bb=100.0)
+        sel.bind(cap)
+        assert sel.system is cap

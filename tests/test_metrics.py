@@ -1,0 +1,163 @@
+"""Evaluation metrics (§4.2): usages, waits, slowdowns, breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.job import Job
+from repro.simulator.metrics import (
+    ABNORMAL_RUNTIME,
+    Interval,
+    average_slowdown,
+    average_wait,
+    compute_summary,
+    trimmed_interval,
+    wait_by_bb_request,
+    wait_by_job_size,
+    wait_by_runtime,
+)
+from repro.simulator.recorder import UsageRecorder
+
+
+def run_job(jid, submit, start, runtime, nodes=1, bb=0.0):
+    job = Job(jid=jid, submit_time=submit, runtime=runtime,
+              walltime=max(runtime, 1.0), nodes=nodes, bb=bb)
+    job.mark_queued()
+    job.mark_started(start)
+    job.mark_completed(start + runtime)
+    return job
+
+
+class TestInterval:
+    def test_reversed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interval(5.0, 4.0)
+
+    def test_span_and_contains(self):
+        iv = Interval(2.0, 10.0)
+        assert iv.span == 8.0
+        assert iv.contains(2.0)
+        assert iv.contains(9.99)
+        assert not iv.contains(10.0)
+
+
+class TestTrimmedInterval:
+    def test_default_trim(self):
+        iv = trimmed_interval(0.0, 100.0)
+        assert iv.start == pytest.approx(10.0)
+        assert iv.end == pytest.approx(90.0)
+
+    def test_no_trim(self):
+        iv = trimmed_interval(0.0, 100.0, warmup_fraction=0.0, cooldown_fraction=0.0)
+        assert (iv.start, iv.end) == (0.0, 100.0)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            trimmed_interval(0.0, 1.0, warmup_fraction=0.6, cooldown_fraction=0.6)
+        with pytest.raises(ConfigurationError):
+            trimmed_interval(0.0, 1.0, warmup_fraction=-0.1)
+
+
+class TestAverages:
+    def test_average_wait(self):
+        jobs = [run_job(1, 0.0, 10.0, 100.0), run_job(2, 0.0, 30.0, 100.0)]
+        assert average_wait(jobs, Interval(0.0, 1000.0)) == pytest.approx(20.0)
+
+    def test_wait_filters_by_submit_interval(self):
+        jobs = [run_job(1, 0.0, 10.0, 100.0), run_job(2, 500.0, 530.0, 100.0)]
+        assert average_wait(jobs, Interval(400.0, 1000.0)) == pytest.approx(30.0)
+
+    def test_wait_empty(self):
+        assert average_wait([], Interval(0.0, 1.0)) == 0.0
+
+    def test_unstarted_jobs_excluded(self):
+        job = Job(jid=1, submit_time=0.0, runtime=10.0, walltime=10.0, nodes=1)
+        job.mark_queued()
+        assert average_wait([job], Interval(0.0, 1.0)) == 0.0
+
+    def test_average_slowdown(self):
+        jobs = [run_job(1, 0.0, 100.0, 100.0)]  # (100+100)/100 = 2
+        assert average_slowdown(jobs, Interval(0.0, 1e6)) == pytest.approx(2.0)
+
+    def test_slowdown_filters_abnormal_jobs(self):
+        normal = run_job(1, 0.0, 100.0, 100.0)
+        abnormal = run_job(2, 0.0, 100.0, 1.0)  # sub-minute runtime
+        only_normal = average_slowdown([normal], Interval(0.0, 1e6))
+        both = average_slowdown([normal, abnormal], Interval(0.0, 1e6))
+        assert both == pytest.approx(only_normal)
+
+    def test_abnormal_threshold_configurable(self):
+        short = run_job(1, 0.0, 100.0, 1.0)
+        assert average_slowdown([short], Interval(0.0, 1e6), abnormal_runtime=0.0) > 1
+
+
+class TestComputeSummary:
+    def test_usages_from_recorder(self):
+        rec = UsageRecorder()
+        rec.observe_cluster(0.0, nodes_used=5, bb_used=50.0)
+        rec.observe_cluster(10.0, nodes_used=0, bb_used=0.0)
+        s = compute_summary([], rec, Interval(0.0, 10.0),
+                            total_nodes=10, bb_capacity=100.0)
+        assert s.node_usage == pytest.approx(0.5)
+        assert s.bb_usage == pytest.approx(0.5)
+
+    def test_zero_bb_capacity(self):
+        rec = UsageRecorder()
+        s = compute_summary([], rec, Interval(0.0, 1.0), total_nodes=1, bb_capacity=0.0)
+        assert s.bb_usage == 0.0
+
+    def test_ssd_metrics(self):
+        rec = UsageRecorder()
+        rec.observe_cluster(0.0, 1, 0.0, ssd_used=100.0, ssd_waste=20.0)
+        s = compute_summary([], rec, Interval(0.0, 10.0),
+                            total_nodes=1, bb_capacity=0.0, ssd_capacity=200.0)
+        assert s.ssd_usage == pytest.approx(0.5)
+        assert s.ssd_waste == pytest.approx(0.1)
+
+    def test_as_dict_keys(self):
+        rec = UsageRecorder()
+        s = compute_summary([], rec, Interval(0.0, 1.0), total_nodes=1, bb_capacity=1.0)
+        assert set(s.as_dict()) == {
+            "node_usage", "bb_usage", "avg_wait", "avg_slowdown",
+            "ssd_usage", "ssd_waste", "n_jobs",
+        }
+
+    def test_invalid_total_nodes(self):
+        with pytest.raises(ConfigurationError):
+            compute_summary([], UsageRecorder(), Interval(0.0, 1.0),
+                            total_nodes=0, bb_capacity=1.0)
+
+    def test_n_jobs_counts_measured(self):
+        jobs = [run_job(1, 0.0, 1.0, 100.0), run_job(2, 900.0, 901.0, 100.0)]
+        rec = UsageRecorder()
+        s = compute_summary(jobs, rec, Interval(0.0, 500.0),
+                            total_nodes=1, bb_capacity=1.0)
+        assert s.n_jobs == 1
+
+
+class TestBreakdowns:
+    def test_wait_by_job_size(self):
+        jobs = [run_job(1, 0.0, 10.0, 100.0, nodes=4),
+                run_job(2, 0.0, 50.0, 100.0, nodes=2000)]
+        out = wait_by_job_size(jobs, Interval(0.0, 1e6))
+        assert out["1-8 nodes"] == pytest.approx(10.0)
+        assert out["1024-4392 nodes"] == pytest.approx(50.0)
+
+    def test_wait_by_bb_request_zero_bin(self):
+        jobs = [run_job(1, 0.0, 10.0, 100.0, bb=0.0),
+                run_job(2, 0.0, 30.0, 100.0, bb=300.0 * 1024.0)]
+        out = wait_by_bb_request(jobs, Interval(0.0, 1e6))
+        assert out["0TB"] == pytest.approx(10.0)
+        assert out[">200TB"] == pytest.approx(30.0)
+
+    def test_wait_by_runtime(self):
+        jobs = [run_job(1, 0.0, 10.0, 600.0),       # 10 min
+                run_job(2, 0.0, 40.0, 13 * 3600.0)]  # 13 h
+        out = wait_by_runtime(jobs, Interval(0.0, 1e6))
+        assert out["0-0.5h"] == pytest.approx(10.0)
+        assert out[">12h"] == pytest.approx(40.0)
+
+    def test_empty_bins_report_zero(self):
+        out = wait_by_job_size([], Interval(0.0, 1.0))
+        assert all(v == 0.0 for v in out.values())
+        assert len(out) == 5

@@ -1,0 +1,65 @@
+"""The paper's reported numbers as data."""
+
+import pytest
+
+from repro.experiments.paper_targets import (
+    CLAIMS,
+    PAPER_PARAMETERS,
+    TABLE3_PAPER,
+    table3_trend,
+)
+
+
+class TestClaims:
+    def test_every_claim_has_source_and_metric(self):
+        for claim in CLAIMS:
+            assert claim.source
+            assert claim.metric
+            assert claim.statement
+
+    def test_headline_magnitudes_present(self):
+        magnitudes = {c.magnitude for c in CLAIMS if c.magnitude}
+        assert 0.41 in magnitudes          # −41% wait on Theta
+        assert 0.1546 in magnitudes        # +15.46% BB usage
+
+
+class TestTable3Data:
+    def test_both_workloads(self):
+        assert set(TABLE3_PAPER) == {"Cori-S4", "Theta-S4"}
+
+    def test_window_20_values_match_paper(self):
+        assert TABLE3_PAPER["Theta-S4"]["node_usage"][20] == pytest.approx(0.7329)
+        assert TABLE3_PAPER["Cori-S4"]["bb_usage"][20] == pytest.approx(0.9474)
+        assert TABLE3_PAPER["Theta-S4"]["avg_wait"][20] == 8847.0
+
+    def test_trend_shape(self):
+        """The paper's own table: big first step, flat second step."""
+        for wl in TABLE3_PAPER:
+            s1, s2 = table3_trend("node_usage", wl)
+            assert s1 > 0
+            assert abs(s2) < abs(s1)
+            s1w, s2w = table3_trend("avg_wait", wl)
+            assert s1w < 0               # waits fall from w=10 to w=20
+            assert abs(s2w) < abs(s1w)
+
+
+class TestParameters:
+    def test_section43_defaults(self):
+        assert PAPER_PARAMETERS["window"] == 20
+        assert PAPER_PARAMETERS["generations"] == 500
+        assert PAPER_PARAMETERS["population"] == 20
+        assert PAPER_PARAMETERS["mutation"] == pytest.approx(0.0005)
+
+    def test_matches_library_defaults(self):
+        from repro.core.ga import (
+            DEFAULT_GENERATIONS,
+            DEFAULT_MUTATION,
+            DEFAULT_POPULATION,
+        )
+        from repro.windows.window import DEFAULT_STARVATION_BOUND, DEFAULT_WINDOW_SIZE
+
+        assert DEFAULT_GENERATIONS == PAPER_PARAMETERS["generations"]
+        assert DEFAULT_POPULATION == PAPER_PARAMETERS["population"]
+        assert DEFAULT_MUTATION == PAPER_PARAMETERS["mutation"]
+        assert DEFAULT_WINDOW_SIZE == PAPER_PARAMETERS["window"]
+        assert DEFAULT_STARVATION_BOUND == PAPER_PARAMETERS["starvation_bound"]

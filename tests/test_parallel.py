@@ -1,0 +1,70 @@
+"""Process-pool sweep execution."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import default_workers, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+def boom(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+    def test_env_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+    def test_default_at_least_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(square, [(1,), (2,), (3,)], workers=1) == [1, 4, 9]
+
+    def test_order_preserved(self):
+        assert parallel_map(square, [(i,) for i in range(20)], workers=1) == \
+            [i * i for i in range(20)]
+
+    def test_multiple_args(self):
+        assert parallel_map(add, [(1, 2), (3, 4)], workers=1) == [3, 7]
+
+    def test_parallel_workers(self):
+        # Runs through the process pool when workers > 1 and tasks > 1.
+        assert parallel_map(square, [(1,), (2,), (3,)], workers=2) == [1, 4, 9]
+
+    def test_single_task_stays_serial(self):
+        assert parallel_map(square, [(5,)], workers=8) == [25]
+
+    def test_exception_propagates(self):
+        with pytest.raises(ValueError):
+            parallel_map(boom, [(1,)], workers=1)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [(1,)], workers=0)
+
+    def test_empty(self):
+        assert parallel_map(square, [], workers=1) == []

@@ -1,0 +1,99 @@
+"""Pareto-dominance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import non_dominated_mask, pareto_front_2d, unique_front
+from repro.errors import SolverError
+
+
+class TestNonDominatedMask:
+    def test_empty(self):
+        assert non_dominated_mask(np.zeros((0, 2))).shape == (0,)
+
+    def test_single_point(self):
+        assert non_dominated_mask(np.array([[1.0, 2.0]])).tolist() == [True]
+
+    def test_simple_domination(self):
+        F = np.array([[2.0, 2.0], [1.0, 1.0], [3.0, 0.0]])
+        assert non_dominated_mask(F).tolist() == [True, False, True]
+
+    def test_equal_points_both_kept(self):
+        F = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert non_dominated_mask(F).tolist() == [True, True]
+
+    def test_weak_domination(self):
+        # (2,1) dominates (2,0): equal in f1, better in f2.
+        F = np.array([[2.0, 1.0], [2.0, 0.0]])
+        assert non_dominated_mask(F).tolist() == [True, False]
+
+    def test_three_objectives(self):
+        F = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1], [0.1, 0.1, 0.1]], dtype=float)
+        assert non_dominated_mask(F).tolist() == [True, True, True, True]
+
+    def test_1d_rejected(self):
+        with pytest.raises(SolverError):
+            non_dominated_mask(np.array([1.0, 2.0]))
+
+    def test_large_input_chunked_path(self):
+        rng = np.random.default_rng(0)
+        F = rng.random((5000, 2))
+        mask = non_dominated_mask(F)
+        # Cross-check against the 2-D specialised algorithm.
+        idx2d = set(pareto_front_2d(F).tolist())
+        assert set(np.flatnonzero(mask).tolist()) == idx2d
+
+
+class TestParetoFront2D:
+    def test_matches_quadratic(self):
+        rng = np.random.default_rng(1)
+        F = rng.integers(0, 50, size=(300, 2)).astype(float)
+        fast = set(pareto_front_2d(F).tolist())
+        slow = set(np.flatnonzero(non_dominated_mask(F)).tolist())
+        assert fast == slow
+
+    def test_sorted_by_first_objective(self):
+        F = np.array([[1.0, 5.0], [3.0, 2.0], [2.0, 3.0]])
+        idx = pareto_front_2d(F)
+        f1 = F[idx, 0]
+        assert (np.diff(f1) <= 0).all()
+
+    def test_duplicates_kept(self):
+        F = np.array([[2.0, 2.0], [2.0, 2.0], [1.0, 1.0]])
+        assert sorted(pareto_front_2d(F).tolist()) == [0, 1]
+
+    def test_empty(self):
+        assert pareto_front_2d(np.zeros((0, 2))).size == 0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(SolverError):
+            pareto_front_2d(np.zeros((3, 3)))
+
+    def test_monotone_chain_all_kept(self):
+        F = np.array([[i, 10 - i] for i in range(10)], dtype=float)
+        assert pareto_front_2d(F).size == 10
+
+
+class TestUniqueFront:
+    def test_dedup_rows(self):
+        genes = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.uint8)
+        obj = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        g, o = unique_front(genes, obj)
+        assert g.shape[0] == 2
+        assert o.shape[0] == 2
+
+    def test_alignment_preserved(self):
+        genes = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        obj = np.array([[0.0, 5.0], [3.0, 0.0]])
+        g, o = unique_front(genes, obj)
+        for row, val in zip(g, o):
+            if row.tolist() == [0, 1]:
+                assert val.tolist() == [0.0, 5.0]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            unique_front(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty(self):
+        g, o = unique_front(np.zeros((0, 3)), np.zeros((0, 2)))
+        assert g.shape[0] == 0

@@ -1,0 +1,78 @@
+"""Base-scheduler priority policies: FCFS and WFP."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import FCFS, WFP
+from repro.simulator.job import Job
+
+
+def make_job(jid, submit, nodes=1, walltime=3600.0):
+    return Job(jid=jid, submit_time=submit, runtime=100.0,
+               walltime=walltime, nodes=nodes)
+
+
+class TestFCFS:
+    def test_orders_by_submit_time(self):
+        jobs = [make_job(1, 30.0), make_job(2, 10.0), make_job(3, 20.0)]
+        ordered = FCFS().order(jobs, now=100.0)
+        assert [j.jid for j in ordered] == [2, 3, 1]
+
+    def test_ties_broken_by_jid(self):
+        jobs = [make_job(5, 10.0), make_job(2, 10.0)]
+        ordered = FCFS().order(jobs, now=100.0)
+        assert [j.jid for j in ordered] == [2, 5]
+
+    def test_order_is_stable_under_now(self):
+        jobs = [make_job(1, 30.0), make_job(2, 10.0)]
+        assert [j.jid for j in FCFS().order(jobs, 50.0)] == \
+               [j.jid for j in FCFS().order(jobs, 5000.0)]
+
+    def test_name(self):
+        assert FCFS().name == "fcfs"
+
+
+class TestWFP:
+    def test_prefers_large_jobs_at_equal_wait(self):
+        small = make_job(1, 0.0, nodes=8)
+        large = make_job(2, 0.0, nodes=1024)
+        ordered = WFP().order([small, large], now=1000.0)
+        assert ordered[0].jid == 2
+
+    def test_wait_grows_priority(self):
+        waited = make_job(1, 0.0, nodes=10)
+        fresh = make_job(2, 990.0, nodes=10)
+        ordered = WFP().order([waited, fresh], now=1000.0)
+        assert ordered[0].jid == 1
+
+    def test_short_walltime_boosts_priority(self):
+        # Normalising by walltime lets short jobs accumulate priority faster.
+        short = make_job(1, 0.0, nodes=10, walltime=600.0)
+        long = make_job(2, 0.0, nodes=10, walltime=6000.0)
+        ordered = WFP().order([short, long], now=300.0)
+        assert ordered[0].jid == 1
+
+    def test_cubic_exponent_value(self):
+        wfp = WFP()
+        job = make_job(1, 0.0, nodes=10, walltime=100.0)
+        # wait/walltime = 2 → priority = 10 * 8
+        assert wfp.priority(job, now=200.0) == pytest.approx(80.0)
+
+    def test_zero_wait_zero_priority(self):
+        job = make_job(1, 100.0, nodes=10)
+        assert WFP().priority(job, now=100.0) == 0.0
+
+    def test_negative_wait_clamped(self):
+        job = make_job(1, 100.0, nodes=10)
+        assert WFP().priority(job, now=50.0) == 0.0
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            WFP(exponent=0.0)
+
+    def test_capability_mission(self):
+        """WFP realises ALCF's large-job preference (§4.4): with equal
+        normalised wait, bigger jobs always outrank smaller ones."""
+        jobs = [make_job(i, 0.0, nodes=2**i) for i in range(1, 6)]
+        ordered = WFP().order(jobs, now=500.0)
+        assert [j.jid for j in ordered] == [5, 4, 3, 2, 1]

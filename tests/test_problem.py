@@ -1,0 +1,171 @@
+"""MOO problem formulations: evaluation, feasibility, repair, forced genes."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import (
+    SelectionProblem,
+    SSDSelectionProblem,
+    window_demand_matrix,
+)
+from repro.errors import SolverError
+from repro.simulator.job import Job
+
+
+def make_job(jid, nodes, bb=0.0, ssd=0.0):
+    return Job(jid=jid, submit_time=0.0, runtime=10.0, walltime=10.0,
+               nodes=nodes, bb=bb, ssd=ssd)
+
+
+JOBS = [make_job(1, 80, 20.0), make_job(2, 10, 85.0),
+        make_job(3, 40, 5.0), make_job(4, 10, 0.0), make_job(5, 20, 0.0)]
+
+
+class TestWindowDemandMatrix:
+    def test_shape_and_values(self):
+        D = window_demand_matrix(JOBS)
+        assert D.shape == (5, 2)
+        assert D[0].tolist() == [80.0, 20.0]
+
+    def test_empty(self):
+        assert window_demand_matrix([]).shape == (0, 2)
+
+
+class TestSelectionProblem:
+    def test_from_window(self):
+        p = SelectionProblem.from_window(JOBS, 100, 100.0)
+        assert p.w == 5
+        assert p.n_objectives == 2
+
+    def test_evaluate(self):
+        p = SelectionProblem.from_window(JOBS, 100, 100.0)
+        pop = np.array([[1, 0, 0, 0, 1], [0, 1, 1, 1, 1]], dtype=np.uint8)
+        F = p.evaluate(pop)
+        assert F[0].tolist() == [100.0, 20.0]
+        assert F[1].tolist() == [80.0, 90.0]
+
+    def test_feasible(self):
+        p = SelectionProblem.from_window(JOBS, 100, 100.0)
+        pop = np.array([[1, 1, 0, 0, 0],   # 90 nodes, 105 BB -> infeasible
+                        [1, 0, 0, 0, 1]], dtype=np.uint8)
+        assert p.feasible(pop).tolist() == [False, True]
+
+    def test_empty_selection_always_feasible(self):
+        p = SelectionProblem.from_window(JOBS, 0, 0.0)
+        pop = np.zeros((1, 5), dtype=np.uint8)
+        assert p.feasible(pop).tolist() == [True]
+
+    def test_repair_produces_feasible(self):
+        p = SelectionProblem.from_window(JOBS, 50, 50.0)
+        pop = np.ones((8, 5), dtype=np.uint8)
+        fixed = p.repair(pop, seed=0)
+        assert p.feasible(fixed).all()
+
+    def test_repair_does_not_mutate_input(self):
+        p = SelectionProblem.from_window(JOBS, 50, 50.0)
+        pop = np.ones((2, 5), dtype=np.uint8)
+        p.repair(pop, seed=0)
+        assert pop.all()
+
+    def test_repair_keeps_forced(self):
+        p = SelectionProblem.from_window(JOBS, 100, 100.0, forced=[1])
+        pop = np.ones((10, 5), dtype=np.uint8)
+        fixed = p.repair(pop, seed=0)
+        assert (fixed[:, 1] == 1).all()
+        assert p.feasible(fixed).all()
+
+    def test_forced_exceeding_capacity_rejected(self):
+        with pytest.raises(SolverError):
+            SelectionProblem.from_window(JOBS, 50, 100.0, forced=[0, 2])  # 120 nodes
+
+    def test_forced_out_of_range_rejected(self):
+        with pytest.raises(SolverError):
+            SelectionProblem.from_window(JOBS, 100, 100.0, forced=[9])
+
+    def test_random_population_feasible(self):
+        p = SelectionProblem.from_window(JOBS, 60, 60.0)
+        pop = p.random_population(50, seed=1)
+        assert pop.shape == (50, 5)
+        assert p.feasible(pop).all()
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(SolverError):
+            SelectionProblem(np.array([[-1.0, 0.0]]), [10.0, 10.0])
+
+    def test_capacity_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            SelectionProblem(np.ones((3, 2)), [10.0])
+
+    def test_population_shape_checked(self):
+        p = SelectionProblem.from_window(JOBS, 100, 100.0)
+        with pytest.raises(SolverError):
+            p.evaluate(np.zeros((2, 4), dtype=np.uint8))
+
+
+class TestSSDSelectionProblem:
+    def _problem(self, forced=()):
+        jobs = [make_job(1, 2, bb=10.0, ssd=64.0),
+                make_job(2, 2, bb=0.0, ssd=200.0),
+                make_job(3, 1, bb=5.0, ssd=0.0)]
+        return SSDSelectionProblem(
+            jobs, free_nodes=4, free_bb=20.0,
+            free_tiers={128.0: 2, 256.0: 2}, forced=forced,
+        )
+
+    def test_four_objectives(self):
+        assert self._problem().n_objectives == 4
+
+    def test_evaluate_linear_objectives(self):
+        p = self._problem()
+        pop = np.array([[1, 1, 0]], dtype=np.uint8)
+        F = p.evaluate(pop)
+        assert F[0, 0] == 4.0                       # nodes
+        assert F[0, 1] == 10.0                      # bb
+        assert F[0, 2] == 64.0 * 2 + 200.0 * 2      # ssd*nodes
+
+    def test_waste_objective_greedy_assignment(self):
+        p = self._problem()
+        # Job 1 alone: 2 nodes on the 128 tier, waste (128-64)*2.
+        F = p.evaluate(np.array([[1, 0, 0]], dtype=np.uint8))
+        assert F[0, 3] == pytest.approx(-(128.0 - 64.0) * 2)
+        # Jobs 1+2: job1 takes both 128s, job2 both 256s.
+        F = p.evaluate(np.array([[1, 1, 0]], dtype=np.uint8))
+        assert F[0, 3] == pytest.approx(-(64.0 * 2 + 56.0 * 2))
+
+    def test_tier_feasibility(self):
+        p = self._problem()
+        # Two large-SSD jobs would need 4 nodes with >=200GB; only 2 exist.
+        jobs = [make_job(1, 2, ssd=200.0), make_job(2, 2, ssd=200.0)]
+        p2 = SSDSelectionProblem(jobs, 4, 0.0, {128.0: 2, 256.0: 2})
+        pop = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        assert p2.feasible(pop).tolist() == [False, True]
+
+    def test_bb_constraint(self):
+        p = self._problem()
+        jobs = [make_job(1, 1, bb=15.0), make_job(2, 1, bb=15.0)]
+        p2 = SSDSelectionProblem(jobs, 4, 20.0, {128.0: 2, 256.0: 2})
+        pop = np.array([[1, 1]], dtype=np.uint8)
+        assert not p2.feasible(pop)[0]
+
+    def test_window_order_fixes_assignment(self):
+        # Earlier window job gets the small tier first.
+        jobs = [make_job(1, 2, ssd=64.0), make_job(2, 2, ssd=100.0)]
+        p = SSDSelectionProblem(jobs, 4, 0.0, {128.0: 2, 256.0: 2})
+        F = p.evaluate(np.array([[1, 1]], dtype=np.uint8))
+        # job1 takes 128s (waste 64*2); job2 spills to 256s (waste 156*2).
+        assert F[0, 3] == pytest.approx(-(64.0 * 2 + 156.0 * 2))
+
+    def test_tier_count_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            SSDSelectionProblem([make_job(1, 1)], 5, 0.0, {128.0: 2, 256.0: 2})
+
+    def test_forced_validation(self):
+        with pytest.raises(SolverError):
+            jobs = [make_job(1, 4, ssd=200.0)]
+            SSDSelectionProblem(jobs, 4, 0.0, {128.0: 2, 256.0: 2}, forced=[0])
+
+    def test_repair_feasible(self):
+        p = self._problem()
+        pop = np.ones((6, 3), dtype=np.uint8)
+        fixed = p.repair(pop, seed=0)
+        assert p.feasible(fixed).all()

@@ -1,0 +1,174 @@
+"""Property-based tests for the MOO core (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exhaustive import ExhaustiveSolver, bit_matrix
+from repro.core.ga import MOGASolver
+from repro.core.gd import generational_distance, hypervolume_2d
+from repro.core.pareto import non_dominated_mask, pareto_front_2d
+from repro.core.problem import SelectionProblem
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# --- strategies -----------------------------------------------------------------
+
+@st.composite
+def selection_problems(draw, max_w=8):
+    """Random small selection problems, always with a feasible empty set."""
+    w = draw(st.integers(min_value=1, max_value=max_w))
+    nodes = draw(st.lists(st.integers(1, 50), min_size=w, max_size=w))
+    bbs = draw(st.lists(st.integers(0, 80), min_size=w, max_size=w))
+    cap_n = draw(st.integers(1, 120))
+    cap_b = draw(st.integers(0, 150))
+    demands = np.array([[float(n), float(b)] for n, b in zip(nodes, bbs)])
+    return SelectionProblem(demands, [float(cap_n), float(cap_b)])
+
+
+objective_matrices = st.integers(1, 40).flatmap(
+    lambda n: st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=n, max_size=n,
+    ).map(lambda rows: np.array(rows, dtype=float))
+)
+
+
+# --- Pareto invariants --------------------------------------------------------------
+
+class TestParetoProperties:
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_front_members_not_dominated(self, F):
+        mask = non_dominated_mask(F)
+        front = F[mask]
+        for u in front:
+            dominated = ((F >= u).all(axis=1) & (F > u).any(axis=1)).any()
+            assert not dominated
+
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_non_front_members_are_dominated(self, F):
+        mask = non_dominated_mask(F)
+        for i in np.flatnonzero(~mask):
+            dominated = ((F >= F[i]).all(axis=1) & (F > F[i]).any(axis=1)).any()
+            assert dominated
+
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_2d_matches_general(self, F):
+        fast = set(map(tuple, F[pareto_front_2d(F)]))
+        slow = set(map(tuple, F[non_dominated_mask(F)]))
+        assert fast == slow
+
+    @given(objective_matrices, st.randoms(use_true_random=False))
+    @settings(**COMMON)
+    def test_permutation_invariant(self, F, rnd):
+        perm = list(range(F.shape[0]))
+        rnd.shuffle(perm)
+        a = set(map(tuple, F[non_dominated_mask(F)]))
+        G = F[perm]
+        b = set(map(tuple, G[non_dominated_mask(G)]))
+        assert a == b
+
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_front_never_empty(self, F):
+        assert non_dominated_mask(F).any()
+
+
+# --- problem / repair invariants -----------------------------------------------------
+
+class TestProblemProperties:
+    @given(selection_problems(), st.integers(0, 2**31 - 1))
+    @settings(**COMMON, max_examples=40)
+    def test_repair_always_feasible(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 2, size=(16, problem.w), dtype=np.uint8)
+        fixed = problem.repair(pop, seed)
+        assert problem.feasible(fixed).all()
+
+    @given(selection_problems(), st.integers(0, 2**31 - 1))
+    @settings(**COMMON, max_examples=40)
+    def test_repair_only_clears_genes(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 2, size=(8, problem.w), dtype=np.uint8)
+        fixed = problem.repair(pop, seed)
+        # Without forced genes, repair may only turn 1s into 0s.
+        assert (fixed <= pop).all()
+
+    @given(selection_problems())
+    @settings(**COMMON, max_examples=40)
+    def test_greedy_chromosomes_feasible(self, problem):
+        seeds = problem.greedy_chromosomes()
+        if seeds.shape[0]:
+            assert problem.feasible(seeds).all()
+
+    @given(selection_problems(), st.integers(0, 2**31 - 1))
+    @settings(**COMMON, max_examples=30)
+    def test_random_population_feasible(self, problem, seed):
+        pop = problem.random_population(12, seed)
+        assert pop.shape == (12, problem.w)
+        assert problem.feasible(pop).all()
+
+
+# --- GA / exhaustive invariants --------------------------------------------------------
+
+class TestSolverProperties:
+    @given(selection_problems(max_w=6), st.integers(0, 1000))
+    @settings(**COMMON, max_examples=15)
+    def test_ga_solutions_feasible_and_nondominated(self, problem, seed):
+        result = MOGASolver(generations=30, population=8, seed=seed).solve(problem)
+        assert problem.feasible(result.genes).all()
+        if len(result) > 1:
+            assert non_dominated_mask(result.objectives).all()
+
+    @given(selection_problems(max_w=6), st.integers(0, 1000))
+    @settings(**COMMON, max_examples=10)
+    def test_ga_front_within_true_front(self, problem, seed):
+        """Every GA objective vector is dominated-or-equal by the true front."""
+        truth = ExhaustiveSolver().solve(problem)
+        approx = MOGASolver(generations=40, population=8, seed=seed).solve(problem)
+        for u in approx.objectives:
+            assert ((truth.objectives >= u - 1e-9).all(axis=1)).any()
+
+    @given(selection_problems(max_w=6))
+    @settings(**COMMON, max_examples=15)
+    def test_exhaustive_front_dominates_everything(self, problem):
+        truth = ExhaustiveSolver().solve(problem)
+        pop = bit_matrix(0, 1 << problem.w, problem.w)
+        pop = pop[problem.feasible(pop)]
+        F = problem.evaluate(pop)
+        for f in F:
+            assert ((truth.objectives >= f - 1e-9).all(axis=1)).any()
+
+    @given(st.integers(1, 12))
+    @settings(**COMMON)
+    def test_bit_matrix_is_binary_expansion(self, w):
+        M = bit_matrix(0, 1 << w, w)
+        codes = (M.astype(np.int64) * (1 << np.arange(w))).sum(axis=1)
+        assert (codes == np.arange(1 << w)).all()
+
+
+# --- quality metric invariants --------------------------------------------------------
+
+class TestQualityMetricProperties:
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_gd_zero_against_self(self, F):
+        assert generational_distance(F, F) == pytest.approx(0.0)
+
+    @given(objective_matrices, st.tuples(st.integers(0, 5), st.integers(0, 5)))
+    @settings(**COMMON)
+    def test_gd_nonnegative(self, F, shift):
+        G = F + np.asarray(shift, dtype=float)
+        assert generational_distance(F, G) >= 0.0
+
+    @given(objective_matrices, st.tuples(st.integers(1, 20), st.integers(1, 20)))
+    @settings(**COMMON)
+    def test_hypervolume_monotone_in_points(self, F, extra):
+        base = hypervolume_2d(F)
+        grown = hypervolume_2d(np.vstack([F, np.asarray(extra, dtype=float)]))
+        assert grown >= base - 1e-12

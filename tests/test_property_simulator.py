@@ -1,0 +1,176 @@
+"""Property-based tests for the simulator substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.methods import make_selector
+from repro.policies import FCFS, WFP
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SchedulingEngine
+from repro.simulator.job import Job, JobState
+from repro.simulator.recorder import StepSeries
+from repro.simulator.ssd_pool import SSDPool
+from repro.simulator.validate import validate_schedule
+from repro.windows import WindowPolicy
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# --- strategies -----------------------------------------------------------------
+
+@st.composite
+def job_traces(draw, max_jobs=14):
+    n = draw(st.integers(1, max_jobs))
+    jobs = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(0.0, 50.0, allow_nan=False))
+        runtime = draw(st.floats(1.0, 200.0, allow_nan=False))
+        jobs.append(Job(
+            jid=i,
+            submit_time=t,
+            runtime=runtime,
+            walltime=runtime * draw(st.floats(1.0, 3.0, allow_nan=False)),
+            nodes=draw(st.integers(1, 8)),
+            bb=float(draw(st.integers(0, 40))),
+        ))
+    return jobs
+
+
+class TestStepSeriesProperties:
+    @given(st.lists(st.tuples(st.floats(0.0, 100.0, allow_nan=False),
+                              st.floats(0.0, 10.0, allow_nan=False)),
+                    min_size=1, max_size=20))
+    @settings(**COMMON)
+    def test_integral_additive(self, observations):
+        s = StepSeries(1.0)
+        for dt, v in observations:
+            s.observe(s.last_time + dt, v)
+        a, b, c = 0.0, 40.0, 120.0
+        total = s.integral(a, c)
+        split = s.integral(a, b) + s.integral(b, c)
+        assert total == pytest.approx(split)
+
+    @given(st.lists(st.tuples(st.floats(0.01, 50.0, allow_nan=False),
+                              st.floats(0.0, 10.0, allow_nan=False)),
+                    min_size=1, max_size=20))
+    @settings(**COMMON)
+    def test_mean_bounded_by_extremes(self, observations):
+        s = StepSeries(5.0)
+        values = [5.0]
+        for dt, v in observations:
+            s.observe(s.last_time + dt, v)
+            values.append(v)
+        m = s.mean(0.0, s.last_time + 10.0)
+        assert min(values) - 1e-9 <= m <= max(values) + 1e-9
+
+
+class TestSSDPoolProperties:
+    @given(st.lists(st.tuples(st.integers(1, 4), st.sampled_from([0.0, 64.0, 128.0, 200.0])),
+                    min_size=1, max_size=12))
+    @settings(**COMMON)
+    def test_allocate_release_conserves(self, requests):
+        pool = SSDPool({128.0: 6, 256.0: 6})
+        total = pool.total_nodes
+        held = []
+        for nodes, ssd in requests:
+            if pool.can_fit(nodes, ssd):
+                held.append(pool.allocate(nodes, ssd))
+            elif held:
+                pool.release(held.pop())
+            free = pool.free_nodes
+            assert 0 <= free <= total
+            assert free + sum(a.node_count for a in held) == total
+        for a in held:
+            pool.release(a)
+        assert pool.free_per_tier() == pool.total_per_tier()
+
+    @given(st.integers(1, 12), st.sampled_from([0.0, 64.0, 128.0, 200.0]))
+    @settings(**COMMON)
+    def test_waste_nonnegative_and_assignment_qualifies(self, nodes, ssd):
+        pool = SSDPool({128.0: 6, 256.0: 6})
+        if not pool.can_fit(nodes, ssd):
+            return
+        a = pool.allocate(nodes, ssd)
+        assert a.waste >= 0.0
+        assert all(cap >= ssd for cap in a.capacities())
+
+
+class TestEngineProperties:
+    @given(job_traces(), st.sampled_from(["Baseline", "Bin_Packing"]))
+    @settings(**COMMON, max_examples=25)
+    def test_every_job_completes_exactly_once(self, jobs, method):
+        cluster = Cluster(nodes=8, bb_capacity=40.0)
+        engine = SchedulingEngine(
+            cluster, FCFS(), make_selector(method, generations=5, seed=0),
+            WindowPolicy(size=4, starvation_bound=20),
+        )
+        result = engine.run(jobs)
+        for job in result.jobs:
+            assert job.state is JobState.COMPLETED
+            assert job.start_time is not None
+            assert job.start_time >= job.submit_time
+            assert job.end_time == pytest.approx(job.start_time + job.runtime)
+
+    @given(job_traces(), st.integers(0, 100))
+    @settings(**COMMON, max_examples=15)
+    def test_capacity_never_exceeded(self, jobs, seed):
+        cluster = Cluster(nodes=8, bb_capacity=40.0)
+        engine = SchedulingEngine(
+            cluster, WFP(), make_selector("BBSched", generations=8, seed=seed),
+            WindowPolicy(size=4, starvation_bound=20),
+        )
+        result = engine.run(jobs)
+        _, node_levels = result.recorder.nodes.as_arrays()
+        _, bb_levels = result.recorder.bb.as_arrays()
+        assert (node_levels <= 8 + 1e-9).all()
+        assert (bb_levels <= 40.0 + 1e-6).all()
+        assert (node_levels >= -1e-9).all()
+        assert (bb_levels >= -1e-6).all()
+
+    @given(job_traces(), st.sampled_from(["Baseline", "BBSched"]))
+    @settings(**COMMON, max_examples=20)
+    def test_schedule_validates_post_hoc(self, jobs, method):
+        """The independent validator accepts every engine schedule."""
+        cluster = Cluster(nodes=8, bb_capacity=40.0)
+        engine = SchedulingEngine(
+            cluster, WFP(), make_selector(method, generations=6, seed=2),
+            WindowPolicy(size=4, starvation_bound=10),
+        )
+        result = engine.run(jobs)
+        report = validate_schedule(result.jobs, total_nodes=8, bb_capacity=40.0)
+        report.raise_if_invalid()
+
+    @given(job_traces())
+    @settings(**COMMON, max_examples=15)
+    def test_work_conservation(self, jobs):
+        """Total node-seconds recorded equals the trace's node-seconds."""
+        cluster = Cluster(nodes=8, bb_capacity=40.0)
+        engine = SchedulingEngine(
+            cluster, FCFS(), make_selector("Baseline"), WindowPolicy(size=4),
+        )
+        result = engine.run(jobs)
+        recorded = result.recorder.nodes.integral(0.0, result.makespan + 1.0)
+        expected = sum(j.node_seconds for j in jobs)
+        assert recorded == pytest.approx(expected, rel=1e-9)
+
+    @given(job_traces())
+    @settings(**COMMON, max_examples=10)
+    def test_methods_agree_on_total_work(self, jobs):
+        """Different methods schedule the same jobs — only timing differs."""
+        ends = {}
+        for method in ("Baseline", "Bin_Packing"):
+            fresh = [Job(jid=j.jid, submit_time=j.submit_time, runtime=j.runtime,
+                         walltime=j.walltime, nodes=j.nodes, bb=j.bb)
+                     for j in jobs]  # jobs carry run state; copy per engine
+            cluster = Cluster(nodes=8, bb_capacity=40.0)
+            engine = SchedulingEngine(
+                cluster, FCFS(), make_selector(method, generations=5, seed=1),
+                WindowPolicy(size=4),
+            )
+            result = engine.run(fresh)
+            ends[method] = sorted(j.jid for j in result.jobs
+                                  if j.state is JobState.COMPLETED)
+        assert ends["Baseline"] == ends["Bin_Packing"]

@@ -1,0 +1,91 @@
+"""Step-series recorder: exact time-weighted integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.recorder import StepSeries, UsageRecorder
+
+
+class TestStepSeries:
+    def test_initial_level(self):
+        s = StepSeries(5.0)
+        assert s.integral(0.0, 10.0) == pytest.approx(50.0)
+
+    def test_single_step(self):
+        s = StepSeries(0.0)
+        s.observe(5.0, 2.0)
+        assert s.integral(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_multiple_steps(self):
+        s = StepSeries(1.0)
+        s.observe(2.0, 3.0)   # [0,2): 1, [2,5): 3, [5,..): 0
+        s.observe(5.0, 0.0)
+        assert s.integral(0.0, 8.0) == pytest.approx(2.0 + 9.0 + 0.0)
+
+    def test_partial_interval(self):
+        s = StepSeries(2.0)
+        s.observe(4.0, 6.0)
+        assert s.integral(3.0, 5.0) == pytest.approx(2.0 + 6.0)
+
+    def test_interval_before_first_change(self):
+        s = StepSeries(2.0)
+        s.observe(10.0, 5.0)
+        assert s.integral(0.0, 4.0) == pytest.approx(8.0)
+
+    def test_interval_after_last_change_extends_flat(self):
+        s = StepSeries(0.0)
+        s.observe(1.0, 7.0)
+        assert s.integral(5.0, 10.0) == pytest.approx(35.0)
+
+    def test_same_time_overwrites(self):
+        s = StepSeries(0.0)
+        s.observe(1.0, 5.0)
+        s.observe(1.0, 9.0)
+        assert s.integral(1.0, 2.0) == pytest.approx(9.0)
+
+    def test_out_of_order_rejected(self):
+        s = StepSeries(0.0)
+        s.observe(5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            s.observe(4.0, 1.0)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepSeries(0.0).integral(5.0, 4.0)
+
+    def test_mean(self):
+        s = StepSeries(0.0)
+        s.observe(5.0, 10.0)
+        assert s.mean(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_mean_empty_interval(self):
+        assert StepSeries(3.0).mean(1.0, 1.0) == 0.0
+
+    def test_as_arrays(self):
+        s = StepSeries(1.0)
+        s.observe(2.0, 3.0)
+        times, values = s.as_arrays()
+        assert times.tolist() == [0.0, 2.0]
+        assert values.tolist() == [1.0, 3.0]
+
+    def test_last_accessors(self):
+        s = StepSeries(1.0)
+        s.observe(4.0, 9.0)
+        assert s.last_time == 4.0
+        assert s.last_value == 9.0
+
+
+class TestUsageRecorder:
+    def test_observe_cluster_feeds_all_series(self):
+        r = UsageRecorder()
+        r.observe_cluster(1.0, nodes_used=4, bb_used=10.0, ssd_used=6.0, ssd_waste=2.0)
+        assert r.nodes.mean(0.0, 2.0) == pytest.approx(2.0)
+        assert r.bb.mean(1.0, 2.0) == pytest.approx(10.0)
+        assert r.ssd.mean(1.0, 2.0) == pytest.approx(6.0)
+        assert r.ssd_waste.mean(1.0, 2.0) == pytest.approx(2.0)
+
+    def test_observe_queue(self):
+        r = UsageRecorder()
+        r.observe_queue(2.0, 5)
+        assert r.queue.mean(2.0, 4.0) == pytest.approx(5.0)

@@ -1,0 +1,80 @@
+"""ASCII report rendering."""
+
+import pytest
+
+from repro.experiments.report import (
+    bar_chart,
+    format_table,
+    hours,
+    improvement_vs,
+    percent,
+    pivot_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table([["a", 1], ["bbbb", 22]], ["col", "n"])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        out = format_table([["x"]], ["h"], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_header_rule(self):
+        out = format_table([["x"]], ["h"])
+        assert set(out.splitlines()[1]) <= {"-", "+"}
+
+
+class TestPivotTable:
+    def test_missing_cells_dashed(self):
+        out = pivot_table({"r": {"a": 1.0}}, columns=["a", "b"])
+        assert "-" in out.splitlines()[-1]
+
+    def test_custom_format(self):
+        out = pivot_table({"r": {"a": 0.5}}, columns=["a"], fmt=percent)
+        assert "50.00%" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart({"big": 10.0, "small": 1.0})
+        big_line, small_line = out.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_empty(self):
+        assert bar_chart({}, title="T") == "T"
+
+    def test_zero_values(self):
+        out = bar_chart({"z": 0.0})
+        assert "#" not in out
+
+    def test_max_value_override(self):
+        out = bar_chart({"a": 1.0}, max_value=10.0)
+        assert out.count("#") == 4  # 1/10 of BAR_WIDTH=40
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert percent(0.1234) == "12.34%"
+
+    def test_hours(self):
+        assert hours(7200.0) == "2.00h"
+
+
+class TestImprovementVs:
+    def test_higher_is_better(self):
+        out = improvement_vs({"base": 10.0, "x": 12.0}, "base")
+        assert out["x"] == pytest.approx(0.2)
+        assert out["base"] == 0.0
+
+    def test_lower_is_better(self):
+        out = improvement_vs({"base": 10.0, "x": 8.0}, "base",
+                             lower_is_better=True)
+        assert out["x"] == pytest.approx(0.2)
+
+    def test_zero_baseline(self):
+        out = improvement_vs({"base": 0.0, "x": 5.0}, "base")
+        assert out["x"] == 0.0

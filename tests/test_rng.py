@@ -1,0 +1,64 @@
+"""Deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, make_rng, split_rng
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, 20)
+        b = make_rng(2).integers(0, 1_000_000, 20)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        a = make_rng(ss).integers(0, 1000, 5)
+        b = make_rng(np.random.SeedSequence(5)).integers(0, 1000, 5)
+        assert (a == b).all()
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSplitRng:
+    def test_children_count(self):
+        assert len(split_rng(3, 5)) == 5
+
+    def test_children_independent_streams(self):
+        a, b = split_rng(3, 2)
+        assert (a.integers(0, 1 << 30, 10) != b.integers(0, 1 << 30, 10)).any()
+
+    def test_deterministic(self):
+        a1, _ = split_rng(9, 2)
+        a2, _ = split_rng(9, 2)
+        assert (a1.integers(0, 1 << 30, 10) == a2.integers(0, 1 << 30, 10)).all()
+
+    def test_salt_changes_streams(self):
+        (a,) = split_rng(9, 1, salt=0)
+        (b,) = split_rng(9, 1, salt=1)
+        assert (a.integers(0, 1 << 30, 10) != b.integers(0, 1 << 30, 10)).any()
+
+    def test_none_seed_uses_default(self):
+        (a,) = split_rng(None, 1)
+        (b,) = split_rng(DEFAULT_SEED, 1)
+        assert (a.integers(0, 1 << 30, 10) == b.integers(0, 1 << 30, 10)).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_rng(1, -1)
+
+    def test_generator_seed_split(self):
+        gen = np.random.default_rng(4)
+        kids = split_rng(gen, 3)
+        assert len(kids) == 3

@@ -1,0 +1,86 @@
+"""Scalarized GA used by the weighted and constrained methods."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import bit_matrix
+from repro.core.problem import SelectionProblem
+from repro.core.scalar import ScalarGASolver
+from repro.errors import SolverError
+from repro.simulator.job import Job
+
+
+def make_job(jid, nodes, bb):
+    return Job(jid=jid, submit_time=0.0, runtime=10.0, walltime=10.0,
+               nodes=nodes, bb=bb)
+
+
+def table1_problem():
+    jobs = [make_job(1, 80, 20.0), make_job(2, 10, 85.0),
+            make_job(3, 40, 5.0), make_job(4, 10, 0.0), make_job(5, 20, 0.0)]
+    return SelectionProblem.from_window(jobs, 100, 100.0)
+
+
+def brute_force_best(problem, coeffs):
+    pop = bit_matrix(0, 1 << problem.w, problem.w)
+    pop = pop[problem.feasible(pop)]
+    fitness = problem.evaluate(pop) @ np.asarray(coeffs)
+    return float(fitness.max())
+
+
+class TestConstruction:
+    def test_empty_coeffs_rejected(self):
+        with pytest.raises(SolverError):
+            ScalarGASolver([])
+
+    def test_matrix_coeffs_rejected(self):
+        with pytest.raises(SolverError):
+            ScalarGASolver([[1.0, 2.0]])
+
+
+class TestBest:
+    def test_constrained_cpu_finds_optimum(self):
+        """coeffs [1,0] = Constrained_CPU: max node utilization."""
+        problem = table1_problem()
+        best = ScalarGASolver([1.0, 0.0], generations=200, seed=0).best(problem)
+        assert best.objectives[0] == brute_force_best(problem, [1.0, 0.0]) == 100.0
+
+    def test_constrained_bb_finds_optimum(self):
+        problem = table1_problem()
+        best = ScalarGASolver([0.0, 1.0], generations=200, seed=0).best(problem)
+        assert best.objectives[1] == brute_force_best(problem, [0.0, 1.0]) == 90.0
+
+    def test_weighted_5050_finds_optimum(self):
+        problem = table1_problem()
+        coeffs = [0.5 / 100.0, 0.5 / 100.0]
+        best = ScalarGASolver(coeffs, generations=200, seed=0).best(problem)
+        assert best.fitness == pytest.approx(brute_force_best(problem, coeffs))
+
+    def test_weighted_8020_picks_solution2(self):
+        """The Table 1 weighted method (80/20) selects J1+J5."""
+        problem = table1_problem()
+        coeffs = [0.8 / 100.0, 0.2 / 100.0]
+        best = ScalarGASolver(coeffs, generations=200, seed=0).best(problem)
+        assert best.genes.tolist() == [1, 0, 0, 0, 1]
+
+    def test_solution_feasible(self):
+        problem = table1_problem()
+        best = ScalarGASolver([1.0, 1.0], generations=50, seed=1).best(problem)
+        assert problem.feasible(best.genes[None, :])[0]
+
+    def test_coeff_dimension_mismatch(self):
+        with pytest.raises(SolverError):
+            ScalarGASolver([1.0, 2.0, 3.0], generations=5, seed=0).best(
+                table1_problem())
+
+    def test_deterministic(self):
+        problem = table1_problem()
+        a = ScalarGASolver([1.0, 0.5], generations=30, seed=5).best(problem)
+        b = ScalarGASolver([1.0, 0.5], generations=30, seed=5).best(problem)
+        assert a.genes.tolist() == b.genes.tolist()
+
+    def test_empty_window(self):
+        problem = SelectionProblem(np.zeros((0, 2)), [1.0, 1.0])
+        best = ScalarGASolver([1.0, 0.0], generations=5, seed=0).best(problem)
+        assert best.genes.size == 0
+        assert best.fitness == 0.0

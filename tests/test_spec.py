@@ -1,0 +1,112 @@
+"""Machine specifications (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import PB
+from repro.workloads.spec import CORI, MACHINES, THETA, MachineSpec, get_machine
+
+
+class TestPaperSpecs:
+    def test_cori_table2(self):
+        assert CORI.nodes == 12_076
+        assert CORI.bb_capacity == pytest.approx(1.8 * PB)
+        assert CORI.base_policy == "fcfs"
+
+    def test_cori_persistent_reservation(self):
+        # One third of Cori's burst buffer is persistently reserved (§4.1).
+        assert CORI.schedulable_bb == pytest.approx(1.2 * PB)
+
+    def test_theta_table2(self):
+        assert THETA.nodes == 4_392
+        assert THETA.bb_capacity == pytest.approx(2.16 * PB)
+        assert THETA.base_policy == "wfp"
+        assert THETA.schedulable_bb == THETA.bb_capacity
+
+    def test_registry(self):
+        assert get_machine("cori") is CORI
+        assert get_machine("THETA") is THETA
+        assert set(MACHINES) == {"cori", "theta"}
+
+    def test_unknown_machine(self):
+        with pytest.raises(ConfigurationError):
+            get_machine("summit")
+
+
+class TestValidation:
+    def test_nonpositive_nodes(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", nodes=0, bb_capacity=1.0)
+
+    def test_negative_bb(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", nodes=1, bb_capacity=-1.0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", nodes=1, bb_capacity=0.0, base_policy="lifo")
+
+    def test_ssd_tier_coverage(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(name="x", nodes=4, bb_capacity=0.0,
+                        ssd_tiers=((128.0, 2),))
+
+
+class TestMakeCluster:
+    def test_cluster_matches_spec(self):
+        cluster = THETA.make_cluster()
+        assert cluster.total_nodes == THETA.nodes
+        assert cluster.bb_capacity == pytest.approx(THETA.schedulable_bb)
+
+    def test_fresh_instances(self):
+        assert THETA.make_cluster() is not THETA.make_cluster()
+
+    def test_ssd_tiers_propagate(self):
+        spec = THETA.with_ssd_split()
+        cluster = spec.make_cluster()
+        assert cluster.has_ssd_tiers
+
+
+class TestScaled:
+    def test_scale_divides(self):
+        small = THETA.scaled(8)
+        assert small.nodes == THETA.nodes // 8
+        assert small.bb_capacity == pytest.approx(THETA.bb_capacity / 8)
+        assert small.name == "Theta/8"
+
+    def test_scale_one_is_identity(self):
+        assert THETA.scaled(1) is THETA
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            THETA.scaled(0)
+
+    def test_scaled_with_tiers_consistent(self):
+        spec = THETA.with_ssd_split().scaled(8)
+        assert sum(n for _, n in spec.ssd_tiers) == spec.nodes
+        spec.make_cluster()  # must not raise
+
+
+class TestSSDSplit:
+    def test_fifty_fifty(self):
+        spec = THETA.with_ssd_split()
+        tiers = dict(spec.ssd_tiers)
+        assert set(tiers) == {128.0, 256.0}
+        assert abs(tiers[128.0] - tiers[256.0]) <= 1
+        assert tiers[128.0] + tiers[256.0] == spec.nodes
+
+    def test_ssd_total(self):
+        spec = MachineSpec(name="x", nodes=4, bb_capacity=0.0,
+                           ssd_tiers=((128.0, 2), (256.0, 2)))
+        assert spec.ssd_total == 768.0
+
+    def test_no_tiers_total_zero(self):
+        assert THETA.ssd_total == 0.0
+
+    def test_custom_fraction(self):
+        spec = THETA.with_ssd_split(small_fraction=1.0)
+        assert dict(spec.ssd_tiers) == {128.0: THETA.nodes}
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            THETA.with_ssd_split(small_fraction=1.5)

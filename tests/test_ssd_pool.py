@@ -1,0 +1,123 @@
+"""Heterogeneous local-SSD pool: tiers, allocation preference, waste."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.simulator.ssd_pool import SSDAssignment, SSDPool
+
+
+class TestConstruction:
+    def test_basic(self):
+        pool = SSDPool({128.0: 10, 256.0: 10})
+        assert pool.total_nodes == 20
+        assert pool.free_nodes == 20
+        assert pool.capacities == (128.0, 256.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSDPool({})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSDPool({-1.0: 5})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSDPool({128.0: -5})
+
+    def test_int_capacities_coerced_to_float(self):
+        pool = SSDPool({128: 5})
+        assert pool.capacities == (128.0,)
+        assert pool.total_nodes == 5
+
+
+class TestQueries:
+    def test_free_at_least(self):
+        pool = SSDPool({128.0: 10, 256.0: 6})
+        assert pool.free_at_least(0.0) == 16
+        assert pool.free_at_least(128.0) == 16
+        assert pool.free_at_least(129.0) == 6
+        assert pool.free_at_least(257.0) == 0
+
+    def test_can_fit(self):
+        pool = SSDPool({128.0: 4, 256.0: 2})
+        assert pool.can_fit(6, 0.0)
+        assert pool.can_fit(2, 200.0)
+        assert not pool.can_fit(3, 200.0)
+        assert not pool.can_fit(7, 0.0)
+
+
+class TestAllocation:
+    def test_prefers_smallest_qualifying_tier(self):
+        pool = SSDPool({128.0: 4, 256.0: 4})
+        a = pool.allocate(3, 64.0)
+        assert dict(a.per_tier) == {128.0: 3}
+        assert a.waste == pytest.approx((128.0 - 64.0) * 3)
+
+    def test_spills_to_larger_tier(self):
+        pool = SSDPool({128.0: 2, 256.0: 4})
+        a = pool.allocate(5, 100.0)
+        assert dict(a.per_tier) == {128.0: 2, 256.0: 3}
+        assert a.waste == pytest.approx(28.0 * 2 + 156.0 * 3)
+
+    def test_large_request_uses_only_qualifying(self):
+        pool = SSDPool({128.0: 4, 256.0: 4})
+        a = pool.allocate(2, 200.0)
+        assert dict(a.per_tier) == {256.0: 2}
+        assert pool.free_at_least(129.0) == 2
+
+    def test_overflow_raises_and_leaves_pool_unchanged(self):
+        pool = SSDPool({128.0: 2})
+        with pytest.raises(AllocationError):
+            pool.allocate(3, 0.0)
+        assert pool.free_nodes == 2
+
+    def test_nonpositive_count_rejected(self):
+        pool = SSDPool({128.0: 2})
+        with pytest.raises(AllocationError):
+            pool.allocate(0, 0.0)
+
+    def test_node_count_and_capacities(self):
+        pool = SSDPool({128.0: 1, 256.0: 2})
+        a = pool.allocate(3, 0.0)
+        assert a.node_count == 3
+        assert sorted(a.capacities()) == [128.0, 256.0, 256.0]
+
+
+class TestRelease:
+    def test_release_restores(self):
+        pool = SSDPool({128.0: 4, 256.0: 4})
+        a = pool.allocate(5, 64.0)
+        pool.release(a)
+        assert pool.free_nodes == 8
+        assert pool.free_per_tier() == pool.total_per_tier()
+
+    def test_release_unknown_tier_rejected(self):
+        pool = SSDPool({128.0: 4})
+        bogus = SSDAssignment(per_tier=((512.0, 1),), waste=0.0)
+        with pytest.raises(AllocationError):
+            pool.release(bogus)
+
+    def test_over_release_rejected(self):
+        pool = SSDPool({128.0: 4})
+        bogus = SSDAssignment(per_tier=((128.0, 1),), waste=0.0)
+        with pytest.raises(AllocationError):
+            pool.release(bogus)
+
+
+class TestPlanWaste:
+    def test_matches_allocate(self):
+        pool = SSDPool({128.0: 2, 256.0: 4})
+        planned = pool.plan_waste(5, 100.0)
+        actual = pool.allocate(5, 100.0)
+        assert planned == pytest.approx(actual.waste)
+
+    def test_plan_does_not_mutate(self):
+        pool = SSDPool({128.0: 2, 256.0: 4})
+        pool.plan_waste(5, 100.0)
+        assert pool.free_nodes == 6
+
+    def test_plan_unfit_raises(self):
+        pool = SSDPool({128.0: 2})
+        with pytest.raises(AllocationError):
+            pool.plan_waste(1, 200.0)

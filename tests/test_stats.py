@@ -1,0 +1,64 @@
+"""Workload characterisation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.units import TB
+from repro.workloads import generate, theta_profile, THETA
+from repro.workloads.stats import DistributionSummary, characterize, render_stats
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate(theta_profile(n_jobs=200, machine=THETA.scaled(8)), seed=9)
+
+
+class TestDistributionSummary:
+    def test_of_values(self):
+        s = DistributionSummary.of(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.maximum == 4.0
+
+    def test_empty(self):
+        s = DistributionSummary.of(np.array([]))
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_percentile_ordering(self):
+        s = DistributionSummary.of(np.arange(100, dtype=float))
+        assert s.median <= s.p90 <= s.maximum
+
+
+class TestCharacterize:
+    def test_basic(self, trace):
+        stats = characterize(trace)
+        assert stats.n_jobs == 200
+        assert stats.span_seconds > 0
+        assert stats.nodes.count == 200
+        assert 0 <= stats.bb_fraction <= 1
+
+    def test_offered_load_matches_trace(self, trace):
+        stats = characterize(trace)
+        assert stats.offered_node_load == pytest.approx(trace.offered_load())
+
+    def test_walltime_factors_at_least_one(self, trace):
+        stats = characterize(trace)
+        assert stats.walltime_factor.median >= 1.0
+
+    def test_power_of_two_clustering_present(self, trace):
+        stats = characterize(trace)
+        assert stats.power_of_two_fraction > 0.3
+
+    def test_bb_load_nonnegative(self, trace):
+        assert characterize(trace).offered_bb_load >= 0.0
+
+
+class TestRender:
+    def test_mentions_headline_numbers(self, trace):
+        stats = characterize(trace)
+        text = render_stats(stats)
+        assert trace.name in text
+        assert "node requests" in text
+        assert "offered load" in text

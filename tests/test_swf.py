@@ -1,0 +1,101 @@
+"""Standard Workload Format interchange."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.simulator.job import Job
+from repro.workloads.spec import MachineSpec
+from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.trace import Trace
+
+MACHINE = MachineSpec(name="Test", nodes=100, bb_capacity=1000.0)
+
+
+def make_trace():
+    jobs = [
+        Job(jid=1, submit_time=0.0, runtime=100.0, walltime=200.0, nodes=10,
+            bb=50.0, ssd=64.0, user="u3"),
+        Job(jid=2, submit_time=60.0, runtime=30.0, walltime=60.0, nodes=5,
+            deps=frozenset({1}), user="u4"),
+    ]
+    return Trace(name="swf-test", machine=MACHINE, jobs=tuple(jobs))
+
+
+class TestRoundTrip:
+    def test_fields_preserved(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(make_trace(), path)
+        back = read_swf(path, MACHINE)
+        assert len(back) == 2
+        j1, j2 = back.jobs
+        assert j1.nodes == 10
+        assert j1.bb == pytest.approx(50.0)
+        assert j1.ssd == pytest.approx(64.0)
+        assert j1.walltime == pytest.approx(200.0)
+        assert j2.deps == frozenset({1})
+
+    def test_header_comments_written(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(make_trace(), path)
+        text = path.read_text()
+        assert text.startswith(";")
+        assert "burst buffer" in text
+
+
+class TestReader:
+    def test_plain_18_field_swf(self, tmp_path):
+        # A standard SWF line without our extension columns.
+        path = tmp_path / "plain.swf"
+        path.write_text(
+            "; comment\n"
+            "1 0 -1 120 8 -1 -1 8 600 -1 1 5 -1 -1 -1 -1 -1 -1\n"
+        )
+        tr = read_swf(path, MACHINE)
+        assert len(tr) == 1
+        job = tr.jobs[0]
+        assert job.nodes == 8
+        assert job.runtime == 120.0
+        assert job.walltime == 600.0
+        assert job.bb == 0.0
+
+    def test_skips_invalid_jobs(self, tmp_path):
+        path = tmp_path / "mixed.swf"
+        path.write_text(
+            "1 0 -1 -1 8 -1 -1 8 600 -1 0 -1 -1 -1 -1 -1 -1 -1\n"   # no runtime
+            "2 0 -1 120 0 -1 -1 0 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"  # no procs
+            "3 5 -1 120 8 -1 -1 8 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        )
+        tr = read_swf(path, MACHINE)
+        assert [j.jid for j in tr] == [3]
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "short.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(TraceError):
+            read_swf(path, MACHINE)
+
+    def test_unparsable_rejected(self, tmp_path):
+        path = tmp_path / "garbage.swf"
+        path.write_text("a b c d e f g h i j k l m n o p q r\n")
+        with pytest.raises(TraceError):
+            read_swf(path, MACHINE)
+
+    def test_oversized_clamped_to_machine(self, tmp_path):
+        path = tmp_path / "big.swf"
+        path.write_text(
+            "1 0 -1 120 500 -1 -1 500 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+        )
+        tr = read_swf(path, MACHINE)
+        assert tr.jobs[0].nodes == 100
+
+    def test_preceding_job_only_when_seen(self, tmp_path):
+        path = tmp_path / "dep.swf"
+        path.write_text(
+            "1 0 -1 120 8 -1 -1 8 600 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+            "2 10 -1 120 8 -1 -1 8 600 -1 1 -1 -1 -1 -1 -1 1 -1\n"
+            "3 20 -1 120 8 -1 -1 8 600 -1 1 -1 -1 -1 -1 -1 99 -1\n"
+        )
+        tr = read_swf(path, MACHINE)
+        by_id = {j.jid: j for j in tr}
+        assert by_id[2].deps == frozenset({1})
+        assert by_id[3].deps == frozenset()

@@ -1,0 +1,136 @@
+"""Trace container: validation, statistics, CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.simulator.job import Job, JobState
+from repro.workloads.spec import MachineSpec
+from repro.workloads.trace import Trace
+
+MACHINE = MachineSpec(name="Test", nodes=100, bb_capacity=1000.0)
+
+
+def make_job(jid, submit=0.0, nodes=10, bb=0.0, deps=()):
+    return Job(jid=jid, submit_time=submit, runtime=50.0, walltime=60.0,
+               nodes=nodes, bb=bb, deps=frozenset(deps), user=f"u{jid}")
+
+
+def make_trace(jobs, name="t"):
+    return Trace(name=name, machine=MACHINE, jobs=tuple(jobs))
+
+
+class TestValidation:
+    def test_valid(self):
+        tr = make_trace([make_job(1), make_job(2, submit=5.0)])
+        assert len(tr) == 2
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([make_job(1), make_job(1, submit=1.0)])
+
+    def test_unordered_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([make_job(1, submit=10.0), make_job(2, submit=5.0)])
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([make_job(1, nodes=101)])
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([make_job(1, deps={9})])
+
+    def test_forward_dep_allowed_by_container(self):
+        # Ordering of dependencies is the engine's concern; the container
+        # only checks referential integrity.
+        tr = make_trace([make_job(1, deps={2}), make_job(2, submit=1.0)])
+        assert len(tr) == 2
+
+
+class TestAccessors:
+    def test_fresh_jobs_resets_state(self):
+        tr = make_trace([make_job(1)])
+        run1 = tr.fresh_jobs()
+        run1[0].mark_queued()
+        run1[0].mark_started(0.0)
+        run2 = tr.fresh_jobs()
+        assert run2[0].state is JobState.PENDING
+        assert run2[0] is not run1[0]
+
+    def test_head(self):
+        tr = make_trace([make_job(i, submit=float(i)) for i in range(1, 6)])
+        assert len(tr.head(3)) == 3
+        assert "[:3]" in tr.head(3).name
+
+    def test_rename(self):
+        tr = make_trace([make_job(1)])
+        assert tr.rename("new").name == "new"
+
+    def test_with_jobs(self):
+        tr = make_trace([make_job(1)])
+        tr2 = tr.with_jobs([make_job(2)], name="replaced")
+        assert [j.jid for j in tr2] == [2]
+
+    def test_iteration(self):
+        tr = make_trace([make_job(1), make_job(2, submit=1.0)])
+        assert [j.jid for j in tr] == [1, 2]
+
+
+class TestStatistics:
+    def test_bb_requests(self):
+        tr = make_trace([make_job(1, bb=10.0), make_job(2, submit=1.0)])
+        assert tr.bb_requests().tolist() == [10.0]
+        assert tr.bb_requests(positive_only=False).tolist() == [10.0, 0.0]
+
+    def test_bb_fraction(self):
+        tr = make_trace([make_job(1, bb=10.0), make_job(2, submit=1.0)])
+        assert tr.bb_fraction() == 0.5
+
+    def test_bb_fraction_empty(self):
+        assert make_trace([]).bb_fraction() == 0.0
+
+    def test_total_bb_volume(self):
+        tr = make_trace([make_job(1, bb=10.0), make_job(2, submit=1.0, bb=30.0)])
+        assert tr.total_bb_volume() == 40.0
+
+    def test_span(self):
+        tr = make_trace([make_job(1, submit=5.0), make_job(2, submit=20.0)])
+        assert tr.span() == (5.0, 20.0)
+
+    def test_offered_load(self):
+        # 2 jobs × 10 nodes × 50 s over 100 nodes × 10 s span = 1.0... x10
+        tr = make_trace([make_job(1, submit=0.0), make_job(2, submit=10.0)])
+        assert tr.offered_load() == pytest.approx(
+            (2 * 10 * 50.0) / (100 * 10.0))
+
+    def test_offered_load_zero_span(self):
+        assert make_trace([make_job(1)]).offered_load() == 0.0
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, tmp_path):
+        jobs = [make_job(1, bb=12.5), make_job(2, submit=3.0, deps={1})]
+        tr = make_trace(jobs, name="rt")
+        path = tmp_path / "trace.csv"
+        tr.to_csv(path)
+        back = Trace.from_csv(path, MACHINE, name="rt")
+        assert len(back) == 2
+        for a, b in zip(tr, back):
+            assert a.jid == b.jid
+            assert a.submit_time == pytest.approx(b.submit_time)
+            assert a.bb == pytest.approx(b.bb)
+            assert a.deps == b.deps
+            assert a.user == b.user
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceError):
+            Trace.from_csv(path, MACHINE)
+
+    def test_default_name_from_path(self, tmp_path):
+        tr = make_trace([make_job(1)])
+        path = tmp_path / "mytrace.csv"
+        tr.to_csv(path)
+        assert Trace.from_csv(path, MACHINE).name == "mytrace"

@@ -1,0 +1,67 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    DAYS,
+    GB,
+    HOURS,
+    MINUTES,
+    PB,
+    TB,
+    fmt_duration,
+    fmt_storage,
+    gb_to_tb,
+    hours_to_seconds,
+    seconds_to_hours,
+    tb_to_gb,
+)
+
+
+class TestStorageUnits:
+    def test_tb_is_1024_gb(self):
+        assert TB == 1024.0 * GB
+
+    def test_pb_is_1024_tb(self):
+        assert PB == 1024.0 * TB
+
+    def test_round_trip_gb_tb(self):
+        assert gb_to_tb(tb_to_gb(3.5)) == pytest.approx(3.5)
+
+    def test_paper_cori_bb(self):
+        # 1.8 PB in GB, the Cori DataWarp capacity from Table 2.
+        assert 1.8 * PB == pytest.approx(1_887_436.8)
+
+
+class TestTimeUnits:
+    def test_hours(self):
+        assert HOURS == 3600.0
+
+    def test_days(self):
+        assert DAYS == 24 * HOURS
+
+    def test_round_trip(self):
+        assert seconds_to_hours(hours_to_seconds(7.25)) == pytest.approx(7.25)
+
+
+class TestFormatting:
+    def test_fmt_storage_gb(self):
+        assert fmt_storage(512.0) == "512GB"
+
+    def test_fmt_storage_tb(self):
+        assert fmt_storage(2 * TB) == "2.0TB"
+
+    def test_fmt_storage_pb(self):
+        assert fmt_storage(1.8 * PB) == "1.80PB"
+
+    def test_fmt_duration_seconds(self):
+        assert fmt_duration(12.0) == "12.0s"
+
+    def test_fmt_duration_minutes(self):
+        assert fmt_duration(90.0) == "1.5m"
+
+    def test_fmt_duration_hours(self):
+        assert fmt_duration(5400.0) == "1.5h"
+
+    def test_fmt_duration_days(self):
+        assert fmt_duration(36 * HOURS) == "1.5d"

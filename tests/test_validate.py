@@ -1,0 +1,130 @@
+"""Post-hoc schedule validation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.methods import make_selector
+from repro.policies import FCFS
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SchedulingEngine
+from repro.simulator.job import Job
+from repro.simulator.validate import ValidationReport, Violation, validate_schedule
+from repro.windows import WindowPolicy
+
+
+def completed_job(jid, submit=0.0, start=0.0, runtime=10.0, nodes=1,
+                  bb=0.0, ssd=0.0, deps=()):
+    job = Job(jid=jid, submit_time=submit, runtime=runtime, walltime=runtime,
+              nodes=nodes, bb=bb, ssd=ssd, deps=frozenset(deps))
+    job.mark_queued()
+    job.mark_started(start)
+    job.mark_completed(start + runtime)
+    return job
+
+
+class TestValidSchedules:
+    def test_empty(self):
+        report = validate_schedule([], total_nodes=4, bb_capacity=10.0)
+        assert report.ok
+
+    def test_simple_valid(self):
+        jobs = [completed_job(1, nodes=2), completed_job(2, start=5.0, nodes=2)]
+        report = validate_schedule(jobs, total_nodes=4, bb_capacity=0.0)
+        assert report.ok
+        assert report.peak_nodes == 4
+
+    def test_engine_output_validates(self):
+        jobs = [Job(jid=i, submit_time=float(i), runtime=30.0, walltime=40.0,
+                    nodes=2 + i % 3, bb=float(i % 2) * 5.0)
+                for i in range(20)]
+        engine = SchedulingEngine(
+            Cluster(nodes=8, bb_capacity=20.0), FCFS(),
+            make_selector("BBSched", generations=10, seed=0),
+            WindowPolicy(size=5),
+        )
+        result = engine.run(jobs)
+        report = validate_schedule(result.jobs, total_nodes=8, bb_capacity=20.0)
+        report.raise_if_invalid()
+
+    def test_engine_output_with_ssd_validates(self):
+        tiers = {128.0: 3, 256.0: 3}
+        jobs = [Job(jid=i, submit_time=float(i), runtime=30.0, walltime=40.0,
+                    nodes=1 + i % 3, ssd=[0.0, 64.0, 200.0][i % 3])
+                for i in range(15)]
+        engine = SchedulingEngine(
+            Cluster(nodes=6, bb_capacity=0.0, ssd_tiers=tiers), FCFS(),
+            make_selector("Baseline"), WindowPolicy(size=4),
+        )
+        result = engine.run(jobs)
+        report = validate_schedule(result.jobs, total_nodes=6,
+                                   bb_capacity=0.0, ssd_tiers=tiers)
+        report.raise_if_invalid()
+
+
+class TestViolationDetection:
+    def test_incomplete_job(self):
+        job = Job(jid=1, submit_time=0.0, runtime=1.0, walltime=1.0, nodes=1)
+        job.mark_queued()
+        report = validate_schedule([job], total_nodes=1, bb_capacity=0.0)
+        assert not report.ok
+        assert report.violations[0].kind == "incomplete"
+
+    def test_start_before_submit(self):
+        job = Job(jid=1, submit_time=50.0, runtime=10.0, walltime=10.0, nodes=1)
+        job.state = job.state.COMPLETED
+        job.start_time = 40.0
+        job.end_time = 50.0
+        report = validate_schedule([job], total_nodes=1, bb_capacity=0.0)
+        assert any(v.kind == "time-travel" for v in report.violations)
+
+    def test_duration_mismatch(self):
+        job = completed_job(1)
+        job.end_time = job.start_time + 999.0
+        report = validate_schedule([job], total_nodes=1, bb_capacity=0.0)
+        assert any(v.kind == "duration" for v in report.violations)
+
+    def test_node_overcommit(self):
+        jobs = [completed_job(1, nodes=3), completed_job(2, nodes=3)]
+        report = validate_schedule(jobs, total_nodes=4, bb_capacity=0.0)
+        assert any(v.kind == "capacity" for v in report.violations)
+
+    def test_bb_overcommit(self):
+        jobs = [completed_job(1, bb=30.0), completed_job(2, bb=30.0)]
+        report = validate_schedule(jobs, total_nodes=4, bb_capacity=50.0)
+        assert any(v.kind == "capacity" for v in report.violations)
+
+    def test_no_false_positive_on_handover(self):
+        # B starts exactly when A ends: release-before-allocate.
+        jobs = [completed_job(1, nodes=4, runtime=10.0),
+                completed_job(2, start=10.0, nodes=4)]
+        report = validate_schedule(jobs, total_nodes=4, bb_capacity=0.0)
+        assert report.ok
+
+    def test_dependency_violation(self):
+        parent = completed_job(1, start=0.0, runtime=100.0)
+        child = completed_job(2, start=50.0, deps={1})
+        report = validate_schedule([parent, child], total_nodes=4,
+                                   bb_capacity=0.0)
+        assert any(v.kind == "dependency" for v in report.violations)
+
+    def test_ssd_tier_violation(self):
+        jobs = [completed_job(1, nodes=3, ssd=200.0)]
+        report = validate_schedule(jobs, total_nodes=4, bb_capacity=0.0,
+                                   ssd_tiers={128.0: 2, 256.0: 2})
+        assert any(v.kind == "ssd" for v in report.violations)
+
+    def test_duplicate_ids(self):
+        jobs = [completed_job(1), completed_job(1)]
+        report = validate_schedule(jobs, total_nodes=4, bb_capacity=0.0)
+        assert any(v.kind == "duplicate" for v in report.violations)
+
+    def test_raise_if_invalid(self):
+        job = Job(jid=1, submit_time=0.0, runtime=1.0, walltime=1.0, nodes=1)
+        job.mark_queued()
+        report = validate_schedule([job], total_nodes=1, bb_capacity=0.0)
+        with pytest.raises(SchedulingError):
+            report.raise_if_invalid()
+
+    def test_violation_str(self):
+        v = Violation(kind="capacity", message="too much")
+        assert "capacity" in str(v)

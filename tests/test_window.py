@@ -1,0 +1,100 @@
+"""Window-based scheduling: extraction, dependency gating, starvation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.job import Job
+from repro.windows import Window, WindowPolicy
+
+
+def make_job(jid, deps=(), age=0):
+    job = Job(jid=jid, submit_time=float(jid), runtime=10.0, walltime=10.0,
+              nodes=1, deps=frozenset(deps))
+    job.window_age = age
+    return job
+
+
+class TestConstruction:
+    def test_defaults(self):
+        wp = WindowPolicy()
+        assert wp.size == 20
+        assert wp.starvation_bound == 50
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            WindowPolicy(size=0)
+
+    def test_bad_bound(self):
+        with pytest.raises(ConfigurationError):
+            WindowPolicy(starvation_bound=0)
+
+    def test_none_bound_allowed(self):
+        assert WindowPolicy(starvation_bound=None).starvation_bound is None
+
+
+class TestExtract:
+    def test_takes_window_size_jobs(self):
+        queue = [make_job(i) for i in range(10)]
+        window = WindowPolicy(size=4).extract(queue, completed=set())
+        assert [j.jid for j in window.jobs] == [0, 1, 2, 3]
+
+    def test_shorter_queue(self):
+        queue = [make_job(i) for i in range(2)]
+        window = WindowPolicy(size=4).extract(queue, completed=set())
+        assert len(window) == 2
+
+    def test_dependency_gating(self):
+        queue = [make_job(0), make_job(1, deps={99}), make_job(2)]
+        window = WindowPolicy(size=4).extract(queue, completed=set())
+        assert [j.jid for j in window.jobs] == [0, 2]
+
+    def test_completed_dependency_admits(self):
+        queue = [make_job(1, deps={99})]
+        window = WindowPolicy(size=4).extract(queue, completed={99})
+        assert [j.jid for j in window.jobs] == [1]
+
+    def test_gated_jobs_do_not_consume_slots(self):
+        queue = [make_job(0, deps={99})] + [make_job(i) for i in range(1, 6)]
+        window = WindowPolicy(size=5).extract(queue, completed=set())
+        assert [j.jid for j in window.jobs] == [1, 2, 3, 4, 5]
+
+    def test_forced_detection(self):
+        queue = [make_job(0, age=50), make_job(1, age=3)]
+        window = WindowPolicy(size=4, starvation_bound=50).extract(queue, set())
+        assert window.forced == (0,)
+
+    def test_no_forced_when_disabled(self):
+        queue = [make_job(0, age=1000)]
+        window = WindowPolicy(size=4, starvation_bound=None).extract(queue, set())
+        assert window.forced == ()
+
+    def test_iterable(self):
+        queue = [make_job(i) for i in range(3)]
+        window = WindowPolicy(size=3).extract(queue, set())
+        assert [j.jid for j in window] == [0, 1, 2]
+
+
+class TestRecordOutcome:
+    def test_selected_resets_age(self):
+        jobs = [make_job(0, age=5), make_job(1, age=5)]
+        window = Window(jobs=tuple(jobs))
+        WindowPolicy(size=2).record_outcome(window, selected={0})
+        assert jobs[0].window_age == 0
+        assert jobs[1].window_age == 6
+
+    def test_all_unselected_age(self):
+        jobs = [make_job(i, age=i) for i in range(3)]
+        window = Window(jobs=tuple(jobs))
+        WindowPolicy(size=3).record_outcome(window, selected=set())
+        assert [j.window_age for j in jobs] == [1, 2, 3]
+
+    def test_starvation_cycle(self):
+        """A job passed over ``bound`` times becomes forced next extraction."""
+        wp = WindowPolicy(size=2, starvation_bound=3)
+        job = make_job(0)
+        for _ in range(3):
+            window = wp.extract([job], set())
+            assert window.forced == ()
+            wp.record_outcome(window, selected=set())
+        window = wp.extract([job], set())
+        assert window.forced == (0,)
