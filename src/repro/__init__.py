@@ -44,8 +44,10 @@ from .errors import (
     AllocationError,
     ConfigurationError,
     ReproError,
+    ResilienceError,
     SchedulingError,
     SolverError,
+    SolverTimeoutError,
     TraceError,
 )
 from .methods import (
@@ -59,6 +61,16 @@ from .methods import (
     make_selector,
 )
 from .policies import FCFS, WFP, PriorityPolicy
+from .resilience import (
+    SCENARIOS,
+    FaultInjector,
+    FaultScenario,
+    GreedyFallbackSelector,
+    RetryPolicy,
+    SolverWatchdog,
+    WatchdogStats,
+    get_scenario,
+)
 from .simulator import (
     Available,
     Cluster,
@@ -66,9 +78,11 @@ from .simulator import (
     Job,
     JobState,
     MetricsSummary,
+    ResilienceSummary,
     SchedulingEngine,
     SimulationResult,
     SSDPool,
+    compute_resilience_summary,
     compute_summary,
     trimmed_interval,
 )
@@ -88,8 +102,10 @@ __all__ = [
     "SchedulingEngine",
     "SimulationResult",
     "MetricsSummary",
+    "ResilienceSummary",
     "Interval",
     "compute_summary",
+    "compute_resilience_summary",
     "trimmed_interval",
     # policies / window
     "PriorityPolicy",
@@ -126,6 +142,15 @@ __all__ = [
     "BinPackingSelector",
     "make_selector",
     "available_methods",
+    # resilience
+    "FaultScenario",
+    "FaultInjector",
+    "SCENARIOS",
+    "get_scenario",
+    "RetryPolicy",
+    "SolverWatchdog",
+    "WatchdogStats",
+    "GreedyFallbackSelector",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -133,4 +158,6 @@ __all__ = [
     "AllocationError",
     "SchedulingError",
     "SolverError",
+    "SolverTimeoutError",
+    "ResilienceError",
 ]

@@ -22,8 +22,7 @@ the §3.1 window mechanism negotiates.
 
 from __future__ import annotations
 
-from bisect import insort
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..simulator.job import Job
 from .easy import BackfillPlan, EasyBackfill, PlannedRelease, _OVERRUN_EPSILON

@@ -11,11 +11,20 @@ Usage::
 
 Every experiment honours the ``REPRO_SCALE`` environment variable, and
 ``--scale`` overrides it.
+
+Resilience plumbing: ``--faults mild|harsh`` replays any experiment or
+simulation under a named fault scenario (``--node-mtbf`` etc. build a
+custom one for ``simulate``), and ``--watchdog SECONDS`` bounds each
+selection with graceful degradation::
+
+    bbsched run fig6_7 --faults mild      # Figures 6 & 7 on flaky hardware
+    bbsched simulate Theta-S4 BBSched --node-mtbf 21600 --watchdog 0.5
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, Optional, Tuple
@@ -23,6 +32,7 @@ from typing import Callable, Dict, Optional, Tuple
 from . import experiments as exp
 from .errors import ReproError
 from .experiments import report
+from .resilience import SCENARIOS, FaultScenario, RetryPolicy, get_scenario
 from .units import fmt_duration, fmt_storage
 
 #: experiment name → (run, render) callables.
@@ -50,13 +60,38 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scale(args: argparse.Namespace) -> exp.Scale:
+    """The requested scale, with any resilience overrides folded in."""
+    scale = exp.get_scale(args.scale)
+    overrides = {}
+    if getattr(args, "faults", None):
+        overrides["faults"] = get_scenario(args.faults)
+    if getattr(args, "watchdog", None) is not None:
+        overrides["watchdog_budget"] = args.watchdog
+    return dataclasses.replace(scale, **overrides) if overrides else scale
+
+
+def _custom_scenario(args: argparse.Namespace) -> Optional[FaultScenario]:
+    """A FaultScenario from the simulate command's raw knobs, or None."""
+    if not (args.node_mtbf or args.bb_mtbf or args.job_mtbf):
+        return None
+    return FaultScenario(
+        seed=args.fault_seed,
+        node_mtbf=args.node_mtbf,
+        node_mttr=args.node_mttr,
+        nodes_per_failure=args.nodes_per_failure,
+        bb_mtbf=args.bb_mtbf,
+        job_mtbf=args.job_mtbf,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
-    scale = exp.get_scale(args.scale)
+    scale = _resolve_scale(args)
     for name in names:
         run, render = EXPERIMENTS[name]
         t0 = time.perf_counter()
@@ -96,10 +131,14 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    scale = exp.get_scale(args.scale)
+    scale = _resolve_scale(args)
+    custom = _custom_scenario(args)
+    if custom is not None:
+        scale = dataclasses.replace(scale, faults=custom)
+    retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts is not None else None
     trace = exp.get_workload(args.workload, scale)
     t0 = time.perf_counter()
-    result = exp.run_one(trace, args.method, scale, seed=args.seed)
+    result = exp.run_one(trace, args.method, scale, seed=args.seed, retry=retry)
     dt = time.perf_counter() - t0
     s = result.summary
     print(f"{args.method} on {args.workload} (scale={scale.name}, {dt:.1f}s):")
@@ -110,6 +149,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  jobs measured     {s.n_jobs}")
     print(f"  selector calls    {result.selector_calls} "
           f"({1e3 * result.mean_selector_time:.1f}ms each)")
+    r = result.resilience
+    if r is not None:
+        print("  --- resilience ---")
+        print(f"  node failures     {r.node_failures} "
+              f"(mean online {100 * r.mean_nodes_online:.2f}%)")
+        print(f"  bb degrades       {r.bb_degrades}")
+        print(f"  killed / requeued {r.killed_jobs} / {r.requeued_jobs}")
+        print(f"  abandoned jobs    {r.abandoned_jobs}")
+        print(f"  lost node-hours   {r.lost_node_hours:.1f}")
+        print(f"  usage vs online   {100 * r.node_usage_degraded:.2f}%")
+        print(f"  watchdog fallbacks {r.fallback_calls} "
+              f"({100 * r.fallback_rate:.1f}% of calls)")
     return 0
 
 
@@ -126,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run an experiment and print its table/figure")
     p_run.add_argument("experiment", help="experiment name or 'all'")
     p_run.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
+    p_run.add_argument("--faults", default=None, choices=sorted(SCENARIOS),
+                       help="named fault scenario to inject into every run")
+    p_run.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget per selection (graceful fallback)")
     p_run.set_defaults(func=_cmd_run)
 
     p_wl = sub.add_parser("workloads", help="summarise the evaluation workloads")
@@ -137,6 +192,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("method", help="e.g. BBSched")
     p_sim.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--faults", default=None, choices=sorted(SCENARIOS),
+                       help="named fault scenario to inject")
+    p_sim.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget per selection (graceful fallback)")
+    fault = p_sim.add_argument_group(
+        "custom fault scenario (overrides --faults; rates in seconds)")
+    fault.add_argument("--node-mtbf", type=float, default=0.0,
+                       help="mean time between node failures (0 disables)")
+    fault.add_argument("--node-mttr", type=float, default=4 * 3600.0,
+                       help="median node repair time")
+    fault.add_argument("--nodes-per-failure", type=int, default=1,
+                       help="nodes taken down per failure incident")
+    fault.add_argument("--bb-mtbf", type=float, default=0.0,
+                       help="mean time between burst-buffer degradations")
+    fault.add_argument("--job-mtbf", type=float, default=0.0,
+                       help="mean time between spontaneous job failures")
+    fault.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault-injection streams")
+    fault.add_argument("--max-attempts", type=int, default=None,
+                       help="kills tolerated before a job is abandoned")
     p_sim.set_defaults(func=_cmd_simulate)
     return parser
 

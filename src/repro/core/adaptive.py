@@ -16,7 +16,7 @@ clamped to a configurable band around the paper's static 2×.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Sequence, Tuple
+from typing import Deque, Sequence, Tuple
 
 from ..errors import SolverError
 from .decision import Decision, DecisionRule

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..methods.base import Selector, SystemCapacity
+from ..methods.base import Selector
 from ..rng import SeedLike, make_rng
 from ..simulator.cluster import Available
 from ..simulator.job import Job

@@ -26,8 +26,8 @@ full generation costs a few numpy kernel calls, which is what lets a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 

@@ -25,7 +25,7 @@ non-forced genes; construction validates that the forced set alone fits.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 

@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import SolverError
-from ..rng import SeedLike, make_rng
+from ..rng import SeedLike
 from .ga import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION, MOGASolver
 from .problem import MOOProblem
 

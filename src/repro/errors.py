@@ -31,3 +31,11 @@ class SchedulingError(ReproError, RuntimeError):
 
 class SolverError(ReproError, RuntimeError):
     """The MOO solver was invoked with an invalid problem."""
+
+
+class SolverTimeoutError(SolverError):
+    """A solver exceeded its wall-clock budget and no fallback was allowed."""
+
+
+class ResilienceError(ReproError, RuntimeError):
+    """A fault-injection or recovery action violated resilience invariants."""

@@ -27,7 +27,6 @@ from ..core import (
 )
 from ..core.bbsched import BBSchedSelector
 from ..backfill import EasyBackfill
-from ..policies import WFP
 from ..simulator.engine import SchedulingEngine
 from ..simulator.metrics import compute_summary, trimmed_interval
 from ..windows import WindowPolicy

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ConfigurationError
+from ..resilience.faults import FaultScenario
 
 #: Base seed from which all experiment randomness derives.
 BASE_SEED = 20190624  # HPDC'19 conference date
@@ -50,6 +51,14 @@ class Scale:
     #: a few hundred jobs.
     cori_factor: int = 8
     theta_factor: int = 1
+    #: fault scenario injected into every run at this scale (None = ideal
+    #: hardware, the default — resilience is strictly opt-in).  Set via
+    #: ``dataclasses.replace(scale, faults=...)`` or the CLI ``--faults``
+    #: flag to rerun any figure experiment under failures.
+    faults: Optional[FaultScenario] = None
+    #: wall-clock budget (seconds) for each selection, enforced by a
+    #: :class:`~repro.resilience.SolverWatchdog`; None disables the guard.
+    watchdog_budget: Optional[float] = None
 
 
 SCALES: Dict[str, Scale] = {

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core import ExhaustiveSolver, MOGASolver, SelectionProblem, generational_distance
 from ..errors import ConfigurationError

@@ -10,7 +10,7 @@ claim is the largest, most balanced area.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from .runner import RunResult

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..methods import METHODS_SECTION4, Selector, SystemCapacity, make_selector
 from ..simulator.cluster import Available

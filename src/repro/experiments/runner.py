@@ -8,16 +8,19 @@ the trace's machine spec into a fresh cluster, selects the site base policy
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..backfill import EasyBackfill
 from ..methods import make_selector
 from ..policies import FCFS, WFP, PriorityPolicy
+from ..resilience import FaultInjector, FaultScenario, RetryPolicy, SolverWatchdog
 from ..rng import SeedLike, stable_hash
-from ..simulator.engine import SchedulingEngine, SimulationResult
+from ..simulator.engine import SchedulingEngine
 from ..simulator.metrics import (
     MetricsSummary,
+    ResilienceSummary,
+    compute_resilience_summary,
     compute_summary,
     trimmed_interval,
     wait_by_bb_request,
@@ -42,10 +45,15 @@ class RunResult:
     makespan: float
     selector_calls: int
     mean_selector_time: float
+    #: fault-run metrics; None when neither faults nor a watchdog were active
+    resilience: Optional[ResilienceSummary] = None
 
     def metric(self, name: str) -> float:
-        """Look up a metric by its §4.2 name."""
-        return self.summary.as_dict()[name]
+        """Look up a metric by its §4.2 name (or a resilience metric)."""
+        table = self.summary.as_dict()
+        if self.resilience is not None:
+            table.update(self.resilience.as_dict())
+        return table[name]
 
 
 def policy_for(trace: Trace) -> PriorityPolicy:
@@ -61,19 +69,32 @@ def run_one(
     seed: SeedLike = None,
     window: Optional[int] = None,
     generations: Optional[int] = None,
+    faults: Optional[FaultScenario] = None,
+    retry: Optional[RetryPolicy] = None,
+    watchdog_budget: Optional[float] = None,
 ) -> RunResult:
     """Simulate ``trace`` under ``method`` and evaluate all metrics.
 
     ``window`` and ``generations`` override the scale's values (used by
-    the Table 3 window sweep and the overhead study).
+    the Table 3 window sweep and the overhead study).  ``faults`` and
+    ``watchdog_budget`` override the scale's resilience knobs, so any
+    figure experiment reruns under a fault scenario by replacing its
+    scale (see ``Scale.faults``) or any single run by passing them here.
     """
     sc = scale or get_scale()
+    scenario = faults if faults is not None else sc.faults
+    budget = watchdog_budget if watchdog_budget is not None else sc.watchdog_budget
     selector = make_selector(
         method,
         generations=generations if generations is not None else sc.generations,
         population=sc.population,
         mutation=sc.mutation,
         seed=seed if seed is not None else BASE_SEED ^ stable_hash(method) & 0xFFFF,
+    )
+    if budget is not None:
+        selector = SolverWatchdog(selector, budget)
+    injector = (
+        FaultInjector(scenario) if scenario is not None and scenario.enabled else None
     )
     engine = SchedulingEngine(
         trace.machine.make_cluster(),
@@ -84,6 +105,8 @@ def run_one(
             starvation_bound=sc.starvation_bound,
         ),
         backfill=EasyBackfill(),
+        faults=injector,
+        retry=retry,
     )
     result = engine.run(trace.fresh_jobs())
     interval = trimmed_interval(
@@ -97,6 +120,15 @@ def run_one(
         bb_capacity=result.bb_capacity,
         ssd_capacity=result.ssd_capacity,
     )
+    resilience = None
+    if injector is not None or budget is not None:
+        resilience = compute_resilience_summary(
+            result.jobs,
+            result.recorder,
+            result.stats,
+            interval,
+            total_nodes=result.total_nodes,
+        )
     return RunResult(
         workload=trace.name,
         method=method,
@@ -107,4 +139,5 @@ def run_one(
         makespan=result.makespan,
         selector_calls=result.stats.selector_calls,
         mean_selector_time=result.stats.mean_selector_time,
+        resilience=resilience,
     )

@@ -9,7 +9,7 @@ makes, its node/BB utilization, and the true Pareto set (Solutions 2 and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

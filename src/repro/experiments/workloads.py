@@ -13,7 +13,7 @@ trace-enhancement path.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..rng import split_rng, stable_hash
 from ..workloads import (

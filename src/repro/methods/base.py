@@ -18,7 +18,6 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-import numpy as np
 
 from ..errors import SchedulingError
 

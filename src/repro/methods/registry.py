@@ -7,7 +7,7 @@ parallel sweeps never share mutable state.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..core.params import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION
 from ..errors import ConfigurationError

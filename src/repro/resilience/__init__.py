@@ -1,0 +1,41 @@
+"""Fault injection and resilience: node/BB failures, retries, watchdogs.
+
+The simulator's default world is ideal hardware; this package makes it
+flaky on purpose.  :class:`FaultInjector` drives seeded node/burst-buffer/
+job failures through the engine's event loop, :class:`RetryPolicy` governs
+requeue-with-backoff and abandonment of killed jobs, and
+:class:`SolverWatchdog` bounds the wall-clock cost of each selection with
+graceful degradation to a cheap fallback.  Everything is strictly opt-in:
+an engine without an injector (and selectors without a watchdog) behaves
+byte-identically to the fault-free simulator.
+"""
+
+from .faults import (
+    SCENARIOS,
+    BBDegrade,
+    FaultInjector,
+    FaultScenario,
+    NodeFailure,
+    get_scenario,
+)
+from .retry import RetryPolicy
+from .watchdog import (
+    GreedyFallbackSelector,
+    SolverWatchdog,
+    WatchdogStats,
+    scalar_fallback,
+)
+
+__all__ = [
+    "FaultScenario",
+    "FaultInjector",
+    "NodeFailure",
+    "BBDegrade",
+    "SCENARIOS",
+    "get_scenario",
+    "RetryPolicy",
+    "SolverWatchdog",
+    "WatchdogStats",
+    "GreedyFallbackSelector",
+    "scalar_fallback",
+]

@@ -1,0 +1,237 @@
+"""Deterministic, seeded fault injection for the scheduling simulator.
+
+Production systems lose compute nodes and burst-buffer capacity: Cori and
+Theta (§4.1) both publish MTBF figures, and follow-up work (ROME; plan-based
+scheduling with shared burst buffers) treats resource volatility as a
+first-class scheduling concern.  This module generates the *fault process*
+the engine replays alongside the job trace:
+
+* **node failures** — a Poisson process at rate ``1 / node_mtbf`` takes
+  ``nodes_per_failure`` nodes of one SSD tier offline; each failure draws a
+  lognormal repair time (median ``node_mttr``) after which the nodes rejoin;
+* **burst-buffer degradation** — a Poisson process at rate ``1 / bb_mtbf``
+  takes a fraction of the schedulable BB capacity offline until repaired;
+* **job failures** — a Poisson process at rate ``1 / job_mtbf`` aborts one
+  uniformly chosen running job (software crash, not a node loss).
+
+Every stream derives from one scenario seed via
+:func:`repro.rng.split_rng`, and each fault kind draws from its own child
+stream, so the node-failure schedule is identical whether or not BB or job
+faults are enabled — scenarios compose without perturbing each other.
+All distributions come from :mod:`repro.workloads.distributions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ResilienceError
+from ..rng import split_rng
+from ..workloads.distributions import exponential_interarrivals, truncated_lognormal
+
+#: Stream-splitting salt so fault streams never collide with workload ones.
+_FAULT_SALT = 0xFA117
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One node-failure incident: ``count`` nodes of ``tier`` go down at
+    ``time`` and are repaired ``repair`` seconds later."""
+
+    time: float
+    count: int
+    tier: float
+    repair: float
+
+
+@dataclass(frozen=True)
+class BBDegrade:
+    """One burst-buffer incident: ``amount`` GB offline for ``repair`` s."""
+
+    time: float
+    amount: float
+    repair: float
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Knobs of the fault model.  All rates are *mean times between
+    failures* in simulated seconds; a zero MTBF disables that fault kind,
+    so the default scenario injects nothing.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of every fault stream (same seed → identical stream).
+    node_mtbf / node_mttr:
+        Mean time between node-failure incidents, and the *median* repair
+        time (repairs are lognormal with spread ``mttr_sigma``).
+    nodes_per_failure:
+        Nodes taken down per incident (a blade/chassis, not a whole rack).
+    bb_mtbf / bb_mttr / bb_degrade_fraction:
+        Burst-buffer incident rate, median repair time, and the fraction of
+        schedulable BB capacity each incident takes offline.
+    job_mtbf:
+        Mean time between spontaneous job aborts (independent of node
+        failures).
+    """
+
+    seed: int = 0
+    node_mtbf: float = 0.0
+    node_mttr: float = 4 * 3600.0
+    mttr_sigma: float = 0.5
+    nodes_per_failure: int = 1
+    bb_mtbf: float = 0.0
+    bb_mttr: float = 2 * 3600.0
+    bb_degrade_fraction: float = 0.1
+    job_mtbf: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("node_mtbf", self.node_mtbf),
+            ("node_mttr", self.node_mttr),
+            ("bb_mtbf", self.bb_mtbf),
+            ("bb_mttr", self.bb_mttr),
+            ("job_mtbf", self.job_mtbf),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{label} must be non-negative, got {value}")
+        if self.mttr_sigma <= 0:
+            raise ConfigurationError(f"mttr_sigma must be positive, got {self.mttr_sigma}")
+        if self.nodes_per_failure <= 0:
+            raise ConfigurationError(
+                f"nodes_per_failure must be positive, got {self.nodes_per_failure}"
+            )
+        if not 0.0 < self.bb_degrade_fraction <= 1.0:
+            raise ConfigurationError(
+                f"bb_degrade_fraction must be in (0, 1], got {self.bb_degrade_fraction}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault kind is active."""
+        return self.node_mtbf > 0 or self.bb_mtbf > 0 or self.job_mtbf > 0
+
+
+#: Named scenarios for CLI/experiment plumbing (MTBFs in simulated hours are
+#: chosen for the laptop-scale synthetic traces, which span days, not months).
+SCENARIOS: Dict[str, FaultScenario] = {
+    "mild": FaultScenario(
+        seed=0xBEEF, node_mtbf=12 * 3600.0, node_mttr=2 * 3600.0,
+        nodes_per_failure=1, bb_mtbf=48 * 3600.0, bb_degrade_fraction=0.05,
+    ),
+    "harsh": FaultScenario(
+        seed=0xBEEF, node_mtbf=2 * 3600.0, node_mttr=4 * 3600.0,
+        nodes_per_failure=4, bb_mtbf=12 * 3600.0, bb_degrade_fraction=0.2,
+        job_mtbf=6 * 3600.0,
+    ),
+}
+
+
+def get_scenario(name: str) -> FaultScenario:
+    """Look up a named scenario (for ``--faults`` CLI plumbing)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+class FaultInjector:
+    """Regenerative fault-event source bound to one simulation run.
+
+    The engine asks for the *next* incident of each kind as it processes the
+    previous one, so the fault process extends as far as the run needs
+    without a horizon guess.  Each kind draws from an independent child
+    stream of the scenario seed: two injectors built from equal scenarios
+    produce identical incident sequences (the seeded-determinism contract
+    the tests pin down).
+    """
+
+    def __init__(self, scenario: FaultScenario) -> None:
+        self.scenario = scenario
+        node_rng, bb_rng, job_rng, victim_rng = split_rng(
+            scenario.seed, 4, salt=_FAULT_SALT
+        )
+        self._node_rng = node_rng
+        self._bb_rng = bb_rng
+        self._job_rng = job_rng
+        self._victim_rng = victim_rng
+        self._tiers: Tuple[Tuple[float, int], ...] = ()
+        self._bb_capacity = 0.0
+
+    def bind(self, *, ssd_tiers: Dict[float, int], bb_capacity: float) -> None:
+        """Attach the cluster's nominal shape (called by the engine).
+
+        Tier node counts weight which tier an incident strikes; the nominal
+        schedulable BB capacity scales ``bb_degrade_fraction``.
+        """
+        if not ssd_tiers:
+            raise ResilienceError("FaultInjector needs at least one SSD tier")
+        self._tiers = tuple(sorted(ssd_tiers.items()))
+        self._bb_capacity = float(bb_capacity)
+
+    def _require_bound(self) -> None:
+        if not self._tiers:
+            raise ResilienceError("FaultInjector.bind() must be called before drawing")
+
+    def _repair(self, rng: np.random.Generator, mttr: float) -> float:
+        return float(
+            truncated_lognormal(
+                rng, 1, mean=mttr, sigma=self.scenario.mttr_sigma,
+                low=60.0, high=100.0 * mttr,
+            )[0]
+        )
+
+    # --- incident streams -------------------------------------------------------
+    def next_node_failure(self, now: float) -> Optional[NodeFailure]:
+        """Draw the node-failure incident following time ``now`` (or None)."""
+        sc = self.scenario
+        if sc.node_mtbf <= 0:
+            return None
+        self._require_bound()
+        gap = float(
+            exponential_interarrivals(self._node_rng, 1, rate=1.0 / sc.node_mtbf)[0]
+        )
+        caps = np.array([c for c, _ in self._tiers])
+        weights = np.array([n for _, n in self._tiers], dtype=float)
+        tier = float(self._node_rng.choice(caps, p=weights / weights.sum()))
+        repair = self._repair(self._node_rng, sc.node_mttr)
+        return NodeFailure(
+            time=now + gap, count=sc.nodes_per_failure, tier=tier, repair=repair
+        )
+
+    def next_bb_degrade(self, now: float) -> Optional[BBDegrade]:
+        """Draw the burst-buffer incident following time ``now`` (or None)."""
+        sc = self.scenario
+        if sc.bb_mtbf <= 0 or self._bb_capacity <= 0:
+            return None
+        self._require_bound()
+        gap = float(
+            exponential_interarrivals(self._bb_rng, 1, rate=1.0 / sc.bb_mtbf)[0]
+        )
+        amount = sc.bb_degrade_fraction * self._bb_capacity
+        repair = self._repair(self._bb_rng, sc.bb_mttr)
+        return BBDegrade(time=now + gap, amount=amount, repair=repair)
+
+    def next_job_fail(self, now: float) -> Optional[float]:
+        """Draw the time of the next spontaneous job abort (or None)."""
+        sc = self.scenario
+        if sc.job_mtbf <= 0:
+            return None
+        gap = float(
+            exponential_interarrivals(self._job_rng, 1, rate=1.0 / sc.job_mtbf)[0]
+        )
+        return now + gap
+
+    # --- victim choice ----------------------------------------------------------
+    def pick_victim(self, candidates: Sequence[int]) -> int:
+        """Uniformly pick one of ``candidates`` (running job ids, sorted by
+        the engine for determinism)."""
+        if not candidates:
+            raise ResilienceError("no running jobs to pick a victim from")
+        return int(candidates[int(self._victim_rng.integers(len(candidates)))])

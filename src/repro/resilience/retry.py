@@ -1,0 +1,66 @@
+"""Requeue policy for fault-killed jobs.
+
+When a fault kills a running job the engine throws away its partial
+execution and the :class:`RetryPolicy` decides what happens next: requeue
+after an exponentially growing backoff, or give up and mark the job
+:attr:`~repro.simulator.job.JobState.ABANDONED` once the attempt budget is
+spent.  The backoff is the standard submit-side damping — after a node
+incident, re-submitting every victim at the failure instant would slam the
+scheduler with a correlated burst exactly when capacity is lowest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How killed jobs are retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Kills a job survives before it is abandoned (``attempts`` counts
+        kills, so ``max_attempts=3`` allows three restarts after the first
+        launch).  ``0`` abandons on the first kill.
+    backoff:
+        Requeue delay after the first kill, in seconds.
+    backoff_factor:
+        Multiplier applied per additional kill (exponential backoff).
+    max_backoff:
+        Upper clamp on the requeue delay.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 60.0
+    backoff_factor: float = 2.0
+    max_backoff: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ConfigurationError(
+                f"max_attempts must be non-negative, got {self.max_attempts}"
+            )
+        if self.backoff < 0:
+            raise ConfigurationError(f"backoff must be non-negative, got {self.backoff}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_backoff < self.backoff:
+            raise ConfigurationError(
+                f"max_backoff {self.max_backoff} < backoff {self.backoff}"
+            )
+
+    def should_retry(self, attempts: int) -> bool:
+        """May a job that has been killed ``attempts`` times run again?"""
+        return attempts <= self.max_attempts
+
+    def requeue_delay(self, attempts: int) -> float:
+        """Backoff before the ``attempts``-th requeue (``attempts >= 1``)."""
+        if attempts < 1:
+            raise ConfigurationError(f"requeue_delay needs attempts >= 1, got {attempts}")
+        return min(self.backoff * self.backoff_factor ** (attempts - 1), self.max_backoff)

@@ -11,7 +11,7 @@ a trace does not perturb the GA's random stream.
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -8,8 +8,10 @@ from .metrics import (
     ABNORMAL_RUNTIME,
     Interval,
     MetricsSummary,
+    ResilienceSummary,
     average_slowdown,
     average_wait,
+    compute_resilience_summary,
     compute_summary,
     trimmed_interval,
     wait_by_bb_request,
@@ -37,7 +39,9 @@ __all__ = [
     "EngineStats",
     "Interval",
     "MetricsSummary",
+    "ResilienceSummary",
     "compute_summary",
+    "compute_resilience_summary",
     "trimmed_interval",
     "average_wait",
     "average_slowdown",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
-from ..errors import AllocationError, ConfigurationError
+from ..errors import AllocationError, ConfigurationError, ResilienceError
 from .job import Job
 from .ssd_pool import SSDAssignment, SSDPool
 
@@ -91,17 +91,41 @@ class Cluster:
         self.bb_used = 0.0
         #: job id → SSD assignment, for symmetric release
         self._assignments: Dict[int, SSDAssignment] = {}
+        #: SSD tier → nodes currently offline due to injected failures
+        self._offline: Dict[float, int] = {}
+        #: burst-buffer GB currently offline due to injected degradation
+        self.bb_offline = 0.0
 
     # --- queries ---------------------------------------------------------------
     @property
+    def nodes_offline(self) -> int:
+        """Compute nodes currently failed/offline."""
+        return sum(self._offline.values())
+
+    @property
+    def nodes_online(self) -> int:
+        """Nominal node count minus failed nodes (healthy capacity)."""
+        return self.total_nodes - self.nodes_offline
+
+    @property
+    def bb_online(self) -> float:
+        """Schedulable burst-buffer capacity minus degraded capacity (GB)."""
+        return self.bb_capacity - self.bb_offline
+
+    @property
     def nodes_free(self) -> int:
-        """Currently free compute nodes."""
-        return self.total_nodes - self.nodes_used
+        """Currently free compute nodes (excludes failed nodes)."""
+        return self.total_nodes - self.nodes_used - self.nodes_offline
 
     @property
     def bb_free(self) -> float:
-        """Currently free burst buffer in GB."""
-        return self.bb_capacity - self.bb_used
+        """Currently free burst buffer in GB.
+
+        Never negative: a degradation while running jobs hold more BB than
+        the surviving capacity simply pins the free amount at zero until
+        enough jobs release or the capacity is restored.
+        """
+        return max(self.bb_capacity - self.bb_offline - self.bb_used, 0.0)
 
     @property
     def ssd_pool(self) -> SSDPool:
@@ -174,6 +198,51 @@ class Cluster:
                 f"(nodes={self.nodes_used}, bb={self.bb_used})"
             )
         self.bb_used = max(self.bb_used, 0.0)
+
+    # --- fault injection -------------------------------------------------------
+    def fail_nodes(self, count: int, tier: float) -> int:
+        """Take up to ``count`` currently *free* nodes of ``tier`` offline.
+
+        Returns the number of nodes actually failed.  Busy nodes are never
+        seized here — the engine kills victim jobs first (releasing their
+        nodes) and calls again, so :class:`AllocationError` invariants and
+        per-job accounting stay intact.
+        """
+        drained = self._ssd.drain(count, tier)
+        if drained:
+            key = float(tier)
+            self._offline[key] = self._offline.get(key, 0) + drained
+        return drained
+
+    def restore_nodes(self, count: int, tier: float) -> None:
+        """Bring previously failed nodes of ``tier`` back online."""
+        key = float(tier)
+        offline = self._offline.get(key, 0)
+        if count > offline:
+            raise ResilienceError(
+                f"restoring {count} nodes of tier {tier:g}GB, only {offline} offline"
+            )
+        self._ssd.restore(count, tier)
+        self._offline[key] = offline - count
+
+    def degrade_bb(self, amount: float) -> float:
+        """Take up to ``amount`` GB of burst buffer offline; returns the
+        amount actually degraded (clamped at the schedulable capacity)."""
+        if amount < 0:
+            raise ResilienceError(f"cannot degrade a negative BB amount ({amount})")
+        actual = min(amount, self.bb_capacity - self.bb_offline)
+        self.bb_offline += actual
+        return actual
+
+    def restore_bb(self, amount: float) -> None:
+        """Bring previously degraded burst-buffer capacity back online."""
+        if amount < 0:
+            raise ResilienceError(f"cannot restore a negative BB amount ({amount})")
+        if amount > self.bb_offline + 1e-9:
+            raise ResilienceError(
+                f"restoring {amount}GB BB, only {self.bb_offline}GB offline"
+            )
+        self.bb_offline = max(self.bb_offline - amount, 0.0)
 
     def allocated_waste(self, job: Job) -> float:
         """SSD over-provisioning (GB) of a currently allocated job."""

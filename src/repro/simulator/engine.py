@@ -22,7 +22,7 @@ its resources free up.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..backfill import EasyBackfill, PlannedRelease
@@ -33,6 +33,8 @@ if TYPE_CHECKING:  # pulled lazily at runtime — repro.methods imports the
     # core solvers, which import this simulator package: a module-level
     # import here would close an import cycle.
     from ..methods.base import Selector
+    from ..resilience.faults import BBDegrade, FaultInjector, NodeFailure
+    from ..resilience.retry import RetryPolicy
 from ..windows import WindowPolicy
 from .cluster import Cluster
 from .events import Event, EventQueue, EventType
@@ -42,7 +44,12 @@ from .recorder import UsageRecorder
 
 @dataclass
 class EngineStats:
-    """Run-level scheduling statistics."""
+    """Run-level scheduling statistics.
+
+    ``selected_jobs``, ``forced_jobs``, and ``backfilled_jobs`` partition
+    the started jobs by *how* they started; a job started through the
+    starvation bound counts only as forced, never also as selected.
+    """
 
     invocations: int = 0            #: scheduling passes that reached selection
     selector_time: float = 0.0      #: wall seconds spent inside the selector
@@ -51,13 +58,36 @@ class EngineStats:
     forced_jobs: int = 0            #: jobs started via the starvation bound
     backfilled_jobs: int = 0        #: jobs started via EASY backfilling
     skipped_passes: int = 0         #: passes skipped by the no-capacity early-out
+    # --- resilience (all zero unless a FaultInjector / watchdog is attached) ---
+    fallback_calls: int = 0         #: selections answered by a watchdog fallback
+    node_failures: int = 0          #: node-failure incidents processed
+    nodes_failed: int = 0           #: node-downs summed over incidents
+    bb_degrades: int = 0            #: burst-buffer degradation incidents
+    job_faults: int = 0             #: spontaneous job-abort events that hit a job
+    killed_jobs: int = 0            #: job executions killed by faults
+    requeued_jobs: int = 0          #: kills that led to a requeue
+    abandoned_jobs: int = 0         #: jobs that reached JobState.ABANDONED
+    lost_node_seconds: float = 0.0  #: node-seconds of execution thrown away
 
     @property
     def mean_selector_time(self) -> float:
-        """Average wall time of one selection decision (seconds)."""
+        """Average wall time of one selection decision (seconds).
+
+        Averages over *all* ``selector_calls``, including the
+        ``fallback_calls`` a :class:`~repro.resilience.SolverWatchdog`
+        answered cheaply — under heavy degradation this mean therefore
+        drops below the inner solver's own cost.
+        """
         if self.selector_calls == 0:
             return 0.0
         return self.selector_time / self.selector_calls
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of selector calls that degraded to the fallback."""
+        if self.selector_calls == 0:
+            return 0.0
+        return self.fallback_calls / self.selector_calls
 
 
 @dataclass
@@ -97,6 +127,14 @@ class SchedulingEngine:
         "the same window size for all methods").  ``"queue"`` is classic
         whole-queue EASY, kept for ablation: it largely erases the
         head-of-line-blocking penalty the naive method suffers.
+    faults:
+        Optional :class:`~repro.resilience.FaultInjector` driving seeded
+        node/burst-buffer/job failures through the run.  ``None`` (the
+        default) keeps the simulator byte-identical to the fault-free
+        engine.
+    retry:
+        Requeue policy for fault-killed jobs; defaults to
+        ``RetryPolicy()`` when ``faults`` is given, ignored otherwise.
     """
 
     def __init__(
@@ -107,6 +145,8 @@ class SchedulingEngine:
         window: Optional[WindowPolicy] = None,
         backfill: Optional[EasyBackfill] = EasyBackfill(),
         backfill_scope: str = "window",
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if backfill_scope not in ("window", "queue"):
             raise SchedulingError(
@@ -129,16 +169,31 @@ class SchedulingEngine:
                 nodes=cluster.total_nodes, bb=cluster.bb_capacity, ssd_total=ssd_total
             )
         )
+        self.faults = faults if faults is not None and faults.scenario.enabled else None
+        if self.faults is not None:
+            from ..resilience.retry import RetryPolicy as _RetryPolicy
+
+            self.retry = retry if retry is not None else _RetryPolicy()
+            self.faults.bind(
+                ssd_tiers=cluster.ssd_pool.total_per_tier(),
+                bb_capacity=cluster.bb_capacity,
+            )
+        else:
+            self.retry = retry
         # --- run state -------------------------------------------------------
         self._events = EventQueue()
         self._queue: List[Job] = []
         self._running: Dict[int, Job] = {}
         self._completed: Set[int] = set()
+        self._abandoned: Set[int] = set()
         self._recorder = UsageRecorder()
         self._stats = EngineStats()
         self._ssd_used = 0.0
         self._ssd_waste = 0.0
         self._now = 0.0
+        self._terminal = 0
+        #: job id → EventQueue token of its pending JOB_END (for fault kills)
+        self._end_tokens: Dict[int, int] = {}
 
     # --- public API ---------------------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> SimulationResult:
@@ -157,7 +212,19 @@ class SchedulingEngine:
                     f"({job.nodes} nodes, {job.bb}GB BB, {job.ssd}GB/node SSD)"
                 )
             self._events.push(Event(job.submit_time, EventType.JOB_SUBMIT, job))
-        while self._events:
+        if self.faults is not None:
+            self._recorder.observe_capacity(
+                0.0, self.cluster.nodes_online, self.cluster.bb_online
+            )
+            self._push_fault(EventType.NODE_DOWN, self.faults.next_node_failure(0.0))
+            self._push_fault(EventType.BB_DEGRADE, self.faults.next_bb_degrade(0.0))
+            fail_at = self.faults.next_job_fail(0.0)
+            if fail_at is not None:
+                self._events.push(Event(fail_at, EventType.JOB_FAIL))
+        # With faults the event stream regenerates itself indefinitely, so
+        # the loop also stops once every job is terminal (completed or
+        # abandoned); without faults both conditions empty simultaneously.
+        while self._events and self._terminal < len(jobs):
             t = self._events.peek_time()
             assert t is not None
             self._now = t
@@ -166,6 +233,7 @@ class SchedulingEngine:
                 changed |= self._process(self._events.pop())
             if changed:
                 self._schedule_pass(t)
+        self._stats.fallback_calls = getattr(self.selector, "fallback_calls", 0)
         return SimulationResult(
             jobs=jobs,
             recorder=self._recorder,
@@ -196,16 +264,75 @@ class SchedulingEngine:
             self.cluster.release(job)
             job.mark_completed(event.time)
             del self._running[job.jid]
+            self._end_tokens.pop(job.jid, None)
             self._completed.add(job.jid)
+            self._terminal += 1
             self._ssd_used -= job.ssd * job.nodes
             self._observe(event.time)
             return True
         if event.etype is EventType.JOB_SUBMIT:
             job = event.payload
+            if job.deps & self._abandoned:
+                # An upstream dependency was abandoned before this job even
+                # arrived: it can never become eligible, so it is abandoned
+                # on the spot rather than queued forever.
+                self._abandon(job, event.time)
+                return False
             job.mark_queued()
             self._queue.append(job)
             self._recorder.observe_queue(event.time, len(self._queue))
             return True
+        if event.etype is EventType.JOB_REQUEUE:
+            job = event.payload
+            job.mark_requeued()
+            self._queue.append(job)
+            self._recorder.observe_queue(event.time, len(self._queue))
+            return True
+        if event.etype is EventType.NODE_DOWN:
+            assert self.faults is not None
+            self._apply_node_failure(event.payload, event.time)
+            self._push_fault(
+                EventType.NODE_DOWN, self.faults.next_node_failure(event.time)
+            )
+            self._observe_capacity(event.time)
+            return True
+        if event.etype is EventType.NODE_UP:
+            count, tier = event.payload
+            self.cluster.restore_nodes(count, tier)
+            self._observe_capacity(event.time)
+            return True
+        if event.etype is EventType.BB_DEGRADE:
+            assert self.faults is not None
+            fault: BBDegrade = event.payload
+            actual = self.cluster.degrade_bb(fault.amount)
+            self._stats.bb_degrades += 1
+            if actual > 0:
+                self._events.push(
+                    Event(event.time + fault.repair, EventType.BB_RESTORE, actual)
+                )
+            self._push_fault(
+                EventType.BB_DEGRADE, self.faults.next_bb_degrade(event.time)
+            )
+            self._observe_capacity(event.time)
+            # Losing capacity opens no scheduling opportunity — no pass.
+            return False
+        if event.etype is EventType.BB_RESTORE:
+            self.cluster.restore_bb(event.payload)
+            self._observe_capacity(event.time)
+            return True
+        if event.etype is EventType.JOB_FAIL:
+            assert self.faults is not None
+            changed = False
+            if self._running:
+                victim = self.faults.pick_victim(sorted(self._running))
+                self._kill(self._running[victim], event.time)
+                self._stats.job_faults += 1
+                self._observe(event.time)
+                changed = True
+            fail_at = self.faults.next_job_fail(event.time)
+            if fail_at is not None:
+                self._events.push(Event(fail_at, EventType.JOB_FAIL))
+            return changed
         return False
 
     def _start(self, job: Job, now: float) -> None:
@@ -216,7 +343,98 @@ class SchedulingEngine:
         self._queue.remove(job)
         self._ssd_used += job.ssd * job.nodes
         self._ssd_waste += self.cluster.allocated_waste(job)
-        self._events.push(Event(now + job.runtime, EventType.JOB_END, job))
+        self._end_tokens[job.jid] = self._events.push(
+            Event(now + job.runtime, EventType.JOB_END, job)
+        )
+
+    # --- fault handling ---------------------------------------------------------
+    def _push_fault(self, etype: EventType, incident) -> None:
+        """Queue the next incident of one fault kind (regenerative stream)."""
+        if incident is not None:
+            self._events.push(Event(incident.time, etype, incident))
+
+    def _observe_capacity(self, now: float) -> None:
+        self._recorder.observe_capacity(
+            now, self.cluster.nodes_online, self.cluster.bb_online
+        )
+
+    def _apply_node_failure(self, fault: NodeFailure, now: float) -> None:
+        """Take nodes offline, killing victim jobs when free ones run out.
+
+        Free nodes of the struck tier are drained first; if the incident
+        needs more, running jobs holding that tier die youngest-first
+        (minimising lost work) until the count is reached or the tier is
+        exhausted.  The paired NODE_UP restores exactly what went down, so
+        capacity accounting is symmetric.
+        """
+        self._stats.node_failures += 1
+        remaining = fault.count - self.cluster.fail_nodes(fault.count, fault.tier)
+        while remaining > 0:
+            victim = self._pick_tier_victim(fault.tier)
+            if victim is None:
+                break
+            self._kill(victim, now)
+            remaining -= self.cluster.fail_nodes(remaining, fault.tier)
+        down = fault.count - remaining
+        self._stats.nodes_failed += down
+        if down > 0:
+            self._events.push(
+                Event(now + fault.repair, EventType.NODE_UP, (down, fault.tier))
+            )
+        self._observe(now)
+
+    def _pick_tier_victim(self, tier: float) -> Optional[Job]:
+        """Youngest running job holding at least one node of ``tier``."""
+        holders = [
+            j
+            for j in self._running.values()
+            if self.cluster.nodes_by_tier(j).get(tier, 0) > 0
+        ]
+        if not holders:
+            return None
+        return max(holders, key=lambda j: (j.start_time, j.jid))
+
+    def _kill(self, job: Job, now: float) -> None:
+        """Kill one running job and route it through the retry policy."""
+        self._stats.killed_jobs += 1
+        self._ssd_waste -= self.cluster.allocated_waste(job)
+        self.cluster.release(job)
+        del self._running[job.jid]
+        self._ssd_used -= job.ssd * job.nodes
+        token = self._end_tokens.pop(job.jid, None)
+        if token is not None:
+            self._events.cancel(token)
+        before = job.lost_node_seconds
+        job.mark_killed(now)
+        self._stats.lost_node_seconds += job.lost_node_seconds - before
+        assert self.retry is not None
+        if self.retry.should_retry(job.attempts):
+            delay = self.retry.requeue_delay(job.attempts)
+            self._events.push(Event(now + delay, EventType.JOB_REQUEUE, job))
+            self._stats.requeued_jobs += 1
+        else:
+            self._abandon(job, now)
+
+    def _abandon(self, job: Job, now: float) -> None:
+        """Mark ``job`` abandoned and cascade to jobs depending on it.
+
+        Dependents already in the queue are abandoned transitively; ones
+        not yet submitted are caught at their JOB_SUBMIT event via
+        ``self._abandoned``.
+        """
+        stack = [job]
+        while stack:
+            j = stack.pop()
+            if j.state is JobState.ABANDONED:
+                continue
+            if j in self._queue:
+                self._queue.remove(j)
+                self._recorder.observe_queue(now, len(self._queue))
+            j.mark_abandoned(now)
+            self._abandoned.add(j.jid)
+            self._terminal += 1
+            self._stats.abandoned_jobs += 1
+            stack.extend(q for q in self._queue if j.jid in q.deps)
 
     def _observe(self, now: float) -> None:
         self._recorder.observe_cluster(

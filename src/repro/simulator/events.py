@@ -16,17 +16,30 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 
 class EventType(enum.IntEnum):
-    """Event kinds, ordered by processing priority at equal timestamps."""
+    """Event kinds, ordered by processing priority at equal timestamps.
 
-    JOB_END = 0     #: a running job completes; resources are released
-    JOB_SUBMIT = 1  #: a job arrives in the queue
-    SCHEDULE = 2    #: run a scheduling pass
-    TICK = 3        #: periodic metrics/usage sampling hook
+    The fault-injection kinds (≥ 4, see :mod:`repro.resilience`) deliberately
+    sort after the exogenous trace events: at one instant completions free
+    resources and submissions join the queue *before* faults reshape
+    capacity, so a fault never kills a job that would have finished at the
+    same timestamp anyway.
+    """
+
+    JOB_END = 0      #: a running job completes; resources are released
+    JOB_SUBMIT = 1   #: a job arrives in the queue
+    SCHEDULE = 2     #: run a scheduling pass
+    TICK = 3         #: periodic metrics/usage sampling hook
+    NODE_UP = 4      #: repaired compute nodes rejoin the pool
+    BB_RESTORE = 5   #: degraded burst-buffer capacity comes back online
+    NODE_DOWN = 6    #: compute nodes fail; running jobs on them are killed
+    BB_DEGRADE = 7   #: part of the shared burst buffer goes offline
+    JOB_FAIL = 8     #: one running job aborts (software/hardware fault)
+    JOB_REQUEUE = 9  #: a killed job re-enters the queue after its backoff
 
 
 @dataclass(frozen=True)

@@ -8,9 +8,16 @@ user-supplied walltime estimate that EASY backfilling relies on.
 Jobs move through a small lifecycle state machine::
 
     PENDING --submit--> QUEUED --start--> RUNNING --finish--> COMPLETED
+                          ^                  |
+                          +---requeue--------+--kill (node fault)
+                          |
+                          +--give-up--> ABANDONED
 
 State transitions are methods so invariants (e.g. a job cannot start twice,
-cannot finish before starting) are enforced in one place.
+cannot finish before starting) are enforced in one place.  The fault path
+(kill → requeue → abandon) is exercised only when a
+:class:`~repro.resilience.FaultInjector` is attached to the engine; fault-free
+runs never leave the top row.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ class JobState(enum.Enum):
     QUEUED = "queued"        #: waiting in the scheduler queue
     RUNNING = "running"      #: allocated and executing
     COMPLETED = "completed"  #: finished and resources released
+    ABANDONED = "abandoned"  #: killed by faults too often; retries exhausted
 
 
 @dataclass
@@ -84,6 +92,10 @@ class Job:
     #: Number of scheduling invocations spent inside the window unselected
     #: (starvation counter, §3.1).
     window_age: int = field(default=0, compare=False)
+    #: Times the job was killed by a fault and taken off the cluster.
+    attempts: int = field(default=0, compare=False)
+    #: Node-seconds of execution lost to fault kills (work thrown away).
+    lost_node_seconds: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:
@@ -126,6 +138,42 @@ class Job:
         if self.state is not JobState.RUNNING:
             raise SchedulingError(f"job {self.jid}: cannot complete from {self.state}")
         self.state = JobState.COMPLETED
+        self.end_time = now
+
+    def mark_killed(self, now: float) -> None:
+        """Transition RUNNING → PENDING after a fault kill.
+
+        The partial execution is discarded: ``lost_node_seconds``
+        accumulates the thrown-away work, ``attempts`` counts the kill, and
+        the start timestamp is cleared so a later successful attempt (or
+        none) determines the wait/slowdown metrics.
+        """
+        if self.state is not JobState.RUNNING:
+            raise SchedulingError(f"job {self.jid}: cannot kill from {self.state}")
+        assert self.start_time is not None
+        self.lost_node_seconds += self.nodes * (now - self.start_time)
+        self.attempts += 1
+        self.state = JobState.PENDING
+        self.start_time = None
+        self.end_time = None
+        self.assigned_ssd = ()
+
+    def mark_requeued(self) -> None:
+        """Transition PENDING → QUEUED when a killed job re-enters the queue."""
+        if self.state is not JobState.PENDING:
+            raise SchedulingError(f"job {self.jid}: cannot requeue from {self.state}")
+        self.state = JobState.QUEUED
+        self.window_age = 0
+
+    def mark_abandoned(self, now: float) -> None:
+        """Terminal transition to ABANDONED (retries exhausted or dep lost).
+
+        Allowed from PENDING (just killed, or never submitted) and QUEUED
+        (a dependency was abandoned, so the job can never become eligible).
+        """
+        if self.state not in (JobState.PENDING, JobState.QUEUED):
+            raise SchedulingError(f"job {self.jid}: cannot abandon from {self.state}")
+        self.state = JobState.ABANDONED
         self.end_time = now
 
     # --- derived metrics ----------------------------------------------------

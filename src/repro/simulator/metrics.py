@@ -19,14 +19,17 @@ and runtime — the groupings behind Figures 9–11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from .job import Job, JobState
 from .recorder import UsageRecorder
+
+if TYPE_CHECKING:  # annotation only; the engine imports this package's peers
+    from .engine import EngineStats
 
 #: Jobs with actual runtime below this many seconds are considered abnormal
 #: (crashed at startup) and excluded from slowdown averages, following §4.2.
@@ -166,6 +169,81 @@ def compute_summary(
         ssd_waste=ssd_waste,
         n_jobs=len(_measured_jobs(jobs, interval)),
         interval=interval,
+    )
+
+
+# --- resilience metrics --------------------------------------------------------
+
+
+@dataclass
+class ResilienceSummary:
+    """Fault-run metrics complementing :class:`MetricsSummary`.
+
+    ``node_usage_degraded`` renormalises node usage by the time-integrated
+    *online* capacity instead of the nominal node count — the honest
+    utilization figure when failures shrink the machine.  Without capacity
+    observations (fault-free run) it equals the nominal usage.
+    """
+
+    lost_node_hours: float          #: execution thrown away by fault kills
+    killed_jobs: int                #: job executions killed by faults
+    requeued_jobs: int              #: kills routed back into the queue
+    abandoned_jobs: int             #: jobs that ended ABANDONED
+    completed_jobs: int             #: jobs that still completed
+    fallback_calls: int             #: watchdog-degraded selections
+    fallback_rate: float            #: fallback_calls / selector calls
+    node_failures: int              #: node-failure incidents
+    bb_degrades: int                #: burst-buffer incidents
+    mean_nodes_online: float        #: time-averaged healthy node fraction
+    node_usage_degraded: float      #: usage over *online* node-hours
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (for reports and CSV output)."""
+        return {
+            "lost_node_hours": self.lost_node_hours,
+            "killed_jobs": float(self.killed_jobs),
+            "requeued_jobs": float(self.requeued_jobs),
+            "abandoned_jobs": float(self.abandoned_jobs),
+            "completed_jobs": float(self.completed_jobs),
+            "fallback_calls": float(self.fallback_calls),
+            "fallback_rate": self.fallback_rate,
+            "node_failures": float(self.node_failures),
+            "bb_degrades": float(self.bb_degrades),
+            "mean_nodes_online": self.mean_nodes_online,
+            "node_usage_degraded": self.node_usage_degraded,
+        }
+
+
+def compute_resilience_summary(
+    jobs: Sequence[Job],
+    recorder: UsageRecorder,
+    stats: "EngineStats",
+    interval: Interval,
+    *,
+    total_nodes: int,
+) -> ResilienceSummary:
+    """Evaluate the resilience metrics of one (possibly faulty) run."""
+    if total_nodes <= 0:
+        raise ConfigurationError("total_nodes must be positive")
+    used = recorder.nodes.integral(interval.start, interval.end)
+    if recorder.has_capacity_series:
+        online = recorder.nodes_online.integral(interval.start, interval.end)
+        mean_online = recorder.nodes_online.mean(interval.start, interval.end)
+    else:
+        online = total_nodes * interval.span
+        mean_online = float(total_nodes)
+    return ResilienceSummary(
+        lost_node_hours=stats.lost_node_seconds / 3600.0,
+        killed_jobs=stats.killed_jobs,
+        requeued_jobs=stats.requeued_jobs,
+        abandoned_jobs=stats.abandoned_jobs,
+        completed_jobs=sum(1 for j in jobs if j.state is JobState.COMPLETED),
+        fallback_calls=stats.fallback_calls,
+        fallback_rate=stats.fallback_rate,
+        node_failures=stats.node_failures,
+        bb_degrades=stats.bb_degrades,
+        mean_nodes_online=mean_online / total_nodes,
+        node_usage_degraded=used / online if online > 0 else 0.0,
     )
 
 

@@ -15,7 +15,7 @@ sub-interval after the run.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -95,11 +95,17 @@ class UsageRecorder:
 
     Series
     ------
-    ``nodes``      — compute nodes in use.
-    ``bb``         — burst buffer GB in use.
-    ``ssd``        — requested local SSD GB in use (``s_i × n_i`` summed).
-    ``ssd_waste``  — over-provisioned local SSD GB currently allocated.
-    ``queue``      — number of queued jobs (for diagnostics).
+    ``nodes``        — compute nodes in use.
+    ``bb``           — burst buffer GB in use.
+    ``ssd``          — requested local SSD GB in use (``s_i × n_i`` summed).
+    ``ssd_waste``    — over-provisioned local SSD GB currently allocated.
+    ``queue``        — number of queued jobs (for diagnostics).
+    ``nodes_online`` — healthy compute-node capacity (fault injection).
+    ``bb_online``    — healthy burst-buffer capacity in GB (fault injection).
+
+    The two capacity series are only fed when an engine runs with a
+    :class:`~repro.resilience.FaultInjector`; fault-free runs leave them at
+    their initial zero and :attr:`has_capacity_series` False.
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
@@ -108,6 +114,14 @@ class UsageRecorder:
         self.ssd = StepSeries(0.0, start_time)
         self.ssd_waste = StepSeries(0.0, start_time)
         self.queue = StepSeries(0.0, start_time)
+        self.nodes_online = StepSeries(0.0, start_time)
+        self.bb_online = StepSeries(0.0, start_time)
+        self._capacity_observed = False
+
+    @property
+    def has_capacity_series(self) -> bool:
+        """True when online-capacity observations were recorded."""
+        return self._capacity_observed
 
     def observe_cluster(
         self,
@@ -126,3 +140,9 @@ class UsageRecorder:
     def observe_queue(self, time: float, queued: int) -> None:
         """Record the queue depth after a queue change."""
         self.queue.observe(time, queued)
+
+    def observe_capacity(self, time: float, nodes_online: int, bb_online: float) -> None:
+        """Record the healthy capacity after a fault or repair."""
+        self.nodes_online.observe(time, nodes_online)
+        self.bb_online.observe(time, bb_online)
+        self._capacity_observed = True

@@ -15,9 +15,9 @@ is exhausted, which minimises waste greedily.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
-from ..errors import AllocationError, ConfigurationError
+from ..errors import AllocationError, ConfigurationError, ResilienceError
 
 
 @dataclass(frozen=True)
@@ -137,6 +137,41 @@ class SSDPool:
                     f"({self._free[cap]} free of {self._total[cap]})"
                 )
             self._free[cap] += count
+
+    # --- fault support ---------------------------------------------------------
+    def drain(self, count: int, capacity: float) -> int:
+        """Take up to ``count`` *free* nodes of one tier offline.
+
+        Both the tier's total and free counts shrink, so per-tier
+        accounting (``free ≤ total``) stays consistent while jobs keep
+        holding their already-allocated nodes.  Returns the number of nodes
+        actually drained (possibly fewer than requested when the tier has
+        busy nodes; the caller kills victims and drains again).
+        """
+        if count < 0:
+            raise ResilienceError(f"cannot drain a negative node count ({count})")
+        cap = float(capacity)
+        if cap not in self._free:
+            raise ResilienceError(f"unknown SSD tier {capacity} in drain")
+        grab = min(self._free[cap], count)
+        self._free[cap] -= grab
+        self._total[cap] -= grab
+        return grab
+
+    def restore(self, count: int, capacity: float) -> None:
+        """Return previously drained nodes of one tier to the pool.
+
+        The caller (:class:`~repro.simulator.cluster.Cluster`) tracks how
+        many nodes are offline per tier and must never restore more than it
+        drained.
+        """
+        if count < 0:
+            raise ResilienceError(f"cannot restore a negative node count ({count})")
+        cap = float(capacity)
+        if cap not in self._free:
+            raise ResilienceError(f"unknown SSD tier {capacity} in restore")
+        self._free[cap] += count
+        self._total[cap] += count
 
     # --- planning (no mutation) -----------------------------------------------
     def plan_waste(self, nodes: int, ssd_per_node: float) -> float:

@@ -13,15 +13,13 @@ requests: 80/20, 50/50, and 20/80 splits between the 0–128 GB and
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from ..simulator.job import Job
 from ..units import TB
-from .distributions import bounded_pareto
 from .trace import Trace
 
 

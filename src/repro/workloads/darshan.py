@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng

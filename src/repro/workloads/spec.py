@@ -19,12 +19,12 @@ that drives the scheduling comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..simulator.cluster import Cluster
-from ..units import PB, TB
+from ..units import PB
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,6 @@ like next to the paper's descriptions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

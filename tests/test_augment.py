@@ -13,7 +13,6 @@ from repro.workloads.augment import (
     make_ssd_suite,
 )
 from repro.workloads.generator import generate, theta_profile
-from repro.workloads.spec import THETA
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.backfill import BackfillPlan, EasyBackfill, PlannedRelease
+from repro.backfill import EasyBackfill, PlannedRelease
 from repro.simulator.job import Job
 
 

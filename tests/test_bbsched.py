@@ -1,7 +1,5 @@
 """BBSched selector: MOO + GA + decision rule end to end."""
 
-import numpy as np
-import pytest
 
 from repro.core.bbsched import BBSchedSelector
 from repro.core.decision import DecisionRule

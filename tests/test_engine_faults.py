@@ -1,0 +1,224 @@
+"""Engine behaviour under fault injection: kills, requeues, abandonment,
+capacity accounting, and the strictly-opt-in default."""
+
+import pytest
+
+from repro.backfill import EasyBackfill
+from repro.methods import NaiveSelector, make_selector
+from repro.policies import FCFS
+from repro.resilience import FaultInjector, FaultScenario, RetryPolicy
+from repro.simulator.engine import SchedulingEngine
+from repro.simulator.job import Job, JobState
+from repro.simulator.cluster import Cluster
+from repro.windows import WindowPolicy
+
+
+def make_job(jid, submit=0.0, runtime=100.0, nodes=1, bb=0.0, ssd=0.0,
+             walltime=None, deps=()):
+    return Job(jid=jid, submit_time=submit, runtime=runtime,
+               walltime=walltime or runtime, nodes=nodes, bb=bb, ssd=ssd,
+               deps=frozenset(deps))
+
+
+def run_sim(jobs, nodes=10, bb=0.0, scenario=None, retry=None, selector=None,
+            window=None, ssd_tiers=None):
+    cluster = Cluster(nodes=nodes, bb_capacity=bb, ssd_tiers=ssd_tiers)
+    engine = SchedulingEngine(
+        cluster,
+        FCFS(),
+        selector or NaiveSelector(),
+        window or WindowPolicy(size=5),
+        backfill=EasyBackfill(),
+        faults=FaultInjector(scenario) if scenario is not None else None,
+        retry=retry,
+    )
+    return engine.run(jobs), engine
+
+
+#: Node failures every ~400 s on a 10-node machine: every multi-hundred-
+#: second job is virtually guaranteed to be hit at least once.
+STORMY = FaultScenario(seed=5, node_mtbf=400.0, node_mttr=600.0,
+                       nodes_per_failure=2)
+
+
+class TestKillRequeueLifecycle:
+    def test_killed_job_requeues_and_completes(self):
+        jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                for i in range(12)]
+        res, _ = run_sim(jobs, scenario=STORMY)
+        assert res.stats.killed_jobs > 0
+        assert res.stats.requeued_jobs == res.stats.killed_jobs
+        assert all(j.state is JobState.COMPLETED for j in res.jobs)
+        survivors = [j for j in res.jobs if j.attempts > 0]
+        assert survivors
+        for j in survivors:
+            # end - start reflects the *successful* attempt only.
+            assert j.end_time - j.start_time == pytest.approx(j.runtime)
+            assert j.lost_node_seconds > 0.0
+
+    def test_lost_work_accounted(self):
+        jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                for i in range(12)]
+        res, _ = run_sim(jobs, scenario=STORMY)
+        per_job = sum(j.lost_node_seconds for j in res.jobs)
+        assert res.stats.lost_node_seconds == pytest.approx(per_job)
+        assert per_job > 0.0
+
+    def test_backoff_delays_restart(self):
+        retry = RetryPolicy(backoff=500.0, backoff_factor=1.0,
+                            max_backoff=500.0)
+        jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                for i in range(12)]
+        res, _ = run_sim(jobs, scenario=STORMY, retry=retry)
+        victim = next(j for j in res.jobs if j.attempts > 0)
+        # The final start can be no earlier than the backoff after a kill.
+        assert victim.start_time > victim.submit_time + 500.0
+
+    def test_job_fail_stream_kills_running_jobs(self):
+        scenario = FaultScenario(seed=9, job_mtbf=300.0)
+        jobs = [make_job(i, submit=float(5 * i), nodes=2, runtime=600.0)
+                for i in range(10)]
+        res, _ = run_sim(jobs, scenario=scenario)
+        assert res.stats.job_faults > 0
+        assert res.stats.killed_jobs == res.stats.job_faults
+        assert all(j.state is JobState.COMPLETED for j in res.jobs)
+
+
+class TestAbandonment:
+    def test_exhausted_attempts_abandon(self):
+        retry = RetryPolicy(max_attempts=0)
+        jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                for i in range(12)]
+        res, _ = run_sim(jobs, scenario=STORMY, retry=retry)
+        assert res.stats.killed_jobs > 0
+        assert res.stats.requeued_jobs == 0
+        abandoned = [j for j in res.jobs if j.state is JobState.ABANDONED]
+        assert len(abandoned) == res.stats.abandoned_jobs > 0
+        for j in abandoned:
+            assert j.end_time is not None
+
+    def test_abandonment_cascades_to_dependents(self):
+        retry = RetryPolicy(max_attempts=0)
+        # One long job certain to be killed, plus a dependency chain on it.
+        jobs = [make_job(1, nodes=8, runtime=2000.0),
+                make_job(2, submit=1.0, runtime=50.0, deps={1}),
+                make_job(3, submit=2.0, runtime=50.0, deps={2}),
+                make_job(4, submit=3.0, runtime=50.0)]
+        res, _ = run_sim(jobs, scenario=STORMY, retry=retry)
+        by_id = {j.jid: j for j in res.jobs}
+        assert by_id[1].state is JobState.ABANDONED
+        assert by_id[2].state is JobState.ABANDONED
+        assert by_id[3].state is JobState.ABANDONED
+        assert by_id[4].state is JobState.COMPLETED
+
+    def test_not_yet_submitted_dependent_abandoned_at_submit(self):
+        retry = RetryPolicy(max_attempts=0)
+        jobs = [make_job(1, nodes=8, runtime=2000.0),
+                make_job(2, submit=50_000.0, runtime=50.0, deps={1})]
+        res, _ = run_sim(jobs, scenario=STORMY, retry=retry)
+        by_id = {j.jid: j for j in res.jobs}
+        assert by_id[1].state is JobState.ABANDONED
+        assert by_id[2].state is JobState.ABANDONED
+        assert by_id[2].start_time is None
+
+
+class TestCapacityAccounting:
+    def test_capacity_never_negative(self):
+        scenario = FaultScenario(seed=11, node_mtbf=300.0, node_mttr=900.0,
+                                 nodes_per_failure=3, bb_mtbf=1000.0,
+                                 bb_degrade_fraction=0.4, job_mtbf=800.0)
+        jobs = [make_job(i, submit=float(20 * i), nodes=3, runtime=400.0,
+                         bb=20.0) for i in range(15)]
+        res, engine = run_sim(jobs, bb=100.0, scenario=scenario)
+        cluster = engine.cluster
+        assert cluster.nodes_free >= 0
+        assert cluster.bb_free >= 0.0
+        assert cluster.nodes_offline == 0 or cluster.nodes_offline <= 10
+        assert all(j.state in (JobState.COMPLETED, JobState.ABANDONED)
+                   for j in res.jobs)
+
+    def test_capacity_series_recorded(self):
+        jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                for i in range(12)]
+        res, _ = run_sim(jobs, scenario=STORMY)
+        assert res.recorder.has_capacity_series
+        mean_online = res.recorder.nodes_online.mean(0.0, res.makespan)
+        assert 0.0 < mean_online < 10.0   # failures took capacity offline
+
+    def test_starts_partition_into_kills_and_completions(self):
+        # Every start either completes or is killed — no double counting
+        # between selected/forced/backfilled even across requeues.
+        jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                for i in range(12)]
+        res, _ = run_sim(jobs, scenario=STORMY)
+        starts = (res.stats.selected_jobs + res.stats.forced_jobs +
+                  res.stats.backfilled_jobs)
+        completed = sum(1 for j in res.jobs if j.state is JobState.COMPLETED)
+        assert starts == completed + res.stats.killed_jobs
+
+    def test_ssd_tier_failures(self):
+        scenario = FaultScenario(seed=4, node_mtbf=300.0, node_mttr=600.0,
+                                 nodes_per_failure=2)
+        jobs = [make_job(i, submit=float(10 * i), nodes=2, runtime=500.0,
+                         ssd=64.0) for i in range(10)]
+        res, engine = run_sim(jobs, nodes=8, scenario=scenario,
+                              ssd_tiers={128.0: 4, 256.0: 4})
+        assert res.stats.node_failures > 0
+        assert all(j.state in (JobState.COMPLETED, JobState.ABANDONED)
+                   for j in res.jobs)
+        # Every repair landed: the pool's nominal shape is fully restored.
+        assert engine.cluster.ssd_pool.total_per_tier() == {128.0: 4, 256.0: 4}
+
+
+class TestStarvationUnderFaults:
+    def test_forced_job_survives_node_failures(self):
+        # The BB-hungry head job is starved by the constrained method, gets
+        # forced, and must still complete even when failures keep shrinking
+        # the machine underneath it.
+        jobs = [make_job(1, nodes=2, runtime=50.0, bb=90.0)]
+        jobs += [make_job(10 + i, submit=float(i), nodes=2, runtime=30.0,
+                          bb=20.0) for i in range(30)]
+        scenario = FaultScenario(seed=2, node_mtbf=200.0, node_mttr=100.0)
+        res, _ = run_sim(
+            jobs, bb=100.0, scenario=scenario,
+            selector=make_selector("Constrained_CPU", generations=10, seed=0),
+            window=WindowPolicy(size=3, starvation_bound=5))
+        big = res.jobs[0]
+        assert big.state is JobState.COMPLETED
+
+
+class TestOptInDefault:
+    def _trace(self):
+        return [make_job(i, submit=float(i % 7), nodes=1 + i % 5,
+                         runtime=30.0 + i, bb=float(i % 3) * 10.0)
+                for i in range(25)]
+
+    def _outcome(self, res):
+        return [(j.jid, j.start_time, j.end_time, j.state) for j in res.jobs]
+
+    def test_zero_rate_scenario_identical_to_no_faults(self):
+        base, _ = run_sim(self._trace(), bb=100.0)
+        zeroed, engine = run_sim(self._trace(), bb=100.0,
+                                 scenario=FaultScenario())
+        assert engine.faults is None       # disabled scenario dropped
+        assert self._outcome(base) == self._outcome(zeroed)
+        assert not zeroed.recorder.has_capacity_series
+
+    def test_fault_runs_are_deterministic(self):
+        def once():
+            jobs = [make_job(i, submit=float(10 * i), nodes=4, runtime=800.0)
+                    for i in range(12)]
+            res, _ = run_sim(jobs, scenario=STORMY)
+            return ([(j.jid, j.start_time, j.attempts) for j in res.jobs],
+                    res.stats.killed_jobs, res.stats.node_failures)
+
+        assert once() == once()
+
+    def test_bbsched_selector_under_faults(self):
+        scenario = FaultScenario(seed=6, node_mtbf=500.0, node_mttr=400.0)
+        jobs = [make_job(i, submit=float(5 * i), nodes=2 + i % 4,
+                         runtime=300.0, bb=float(i % 3) * 20.0)
+                for i in range(15)]
+        sel = make_selector("BBSched", generations=15, seed=1)
+        res, _ = run_sim(jobs, bb=100.0, scenario=scenario, selector=sel)
+        assert all(j.state is JobState.COMPLETED for j in res.jobs)

@@ -4,7 +4,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
@@ -50,3 +49,14 @@ class TestCompareMethods:
         assert proc.returncode == 0, proc.stderr
         assert "Baseline" in proc.stdout
         assert "BBSched" in proc.stdout
+
+
+class TestFaultTolerance:
+    def test_runs_and_demonstrates_degradation(self):
+        proc = run_example("fault_tolerance.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "ideal hardware:" in proc.stdout
+        assert "faulty hardware:" in proc.stdout
+        assert "node failures" in proc.stdout
+        assert "requeued" in proc.stdout
+        assert "breaker tripped True" in proc.stdout

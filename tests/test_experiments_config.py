@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments.config import BASE_SEED, SCALES, Scale, get_scale
+from repro.experiments.config import SCALES, Scale, get_scale
 
 
 class TestScales:

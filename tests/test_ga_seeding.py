@@ -1,7 +1,6 @@
 """GA warm-start seeding and paper-exact (random-init) mode."""
 
 import numpy as np
-import pytest
 
 from repro.core.exhaustive import ExhaustiveSolver
 from repro.core.ga import MOGASolver

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.units import HOURS
 from repro.workloads.generator import (
     WorkloadProfile,
     cori_profile,

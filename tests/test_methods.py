@@ -1,6 +1,5 @@
 """Selection methods (§4.3): naive, weighted, constrained, bin packing."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, SchedulingError

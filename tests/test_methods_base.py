@@ -1,6 +1,5 @@
 """Selector base-class helpers."""
 
-import pytest
 
 from repro.methods.base import Selector, SystemCapacity
 from repro.simulator.cluster import Available

@@ -1,12 +1,10 @@
 """Evaluation metrics (§4.2): usages, waits, slowdowns, breakdowns."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.simulator.job import Job
 from repro.simulator.metrics import (
-    ABNORMAL_RUNTIME,
     Interval,
     average_slowdown,
     average_wait,

@@ -133,7 +133,6 @@ class TestSSDSelectionProblem:
         assert F[0, 3] == pytest.approx(-(64.0 * 2 + 56.0 * 2))
 
     def test_tier_feasibility(self):
-        p = self._problem()
         # Two large-SSD jobs would need 4 nodes with >=200GB; only 2 exist.
         jobs = [make_job(1, 2, ssd=200.0), make_job(2, 2, ssd=200.0)]
         p2 = SSDSelectionProblem(jobs, 4, 0.0, {128.0: 2, 256.0: 2})
@@ -141,7 +140,6 @@ class TestSSDSelectionProblem:
         assert p2.feasible(pop).tolist() == [False, True]
 
     def test_bb_constraint(self):
-        p = self._problem()
         jobs = [make_job(1, 1, bb=15.0), make_job(2, 1, bb=15.0)]
         p2 = SSDSelectionProblem(jobs, 4, 20.0, {128.0: 2, 256.0: 2})
         pop = np.array([[1, 1]], dtype=np.uint8)

@@ -1,6 +1,5 @@
 """Step-series recorder: exact time-weighted integration."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -17,7 +17,7 @@ class TestFormatTable:
         out = format_table([["a", 1], ["bbbb", 22]], ["col", "n"])
         lines = out.splitlines()
         assert len(lines) == 4
-        assert all(len(l) == len(lines[0]) for l in lines[1:])
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
 
     def test_title(self):
         out = format_table([["x"]], ["h"], title="T")

@@ -1,0 +1,227 @@
+"""Fault-injection building blocks: scenarios, injector streams, retry
+policy arithmetic, and drain/restore capacity invariants."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResilienceError
+from repro.resilience import (
+    SCENARIOS,
+    FaultInjector,
+    FaultScenario,
+    RetryPolicy,
+    get_scenario,
+)
+from repro.simulator.cluster import Cluster
+from repro.simulator.ssd_pool import SSDPool
+
+
+def make_injector(scenario, *, tiers=None, bb=1000.0):
+    inj = FaultInjector(scenario)
+    inj.bind(ssd_tiers=tiers or {0.0: 100}, bb_capacity=bb)
+    return inj
+
+
+class TestFaultScenario:
+    def test_default_is_disabled(self):
+        assert not FaultScenario().enabled
+
+    def test_any_positive_mtbf_enables(self):
+        assert FaultScenario(node_mtbf=1.0).enabled
+        assert FaultScenario(bb_mtbf=1.0).enabled
+        assert FaultScenario(job_mtbf=1.0).enabled
+
+    @pytest.mark.parametrize("kw", [
+        {"node_mtbf": -1.0},
+        {"node_mttr": -1.0},
+        {"bb_mtbf": -5.0},
+        {"job_mtbf": -0.1},
+        {"mttr_sigma": 0.0},
+        {"nodes_per_failure": 0},
+        {"bb_degrade_fraction": 0.0},
+        {"bb_degrade_fraction": 1.5},
+    ])
+    def test_invalid_knobs_rejected(self, kw):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(**kw)
+
+    def test_named_scenarios_enabled(self):
+        for name in SCENARIOS:
+            assert get_scenario(name).enabled
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("apocalypse")
+
+
+class TestFaultInjectorStreams:
+    def test_seeded_determinism(self):
+        sc = FaultScenario(seed=7, node_mtbf=3600.0, bb_mtbf=7200.0,
+                           job_mtbf=1800.0)
+
+        def stream():
+            inj = make_injector(sc, tiers={128.0: 6, 256.0: 4})
+            t = 0.0
+            out = []
+            for _ in range(25):
+                nf = inj.next_node_failure(t)
+                out.append((nf.time, nf.count, nf.tier, nf.repair))
+                out.append(inj.next_bb_degrade(t))
+                out.append(inj.next_job_fail(t))
+                t = nf.time
+            return out
+
+        assert stream() == stream()
+
+    def test_different_seeds_differ(self):
+        a = make_injector(FaultScenario(seed=1, node_mtbf=3600.0))
+        b = make_injector(FaultScenario(seed=2, node_mtbf=3600.0))
+        assert a.next_node_failure(0.0) != b.next_node_failure(0.0)
+
+    def test_streams_compose_independently(self):
+        # Enabling BB/job faults must not perturb the node-failure schedule.
+        node_only = make_injector(FaultScenario(seed=3, node_mtbf=3600.0))
+        combined = make_injector(
+            FaultScenario(seed=3, node_mtbf=3600.0, bb_mtbf=7200.0,
+                          job_mtbf=1800.0))
+        t = 0.0
+        for _ in range(10):
+            a = node_only.next_node_failure(t)
+            b = combined.next_node_failure(t)
+            combined.next_bb_degrade(t)
+            combined.next_job_fail(t)
+            assert a == b
+            t = a.time
+
+    def test_disabled_kinds_return_none(self):
+        inj = make_injector(FaultScenario(seed=0, node_mtbf=3600.0))
+        assert inj.next_bb_degrade(0.0) is None
+        assert inj.next_job_fail(0.0) is None
+
+    def test_zero_bb_capacity_disables_bb_faults(self):
+        inj = make_injector(FaultScenario(seed=0, bb_mtbf=3600.0), bb=0.0)
+        assert inj.next_bb_degrade(0.0) is None
+
+    def test_draw_requires_bind(self):
+        inj = FaultInjector(FaultScenario(seed=0, node_mtbf=3600.0))
+        with pytest.raises(ResilienceError):
+            inj.next_node_failure(0.0)
+
+    def test_incidents_are_future_and_repairable(self):
+        inj = make_injector(SCENARIOS["harsh"], tiers={128.0: 50, 256.0: 50})
+        t = 100.0
+        for _ in range(20):
+            nf = inj.next_node_failure(t)
+            assert nf.time > t
+            assert nf.repair > 0
+            assert nf.tier in (128.0, 256.0)
+            t = nf.time
+
+    def test_pick_victim(self):
+        inj = make_injector(FaultScenario(seed=0, job_mtbf=100.0))
+        assert inj.pick_victim([42]) == 42
+        assert inj.pick_victim([3, 7, 11]) in (3, 7, 11)
+        with pytest.raises(ResilienceError):
+            inj.pick_victim([])
+
+
+class TestRetryPolicy:
+    def test_should_retry_counts_kills(self):
+        p = RetryPolicy(max_attempts=2)
+        assert p.should_retry(1)
+        assert p.should_retry(2)
+        assert not p.should_retry(3)
+
+    def test_zero_attempts_abandons_immediately(self):
+        assert not RetryPolicy(max_attempts=0).should_retry(1)
+
+    def test_exponential_backoff_with_clamp(self):
+        p = RetryPolicy(backoff=60.0, backoff_factor=2.0, max_backoff=200.0)
+        assert p.requeue_delay(1) == 60.0
+        assert p.requeue_delay(2) == 120.0
+        assert p.requeue_delay(3) == 200.0   # clamped from 240
+
+    def test_requeue_delay_needs_a_kill(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().requeue_delay(0)
+
+    @pytest.mark.parametrize("kw", [
+        {"max_attempts": -1},
+        {"backoff": -1.0},
+        {"backoff_factor": 0.5},
+        {"backoff": 100.0, "max_backoff": 50.0},
+    ])
+    def test_invalid_policy_rejected(self, kw):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kw)
+
+
+class TestSSDPoolDrain:
+    def test_drain_takes_only_free_nodes(self):
+        pool = SSDPool({128.0: 4})
+        asg = pool.allocate(3, 64.0)
+        assert pool.drain(4, 128.0) == 1       # only one node was free
+        assert pool.free_at_least(0.0) == 0
+        pool.release(asg)
+        assert pool.free_at_least(0.0) == 3    # total shrank with the drain
+
+    def test_restore_reverses_drain(self):
+        pool = SSDPool({128.0: 4})
+        assert pool.drain(2, 128.0) == 2
+        pool.restore(2, 128.0)
+        assert pool.free_at_least(0.0) == 4
+        assert pool.total_per_tier() == {128.0: 4}
+
+    def test_unknown_tier_rejected(self):
+        pool = SSDPool({128.0: 4})
+        with pytest.raises(ResilienceError):
+            pool.drain(1, 999.0)
+        with pytest.raises(ResilienceError):
+            pool.restore(1, 999.0)
+
+    def test_negative_counts_rejected(self):
+        pool = SSDPool({128.0: 4})
+        with pytest.raises(ResilienceError):
+            pool.drain(-1, 128.0)
+        with pytest.raises(ResilienceError):
+            pool.restore(-1, 128.0)
+
+
+class TestClusterFailRestore:
+    def test_fail_and_restore_nodes(self):
+        cluster = Cluster(nodes=10, bb_capacity=0.0)
+        assert cluster.fail_nodes(3, 0.0) == 3
+        assert cluster.nodes_offline == 3
+        assert cluster.nodes_online == 7
+        assert cluster.nodes_free == 7
+        cluster.restore_nodes(3, 0.0)
+        assert cluster.nodes_offline == 0
+        assert cluster.nodes_free == 10
+
+    def test_cannot_restore_more_than_failed(self):
+        cluster = Cluster(nodes=10, bb_capacity=0.0)
+        cluster.fail_nodes(2, 0.0)
+        with pytest.raises(ResilienceError):
+            cluster.restore_nodes(3, 0.0)
+
+    def test_bb_degrade_clamps_and_restores(self):
+        cluster = Cluster(nodes=10, bb_capacity=100.0)
+        assert cluster.degrade_bb(30.0) == 30.0
+        assert cluster.bb_free == pytest.approx(70.0)
+        # A second degrade larger than what is left is clamped.
+        assert cluster.degrade_bb(90.0) == pytest.approx(70.0)
+        assert cluster.bb_free == 0.0
+        cluster.restore_bb(100.0)
+        assert cluster.bb_free == pytest.approx(100.0)
+
+    def test_bb_free_never_negative_under_load(self):
+        from repro.simulator.job import Job
+
+        cluster = Cluster(nodes=10, bb_capacity=100.0)
+        job = Job(jid=1, submit_time=0.0, runtime=10.0, walltime=10.0,
+                  nodes=2, bb=80.0)
+        cluster.allocate(job)
+        cluster.degrade_bb(50.0)               # clamped to the 20 GB still free
+        assert cluster.bb_free >= 0.0
+        # A zero-BB job must still pass the fits() check.
+        free = cluster.available()
+        assert free.bb >= 0.0

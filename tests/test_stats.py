@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.units import TB
 from repro.workloads import generate, theta_profile, THETA
 from repro.workloads.stats import DistributionSummary, characterize, render_stats
 

@@ -1,6 +1,5 @@
 """Trace container: validation, statistics, CSV round-trip."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TraceError

@@ -6,7 +6,6 @@ from repro.units import (
     DAYS,
     GB,
     HOURS,
-    MINUTES,
     PB,
     TB,
     fmt_duration,

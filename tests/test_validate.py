@@ -8,7 +8,7 @@ from repro.policies import FCFS
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import SchedulingEngine
 from repro.simulator.job import Job
-from repro.simulator.validate import ValidationReport, Violation, validate_schedule
+from repro.simulator.validate import Violation, validate_schedule
 from repro.windows import WindowPolicy
 
 
