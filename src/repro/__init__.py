@@ -87,6 +87,14 @@ from .simulator import (
     trimmed_interval,
 )
 from .simulator import ValidationReport, validate_schedule
+from .telemetry import (
+    MetricsRegistry,
+    NullTracer,
+    TelemetrySnapshot,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
 from .windows import DynamicWindowPolicy, Window, WindowPolicy
 
 __version__ = "1.0.0"
@@ -151,6 +159,13 @@ __all__ = [
     "SolverWatchdog",
     "WatchdogStats",
     "GreedyFallbackSelector",
+    # telemetry
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "TelemetrySnapshot",
+    "get_tracer",
+    "use_tracer",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -19,6 +19,15 @@ selection with graceful degradation::
 
     bbsched run fig6_7 --faults mild      # Figures 6 & 7 on flaky hardware
     bbsched simulate Theta-S4 BBSched --node-mtbf 21600 --watchdog 0.5
+
+Observability (see ``docs/observability.md``): ``--trace PATH`` records a
+structured trace of the run (``--trace-format chrome`` produces a
+Perfetto/``chrome://tracing``-loadable file), ``--metrics-out PATH``
+writes the counters/gauges/histograms as JSON, and both print the
+end-of-run telemetry report::
+
+    bbsched sim Theta-S4 BBSched --trace out.json --trace-format chrome
+    bbsched simulate Theta-S2 BBSched --metrics-out metrics.json
 """
 
 from __future__ import annotations
@@ -26,13 +35,21 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-import time
+from contextlib import nullcontext
 from typing import Callable, Dict, Optional, Tuple
 
 from . import experiments as exp
 from .errors import ReproError
 from .experiments import report
 from .resilience import SCENARIOS, FaultScenario, RetryPolicy, get_scenario
+from .telemetry import (
+    Tracer,
+    render_report,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
 from .units import fmt_duration, fmt_storage
 
 #: experiment name → (run, render) callables.
@@ -85,6 +102,28 @@ def _custom_scenario(args: argparse.Namespace) -> Optional[FaultScenario]:
     )
 
 
+def _exporting(args: argparse.Namespace) -> bool:
+    """Did the user ask for any telemetry output?"""
+    return bool(getattr(args, "trace", None) or getattr(args, "metrics_out", None))
+
+
+def _export_telemetry(args: argparse.Namespace, tracer: Tracer,
+                      metrics=None, spans=None, meta=None) -> None:
+    """Write the requested trace / metrics files."""
+    if getattr(args, "trace", None):
+        if args.trace_format == "chrome":
+            write_chrome_trace(args.trace, tracer, metrics, meta)
+        else:
+            write_jsonl(args.trace, tracer, metrics, meta)
+        print(f"wrote {args.trace_format} trace to {args.trace}")
+    if getattr(args, "metrics_out", None):
+        from .telemetry import MetricsRegistry
+
+        write_metrics_json(args.metrics_out, metrics or MetricsRegistry(),
+                           spans=spans, meta=meta)
+        print(f"wrote metrics to {args.metrics_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -92,17 +131,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
     scale = _resolve_scale(args)
-    for name in names:
-        run, render = EXPERIMENTS[name]
-        t0 = time.perf_counter()
-        if name == "table1":
-            result = run(generations=scale.generations * 5)
-        else:
-            result = run(scale)
-        print(f"=== {name} (scale={scale.name}, "
-              f"{time.perf_counter() - t0:.1f}s) ===")
-        print(render(result))
-        print()
+    # The CLI's single timing source is a telemetry tracer; it is installed
+    # process-wide (so engines and solvers record into it) only when a
+    # trace was requested — untraced runs keep the zero-overhead default.
+    tracer = Tracer()
+    with use_tracer(tracer) if _exporting(args) else nullcontext():
+        for name in names:
+            run, render = EXPERIMENTS[name]
+            with tracer.span("experiment", experiment=name, scale=scale.name) as sp:
+                if name == "table1":
+                    result = run(generations=scale.generations * 5)
+                else:
+                    result = run(scale)
+            print(f"=== {name} (scale={scale.name}, {sp.dur:.1f}s) ===")
+            print(render(result))
+            print()
+    if _exporting(args):
+        print(render_report(tracer=tracer, title="telemetry report"))
+        _export_telemetry(args, tracer,
+                          meta={"command": "run", "scale": scale.name})
     return 0
 
 
@@ -137,9 +184,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scale = dataclasses.replace(scale, faults=custom)
     retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts is not None else None
     trace = exp.get_workload(args.workload, scale)
-    t0 = time.perf_counter()
-    result = exp.run_one(trace, args.method, scale, seed=args.seed, retry=retry)
-    dt = time.perf_counter() - t0
+    tracer = Tracer()
+    with use_tracer(tracer) if _exporting(args) else nullcontext():
+        with tracer.span("simulate", workload=args.workload, method=args.method,
+                         scale=scale.name) as sim_span:
+            result = exp.run_one(trace, args.method, scale, seed=args.seed,
+                                 retry=retry)
+    dt = sim_span.dur
     s = result.summary
     print(f"{args.method} on {args.workload} (scale={scale.name}, {dt:.1f}s):")
     print(f"  node usage        {100 * s.node_usage:.2f}%")
@@ -161,6 +212,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  usage vs online   {100 * r.node_usage_degraded:.2f}%")
         print(f"  watchdog fallbacks {r.fallback_calls} "
               f"({100 * r.fallback_rate:.1f}% of calls)")
+    if _exporting(args):
+        snap = result.telemetry
+        metrics = snap.metrics if snap is not None else None
+        print()
+        print(render_report(tracer=tracer, metrics=metrics,
+                            title=f"telemetry: {args.method} on {args.workload}"))
+        _export_telemetry(
+            args, tracer, metrics=metrics,
+            spans=snap.spans if snap is not None else None,
+            meta={"command": "simulate", "workload": args.workload,
+                  "method": args.method, "scale": scale.name, "seed": args.seed},
+        )
     return 0
 
 
@@ -174,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list experiments")
     p_list.set_defaults(func=_cmd_list)
 
+    def add_telemetry_flags(p: argparse.ArgumentParser, with_metrics: bool = True) -> None:
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a structured trace of the run to PATH")
+        p.add_argument("--trace-format", default="jsonl",
+                       choices=("jsonl", "chrome"),
+                       help="trace file format: JSON Lines or Chrome trace_event "
+                            "(Perfetto-loadable)")
+        if with_metrics:
+            p.add_argument("--metrics-out", default=None, metavar="PATH",
+                           help="write the run's telemetry metrics as JSON")
+
     p_run = sub.add_parser("run", help="run an experiment and print its table/figure")
     p_run.add_argument("experiment", help="experiment name or 'all'")
     p_run.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
@@ -181,13 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="named fault scenario to inject into every run")
     p_run.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
                        help="wall-clock budget per selection (graceful fallback)")
+    add_telemetry_flags(p_run, with_metrics=False)
     p_run.set_defaults(func=_cmd_run)
 
     p_wl = sub.add_parser("workloads", help="summarise the evaluation workloads")
     p_wl.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
     p_wl.set_defaults(func=_cmd_workloads)
 
-    p_sim = sub.add_parser("simulate", help="run one (workload, method) simulation")
+    p_sim = sub.add_parser("simulate", aliases=["sim"],
+                           help="run one (workload, method) simulation")
     p_sim.add_argument("workload", help="e.g. Theta-S4")
     p_sim.add_argument("method", help="e.g. BBSched")
     p_sim.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
@@ -196,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="named fault scenario to inject")
     p_sim.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
                        help="wall-clock budget per selection (graceful fallback)")
+    add_telemetry_flags(p_sim)
     fault = p_sim.add_argument_group(
         "custom fault scenario (overrides --faults; rates in seconds)")
     fault.add_argument("--node-mtbf", type=float, default=0.0,

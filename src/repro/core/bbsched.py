@@ -18,6 +18,7 @@ from ..methods.base import Selector
 from ..rng import SeedLike, make_rng
 from ..simulator.cluster import Available
 from ..simulator.job import Job
+from ..telemetry import get_tracer
 from .decision import DecisionRule, four_resource_rule, two_resource_rule
 from .ga import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION, MOGASolver
 from .problem import MOOProblem, SelectionProblem, SSDSelectionProblem
@@ -86,5 +87,10 @@ class BBSchedSelector(Selector):
         else:
             rule = self.decision or two_resource_rule()
             scales = system.scales2()
-        chosen = rule.choose(pareto, scales)
-        return [int(i) for i in np.flatnonzero(chosen.genes)]
+        with get_tracer().span(
+            "decision_rule", front=len(pareto), objectives=problem.n_objectives
+        ) as span:
+            chosen = rule.choose(pareto, scales)
+            picks = [int(i) for i in np.flatnonzero(chosen.genes)]
+            span.set(picked=len(picks))
+        return picks

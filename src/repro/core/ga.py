@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import SolverError
 from ..rng import SeedLike, make_rng
+from ..telemetry import get_tracer
 from .pareto import non_dominated_mask, unique_front
 from .problem import MOOProblem
 
@@ -215,6 +216,27 @@ class MOGASolver:
         return genes[keep], ages[keep]
 
     # --- main loop ---------------------------------------------------------------
+    def _evolve_once(
+        self,
+        problem: MOOProblem,
+        genes: np.ndarray,
+        ages: np.ndarray,
+        forced: list,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One generation: crossover → mutate → repair → survival selection."""
+        children = self._crossover(genes, rng)
+        children = self._mutate(children, rng)
+        if forced:
+            children[:, forced] = 1
+        children = problem.repair(children, rng)
+        pool_genes = np.concatenate([genes, children])
+        pool_ages = np.concatenate(
+            [ages + 1, np.zeros(children.shape[0], dtype=np.int64)]
+        )
+        pool_obj = problem.evaluate(pool_genes)
+        return self._select(pool_genes, pool_obj, pool_ages, rng)
+
     def solve(self, problem: MOOProblem, seed: SeedLike = None) -> ParetoSet:
         """Approximate the Pareto set of ``problem``.
 
@@ -227,31 +249,37 @@ class MOGASolver:
                 genes=np.zeros((0, 0), dtype=np.uint8),
                 objectives=np.zeros((0, problem.n_objectives)),
             )
-        genes = problem.random_population(self.population, rng)
-        forced = list(problem.forced)
-        if self.seed_greedy:
-            seeds = problem.greedy_chromosomes()
-            if seeds.shape[0]:
-                if forced:
-                    seeds = seeds.copy()
-                    seeds[:, forced] = 1
-                seeds = problem.repair(seeds, rng)
-                k = min(seeds.shape[0], self.population)
-                genes[:k] = seeds[:k]
-        ages = np.zeros(self.population, dtype=np.int64)
-        for _ in range(self.generations):
-            children = self._crossover(genes, rng)
-            children = self._mutate(children, rng)
-            if forced:
-                children[:, forced] = 1
-            children = problem.repair(children, rng)
-            pool_genes = np.concatenate([genes, children])
-            pool_ages = np.concatenate(
-                [ages + 1, np.zeros(children.shape[0], dtype=np.int64)]
-            )
-            pool_obj = problem.evaluate(pool_genes)
-            genes, ages = self._select(pool_genes, pool_obj, pool_ages, rng)
-        final_obj = problem.evaluate(genes)
-        front = non_dominated_mask(final_obj)
-        g, o = unique_front(genes[front], final_obj[front])
+        tracer = get_tracer()
+        with tracer.span(
+            "ga_solve",
+            w=problem.w,
+            objectives=problem.n_objectives,
+            generations=self.generations,
+            population=self.population,
+        ) as solve_span:
+            genes = problem.random_population(self.population, rng)
+            forced = list(problem.forced)
+            if self.seed_greedy:
+                seeds = problem.greedy_chromosomes()
+                if seeds.shape[0]:
+                    if forced:
+                        seeds = seeds.copy()
+                        seeds[:, forced] = 1
+                    seeds = problem.repair(seeds, rng)
+                    k = min(seeds.shape[0], self.population)
+                    genes[:k] = seeds[:k]
+            ages = np.zeros(self.population, dtype=np.int64)
+            if tracer.fine:
+                # Per-generation spans are the highest-volume instrumentation
+                # in the repo — emitted only under Tracer(fine=True).
+                for gen in range(self.generations):
+                    with tracer.span("ga_generation", gen=gen):
+                        genes, ages = self._evolve_once(problem, genes, ages, forced, rng)
+            else:
+                for _ in range(self.generations):
+                    genes, ages = self._evolve_once(problem, genes, ages, forced, rng)
+            final_obj = problem.evaluate(genes)
+            front = non_dominated_mask(final_obj)
+            g, o = unique_front(genes[front], final_obj[front])
+            solve_span.set(front=int(g.shape[0]))
         return ParetoSet(genes=g, objectives=o)

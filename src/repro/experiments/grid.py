@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..methods import METHODS_SECTION4
 from ..parallel import parallel_map
 from ..rng import stable_hash
+from ..telemetry import TelemetrySnapshot, merge_snapshots
 from .config import BASE_SEED, Scale, get_scale
 from .runner import RunResult, run_one
 from .workloads import ALL_WORKLOADS, get_workload
@@ -24,18 +25,21 @@ GridKey = Tuple[str, str]
 Grid = Dict[GridKey, RunResult]
 
 
-def _cell(workload: str, method: str, scale_name: str) -> RunResult:
+def _cell(
+    workload: str, method: str, scale_name: str, telemetry: bool = False
+) -> RunResult:
     """One grid cell (module-level so it pickles for the process pool)."""
     scale = get_scale(scale_name)
     trace = get_workload(workload, scale)
     seed = (BASE_SEED * 31 + stable_hash(f"{workload}|{method}")) & 0x7FFFFFFF
-    return run_one(trace, method, scale, seed=seed)
+    return run_one(trace, method, scale, seed=seed, collect_telemetry=telemetry)
 
 
 @lru_cache(maxsize=4)
 def _grid_cached(scale_name: str, workloads: Tuple[str, ...],
-                 methods: Tuple[str, ...], workers: Optional[int]) -> tuple:
-    tasks = [(w, m, scale_name) for w in workloads for m in methods]
+                 methods: Tuple[str, ...], workers: Optional[int],
+                 telemetry: bool = False) -> tuple:
+    tasks = [(w, m, scale_name, telemetry) for w in workloads for m in methods]
     results = parallel_map(_cell, tasks, workers=workers)
     return tuple(results)
 
@@ -46,11 +50,29 @@ def run_grid(
     workloads: Sequence[str] = ALL_WORKLOADS,
     methods: Sequence[str] = METHODS_SECTION4,
     workers: Optional[int] = None,
+    telemetry: bool = False,
 ) -> Grid:
-    """All (workload, method) runs as a dictionary keyed by (workload, method)."""
+    """All (workload, method) runs as a dictionary keyed by (workload, method).
+
+    ``telemetry=True`` makes every cell collect a per-run
+    :class:`~repro.telemetry.TelemetrySnapshot` (even when cells execute
+    on pool workers); aggregate them with :func:`grid_telemetry`.
+    """
     sc = scale or get_scale()
-    results = _grid_cached(sc.name, tuple(workloads), tuple(methods), workers)
+    results = _grid_cached(sc.name, tuple(workloads), tuple(methods), workers,
+                           telemetry)
     return {(r.workload, r.method): r for r in results}
+
+
+def grid_telemetry(grid: Grid) -> TelemetrySnapshot:
+    """The exact union of every cell's telemetry snapshot.
+
+    Cells run without telemetry contribute nothing; an all-untraced grid
+    yields an empty snapshot.
+    """
+    return merge_snapshots(
+        r.telemetry for r in grid.values() if r.telemetry is not None
+    )
 
 
 def metric_table(

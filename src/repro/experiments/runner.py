@@ -27,6 +27,7 @@ from ..simulator.metrics import (
     wait_by_job_size,
     wait_by_runtime,
 )
+from ..telemetry import TelemetrySnapshot, Tracer, get_tracer, snapshot_from, use_tracer
 from ..windows import WindowPolicy
 from ..workloads import Trace
 from .config import BASE_SEED, Scale, get_scale
@@ -47,6 +48,10 @@ class RunResult:
     mean_selector_time: float
     #: fault-run metrics; None when neither faults nor a watchdog were active
     resilience: Optional[ResilienceSummary] = None
+    #: per-run telemetry (span summary + metrics registry); populated when
+    #: ``collect_telemetry=True`` or a tracer is active, else None.  Small
+    #: and picklable, so it survives the trip back from pool workers.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     def metric(self, name: str) -> float:
         """Look up a metric by its §4.2 name (or a resilience metric)."""
@@ -72,6 +77,7 @@ def run_one(
     faults: Optional[FaultScenario] = None,
     retry: Optional[RetryPolicy] = None,
     watchdog_budget: Optional[float] = None,
+    collect_telemetry: bool = False,
 ) -> RunResult:
     """Simulate ``trace`` under ``method`` and evaluate all metrics.
 
@@ -80,6 +86,13 @@ def run_one(
     ``watchdog_budget`` override the scale's resilience knobs, so any
     figure experiment reruns under a fault scenario by replacing its
     scale (see ``Scale.faults``) or any single run by passing them here.
+
+    ``collect_telemetry=True`` installs a private tracer for the run and
+    attaches a :class:`~repro.telemetry.TelemetrySnapshot` to the result
+    (this also works inside :func:`repro.parallel.parallel_map` workers —
+    the snapshot pickles home).  When a tracer is already active in the
+    process (e.g. the CLI's ``--trace``), the run records into it and the
+    snapshot covers just this run's spans.
     """
     sc = scale or get_scale()
     scenario = faults if faults is not None else sc.faults
@@ -108,7 +121,22 @@ def run_one(
         faults=injector,
         retry=retry,
     )
-    result = engine.run(trace.fresh_jobs())
+    active = get_tracer()
+    if collect_telemetry and not active.enabled:
+        # Private tracer: isolates this run's spans (and works in workers,
+        # where the process-wide slot is at its NULL default).
+        with use_tracer(Tracer()) as tracer:
+            mark = tracer.mark()
+            result = engine.run(trace.fresh_jobs())
+    else:
+        tracer = active
+        mark = tracer.mark() if tracer.enabled else 0
+        result = engine.run(trace.fresh_jobs())
+    telemetry = None
+    if collect_telemetry or tracer.enabled:
+        telemetry = snapshot_from(
+            tracer if tracer.enabled else None, engine.metrics, since=mark
+        )
     interval = trimmed_interval(
         0.0, result.makespan, warmup_fraction=sc.warmup, cooldown_fraction=sc.cooldown
     )
@@ -140,4 +168,5 @@ def run_one(
         selector_calls=result.stats.selector_calls,
         mean_selector_time=result.stats.mean_selector_time,
         resilience=resilience,
+        telemetry=telemetry,
     )

@@ -27,6 +27,7 @@ from ..errors import ConfigurationError, SolverTimeoutError
 from ..methods.base import Selector, SystemCapacity
 from ..simulator.cluster import Available
 from ..simulator.job import Job
+from ..telemetry import get_tracer
 
 #: Sentinel distinguishing "use the default fallback" from "no fallback".
 _DEFAULT = object()
@@ -140,7 +141,7 @@ class SolverWatchdog(Selector):
     def select(self, window: Sequence[Job], avail: Available) -> List[int]:
         self.stats.calls += 1
         if self.stats.tripped:
-            return self._degrade(window, avail)
+            return self._degrade(window, avail, reason="breaker_open")
         outcome = self._guarded_inner(window, avail)
         if outcome is None:  # deadline missed
             self.stats.timeouts += 1
@@ -150,7 +151,7 @@ class SolverWatchdog(Selector):
                 and self._consecutive_timeouts >= self.trip_after
             ):
                 self.stats.tripped = True
-            return self._degrade(window, avail)
+            return self._degrade(window, avail, reason="timeout")
         self._consecutive_timeouts = 0
         return outcome
 
@@ -183,7 +184,9 @@ class SolverWatchdog(Selector):
             raise box["error"]
         return box["result"]
 
-    def _degrade(self, window: Sequence[Job], avail: Available) -> List[int]:
+    def _degrade(
+        self, window: Sequence[Job], avail: Available, reason: str = "timeout"
+    ) -> List[int]:
         if self.fallback is None:
             raise SolverTimeoutError(
                 f"{self.inner.name} exceeded its {self.budget:g}s selection budget "
@@ -191,4 +194,11 @@ class SolverWatchdog(Selector):
             )
         self.stats.fallback_calls += 1
         self.stats.fallback_at.append(self.stats.calls)
+        get_tracer().instant(
+            "watchdog_fallback",
+            reason=reason,
+            call=self.stats.calls,
+            window=len(window),
+            budget=self.budget,
+        )
         return self.fallback.select(window, avail)

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 from ..backfill import EasyBackfill, PlannedRelease
 from ..errors import SchedulingError, TraceError
 from ..policies.base import PriorityPolicy
+from ..telemetry import NULL_TRACER, MetricsRegistry, get_tracer
 
 if TYPE_CHECKING:  # pulled lazily at runtime — repro.methods imports the
     # core solvers, which import this simulator package: a module-level
@@ -41,6 +42,9 @@ from .events import Event, EventQueue, EventType
 from .job import Job, JobState
 from .recorder import UsageRecorder
 
+#: EventType → counter name, precomputed so the hot loop does no formatting.
+_EVENT_COUNTERS = {et: f"engine.events.{et.name.lower()}" for et in EventType}
+
 
 @dataclass
 class EngineStats:
@@ -49,6 +53,11 @@ class EngineStats:
     ``selected_jobs``, ``forced_jobs``, and ``backfilled_jobs`` partition
     the started jobs by *how* they started; a job started through the
     starvation bound counts only as forced, never also as selected.
+
+    ``selector_time`` and ``selector_calls`` are *derived views*: the
+    single timing source is the engine's telemetry registry (the
+    ``engine.selector_seconds`` histogram), from which these fields are
+    populated when the run finishes.
     """
 
     invocations: int = 0            #: scheduling passes that reached selection
@@ -135,6 +144,13 @@ class SchedulingEngine:
     retry:
         Requeue policy for fault-killed jobs; defaults to
         ``RetryPolicy()`` when ``faults`` is given, ignored otherwise.
+    metrics:
+        Telemetry registry the run records into (events processed, jobs
+        by start route, queue depth over sim-time, selector latency).  A
+        fresh one is created when omitted; exposed as ``self.metrics``.
+        Spans are additionally emitted to the process's active tracer
+        (:func:`repro.telemetry.get_tracer`) — the zero-overhead NULL
+        tracer unless a run is explicitly traced.
     """
 
     def __init__(
@@ -147,6 +163,7 @@ class SchedulingEngine:
         backfill_scope: str = "window",
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if backfill_scope not in ("window", "queue"):
             raise SchedulingError(
@@ -180,6 +197,8 @@ class SchedulingEngine:
             )
         else:
             self.retry = retry
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = NULL_TRACER  # rebound from the active tracer in run()
         # --- run state -------------------------------------------------------
         self._events = EventQueue()
         self._queue: List[Job] = []
@@ -224,16 +243,32 @@ class SchedulingEngine:
         # With faults the event stream regenerates itself indefinitely, so
         # the loop also stops once every job is terminal (completed or
         # abandoned); without faults both conditions empty simultaneously.
-        while self._events and self._terminal < len(jobs):
-            t = self._events.peek_time()
-            assert t is not None
-            self._now = t
-            changed = False
-            while self._events and self._events.peek_time() == t:
-                changed |= self._process(self._events.pop())
-            if changed:
-                self._schedule_pass(t)
+        self._tracer = get_tracer()
+        metrics = self.metrics
+        with self._tracer.span(
+            "event_loop", jobs=len(jobs), method=self.selector.name
+        ) as loop_span:
+            while self._events and self._terminal < len(jobs):
+                t = self._events.peek_time()
+                assert t is not None
+                self._now = t
+                changed = False
+                while self._events and self._events.peek_time() == t:
+                    event = self._events.pop()
+                    metrics.inc("engine.events")
+                    metrics.inc(_EVENT_COUNTERS[event.etype])
+                    changed |= self._process(event)
+                if changed:
+                    self._schedule_pass(t)
+            loop_span.set(makespan=self._now, events=metrics.counter("engine.events").value)
         self._stats.fallback_calls = getattr(self.selector, "fallback_calls", 0)
+        metrics.counter("engine.solver_fallbacks").inc(self._stats.fallback_calls)
+        # Derived views: EngineStats timing fields come from the telemetry
+        # histogram, the run's single timing source.
+        selector_hist = metrics.histograms.get("engine.selector_seconds")
+        if selector_hist is not None:
+            self._stats.selector_time = selector_hist.total
+            self._stats.selector_calls = selector_hist.count
         return SimulationResult(
             jobs=jobs,
             recorder=self._recorder,
@@ -280,13 +315,13 @@ class SchedulingEngine:
                 return False
             job.mark_queued()
             self._queue.append(job)
-            self._recorder.observe_queue(event.time, len(self._queue))
+            self._observe_queue(event.time)
             return True
         if event.etype is EventType.JOB_REQUEUE:
             job = event.payload
             job.mark_requeued()
             self._queue.append(job)
-            self._recorder.observe_queue(event.time, len(self._queue))
+            self._observe_queue(event.time)
             return True
         if event.etype is EventType.NODE_DOWN:
             assert self.faults is not None
@@ -341,6 +376,7 @@ class SchedulingEngine:
         job.mark_started(now)
         self._running[job.jid] = job
         self._queue.remove(job)
+        self.metrics.inc("engine.jobs_started")
         self._ssd_used += job.ssd * job.nodes
         self._ssd_waste += self.cluster.allocated_waste(job)
         self._end_tokens[job.jid] = self._events.push(
@@ -397,6 +433,7 @@ class SchedulingEngine:
     def _kill(self, job: Job, now: float) -> None:
         """Kill one running job and route it through the retry policy."""
         self._stats.killed_jobs += 1
+        self.metrics.inc("engine.jobs_killed")
         self._ssd_waste -= self.cluster.allocated_waste(job)
         self.cluster.release(job)
         del self._running[job.jid]
@@ -412,6 +449,7 @@ class SchedulingEngine:
             delay = self.retry.requeue_delay(job.attempts)
             self._events.push(Event(now + delay, EventType.JOB_REQUEUE, job))
             self._stats.requeued_jobs += 1
+            self.metrics.inc("engine.jobs_requeued")
         else:
             self._abandon(job, now)
 
@@ -429,11 +467,12 @@ class SchedulingEngine:
                 continue
             if j in self._queue:
                 self._queue.remove(j)
-                self._recorder.observe_queue(now, len(self._queue))
+                self._observe_queue(now)
             j.mark_abandoned(now)
             self._abandoned.add(j.jid)
             self._terminal += 1
             self._stats.abandoned_jobs += 1
+            self.metrics.inc("engine.jobs_abandoned")
             stack.extend(q for q in self._queue if j.jid in q.deps)
 
     def _observe(self, now: float) -> None:
@@ -444,7 +483,13 @@ class SchedulingEngine:
             self._ssd_used,
             self._ssd_waste,
         )
-        self._recorder.observe_queue(now, len(self._queue))
+        self._observe_queue(now)
+
+    def _observe_queue(self, now: float) -> None:
+        """Record queue depth to both the usage recorder and telemetry."""
+        depth = len(self._queue)
+        self._recorder.observe_queue(now, depth)
+        self.metrics.set_gauge("engine.queue_depth", depth, t=now)
 
     def _planned_releases(self) -> List[PlannedRelease]:
         releases = []
@@ -466,72 +511,94 @@ class SchedulingEngine:
         if self.cluster.nodes_free == 0:
             # Nothing can start; skip the (possibly expensive) selection.
             self._stats.skipped_passes += 1
+            self.metrics.inc("engine.passes_skipped")
             return
-        ordered = self.policy.order(self._queue, now)
-        window = self.window.extract(ordered, self._completed)
-        started: Set[int] = set()
-        selected_window_idx: Set[int] = set()
-        blocked_forced: Optional[Job] = None
+        self.metrics.inc("engine.passes")
+        with self._tracer.span(
+            "schedule_pass", t=now, queue=len(self._queue)
+        ) as pass_span:
+            with self._tracer.span("window_extract") as win_span:
+                ordered = self.policy.order(self._queue, now)
+                window = self.window.extract(ordered, self._completed)
+                win_span.set(window=len(window), forced=len(window.forced))
+            started: Set[int] = set()
+            selected_window_idx: Set[int] = set()
+            blocked_forced: Optional[Job] = None
 
-        # 1. Starvation-forced jobs run first, in window order; the first
-        #    one that does not fit becomes the protected backfill head.
-        for i in window.forced:
-            job = window.jobs[i]
-            if self.cluster.can_fit(job):
-                self._start(job, now)
-                started.add(job.jid)
-                selected_window_idx.add(i)
-                self._stats.forced_jobs += 1
-            else:
-                blocked_forced = job
-                break
-
-        # 2. Window selection via the configured method.
-        if blocked_forced is None:
-            reduced = [j for i, j in enumerate(window.jobs) if i not in selected_window_idx]
-            if reduced and any(self.cluster.can_fit(j) for j in reduced):
-                avail = self.cluster.available()
-                t0 = _time.perf_counter()
-                picks = self.selector.select(reduced, avail)
-                self._stats.selector_time += _time.perf_counter() - t0
-                self._stats.selector_calls += 1
-                type(self.selector).verify_feasible(reduced, avail, picks)
-                index_map = [
-                    i for i in range(len(window.jobs)) if i not in selected_window_idx
-                ]
-                for p in sorted(picks):
-                    job = reduced[p]
+            # 1. Starvation-forced jobs run first, in window order; the first
+            #    one that does not fit becomes the protected backfill head.
+            for i in window.forced:
+                job = window.jobs[i]
+                if self.cluster.can_fit(job):
                     self._start(job, now)
                     started.add(job.jid)
-                    selected_window_idx.add(index_map[p])
-                    self._stats.selected_jobs += 1
-            self._stats.invocations += 1
+                    selected_window_idx.add(i)
+                    self._stats.forced_jobs += 1
+                    self.metrics.inc("engine.jobs_forced")
+                else:
+                    blocked_forced = job
+                    break
 
-        self.window.record_outcome(window, selected_window_idx)
+            # 2. Window selection via the configured method.
+            if blocked_forced is None:
+                reduced = [j for i, j in enumerate(window.jobs) if i not in selected_window_idx]
+                if reduced and any(self.cluster.can_fit(j) for j in reduced):
+                    avail = self.cluster.available()
+                    with self._tracer.span(
+                        "select", method=self.selector.name, window=len(reduced)
+                    ) as sel_span:
+                        t0 = _time.perf_counter()
+                        picks = self.selector.select(reduced, avail)
+                        self.metrics.observe(
+                            "engine.selector_seconds", _time.perf_counter() - t0
+                        )
+                        sel_span.set(picked=len(picks))
+                    type(self.selector).verify_feasible(reduced, avail, picks)
+                    index_map = [
+                        i for i in range(len(window.jobs)) if i not in selected_window_idx
+                    ]
+                    for p in sorted(picks):
+                        job = reduced[p]
+                        self._start(job, now)
+                        started.add(job.jid)
+                        selected_window_idx.add(index_map[p])
+                        self._stats.selected_jobs += 1
+                        self.metrics.inc("engine.jobs_selected")
+                self._stats.invocations += 1
 
-        # 3. EASY backfilling over the remaining eligible jobs.  In the
-        #    default "window" scope only the jobs the scheduler examined
-        #    this pass may skip ahead; "queue" scope considers everything.
-        if self.backfill is not None and self._queue:
-            eligible = self.window.eligible(
-                self.policy.order(self._queue, now), self._completed
-            )
-            if self.backfill_scope == "window":
-                remaining = eligible[: self.window.scope_size(len(eligible))]
-            else:
-                remaining = list(eligible)
-            if blocked_forced is not None and blocked_forced in remaining:
-                remaining.remove(blocked_forced)
-                remaining.insert(0, blocked_forced)
-            if remaining:
-                plan = self.backfill.plan(
-                    remaining,
-                    self.cluster.bb_free,
-                    self.cluster.ssd_pool.free_per_tier(),
-                    self._planned_releases(),
-                    now,
+            self.window.record_outcome(window, selected_window_idx)
+
+            # 3. EASY backfilling over the remaining eligible jobs.  In the
+            #    default "window" scope only the jobs the scheduler examined
+            #    this pass may skip ahead; "queue" scope considers everything.
+            backfilled = 0
+            if self.backfill is not None and self._queue:
+                eligible = self.window.eligible(
+                    self.policy.order(self._queue, now), self._completed
                 )
-                for job in plan.to_start:
-                    self._start(job, now)
-                    self._stats.backfilled_jobs += 1
-        self._observe(now)
+                if self.backfill_scope == "window":
+                    remaining = eligible[: self.window.scope_size(len(eligible))]
+                else:
+                    remaining = list(eligible)
+                if blocked_forced is not None and blocked_forced in remaining:
+                    remaining.remove(blocked_forced)
+                    remaining.insert(0, blocked_forced)
+                if remaining:
+                    with self._tracer.span(
+                        "backfill_pass", candidates=len(remaining)
+                    ) as bf_span:
+                        plan = self.backfill.plan(
+                            remaining,
+                            self.cluster.bb_free,
+                            self.cluster.ssd_pool.free_per_tier(),
+                            self._planned_releases(),
+                            now,
+                        )
+                        for job in plan.to_start:
+                            self._start(job, now)
+                            self._stats.backfilled_jobs += 1
+                            backfilled += 1
+                        bf_span.set(backfilled=backfilled)
+            self.metrics.inc("engine.jobs_backfilled", backfilled)
+            pass_span.set(started=len(started) + backfilled)
+            self._observe(now)

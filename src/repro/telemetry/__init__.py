@@ -1,0 +1,59 @@
+"""Telemetry & observability: structured tracing, metrics, and exporters.
+
+The subsystem has four pieces (see ``docs/observability.md``):
+
+* :mod:`~repro.telemetry.tracer` — nested wall-clock spans
+  (``schedule_pass``, ``ga_solve``, …) and instant events, with a
+  zero-overhead :class:`NullTracer` default;
+* :mod:`~repro.telemetry.metrics` — a :class:`MetricsRegistry` of
+  counters, sim-time gauges, and percentile histograms;
+* :mod:`~repro.telemetry.export` — JSONL and Chrome ``trace_event``
+  (Perfetto-loadable) writers plus the end-of-run text report;
+* :mod:`~repro.telemetry.aggregate` — picklable per-run snapshots and
+  exact cross-worker merging for grid experiments.
+
+Instrumented code reads the active tracer from
+:func:`~repro.telemetry.context.get_tracer`; nothing records until a real
+:class:`Tracer` is installed with :func:`use_tracer` (the CLI's
+``--trace`` flag, ``run_one(collect_telemetry=True)``, or your own
+``with use_tracer(Tracer()):`` block).
+"""
+
+from .aggregate import TelemetrySnapshot, merge_snapshots, merge_spans, snapshot_from
+from .context import get_tracer, set_tracer, use_tracer
+from .export import (
+    chrome_trace_events,
+    read_jsonl,
+    render_report,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import NULL_SPAN, NULL_TRACER, NullSpan, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "TelemetrySnapshot",
+    "Tracer",
+    "chrome_trace_events",
+    "get_tracer",
+    "merge_snapshots",
+    "merge_spans",
+    "read_jsonl",
+    "render_report",
+    "set_tracer",
+    "snapshot_from",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_json",
+]

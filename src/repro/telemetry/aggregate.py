@@ -1,0 +1,78 @@
+"""Cross-run and cross-worker telemetry aggregation.
+
+A grid experiment is N independent simulations, possibly spread over
+process-pool workers; a full span list per cell would be megabytes of
+unpicklable-ish bulk, so each run ships a :class:`TelemetrySnapshot`
+instead: the per-span-name timing summary (small) plus the full metrics
+registry (raw observations, so merged percentiles stay exact).
+
+:func:`merge_snapshots` folds any number of snapshots into one —
+span summaries add up, registries merge exactly — and the result renders
+through the same :func:`~repro.telemetry.export.render_report` as a
+single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from .export import render_report
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+SpanSummary = Dict[str, Dict[str, float]]
+
+
+@dataclass
+class TelemetrySnapshot:
+    """What one traced run ships home: span summary + metrics registry."""
+
+    spans: SpanSummary = field(default_factory=dict)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def render(self, title: str = "telemetry report") -> str:
+        """The human-readable report for this snapshot."""
+        return render_report(metrics=self.metrics, spans=self.spans, title=title)
+
+
+def snapshot_from(
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+    *,
+    since: int = 0,
+) -> TelemetrySnapshot:
+    """Condense a live tracer/registry pair into a shippable snapshot.
+
+    ``since`` is a :meth:`~repro.telemetry.tracer.Tracer.mark` bookmark:
+    only spans recorded after it enter the summary, which isolates one
+    run's spans when several runs share a tracer.
+    """
+    spans = tracer.summarize(since) if tracer is not None and tracer.enabled else {}
+    return TelemetrySnapshot(spans=spans, metrics=metrics or MetricsRegistry())
+
+
+def merge_spans(summaries: Iterable[SpanSummary]) -> SpanSummary:
+    """Fold per-name span summaries together (counts/totals add, max wins)."""
+    out: SpanSummary = {}
+    for summary in summaries:
+        for name, row in summary.items():
+            mine = out.get(name)
+            if mine is None:
+                out[name] = dict(row)
+            else:
+                mine["count"] += row["count"]
+                mine["total"] += row["total"]
+                mine["max"] = max(mine["max"], row["max"])
+    for row in out.values():
+        row["mean"] = row["total"] / row["count"] if row["count"] else 0.0
+    return out
+
+
+def merge_snapshots(snapshots: Iterable[TelemetrySnapshot]) -> TelemetrySnapshot:
+    """One snapshot equivalent to all of ``snapshots`` taken together."""
+    snaps = list(snapshots)
+    return TelemetrySnapshot(
+        spans=merge_spans(s.spans for s in snaps),
+        metrics=MetricsRegistry.merged([s.metrics for s in snaps]),
+    )

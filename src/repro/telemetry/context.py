@@ -1,0 +1,52 @@
+"""The active tracer: a process-wide slot instrumentation reads from.
+
+Instrumented code (engine, solvers, watchdog) never receives a tracer
+explicitly; it asks :func:`get_tracer` at the moment it records.  The slot
+defaults to the zero-overhead :data:`~repro.telemetry.tracer.NULL_TRACER`
+and is swapped for a real tracer only for the duration of a traced run via
+:func:`use_tracer`.
+
+A deliberate choice: this is a plain module global, **not** a
+``contextvars.ContextVar``.  Context variables do not propagate into
+worker threads, and the :class:`~repro.resilience.SolverWatchdog` runs the
+inner selector on exactly such a thread — a contextvar-based slot would
+silently untrace every watchdog-guarded GA solve.  Process-pool workers
+(:func:`repro.parallel.parallel_map`) start with the slot at its NULL
+default; per-worker collection instead goes through
+``run_one(collect_telemetry=True)``, which installs a private tracer
+inside the worker and ships a picklable snapshot back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+AnyTracer = Union[Tracer, NullTracer]
+
+_current: AnyTracer = NULL_TRACER
+
+
+def get_tracer() -> AnyTracer:
+    """The tracer instrumentation should record to (NULL when untraced)."""
+    return _current
+
+
+def set_tracer(tracer: AnyTracer) -> AnyTracer:
+    """Install ``tracer`` as the active one; returns the previous tracer."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: AnyTracer) -> Iterator[AnyTracer]:
+    """Install ``tracer`` for the duration of a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

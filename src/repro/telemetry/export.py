@@ -1,0 +1,229 @@
+"""Trace and metrics exporters: JSONL, Chrome ``trace_event``, text report.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one JSON object per line (``meta`` header, then
+  ``span``/``instant`` records in completion order, then a final
+  ``metrics`` record).  Greppable, streamable, trivially machine-readable;
+  :func:`read_jsonl` is the round-trip companion.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON format
+  (complete ``"ph": "X"`` events), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing`` for a flame-chart view
+  of the run.
+* :func:`render_report` — the human-readable end-of-run summary: a
+  per-span-name timing table plus every counter/gauge/histogram.
+
+Timestamps are seconds since the tracer epoch in JSONL and microseconds
+(the format's unit) in Chrome traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one attribute value to something ``json.dump`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def _attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: _jsonable(v) for k, v in attrs.items()}
+
+
+# --- JSONL -------------------------------------------------------------------
+def write_jsonl(
+    path: str,
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write the trace (and optional metrics snapshot) as JSON Lines."""
+    with open(path, "w") as fh:
+        header = {"type": "meta", "epoch_wall": tracer.epoch_wall}
+        if meta:
+            header.update(_attrs(meta))
+        fh.write(json.dumps(header) + "\n")
+        for span in tracer.walk():
+            fh.write(json.dumps({
+                "type": "span",
+                "name": span.name,
+                "ts": span.ts,
+                "dur": span.dur,
+                "depth": span.depth,
+                "tid": span.tid,
+                "attrs": _attrs(span.attrs),
+            }) + "\n")
+        for inst in tracer.instants:
+            fh.write(json.dumps({
+                "type": "instant",
+                "name": inst.name,
+                "ts": inst.ts,
+                "tid": inst.tid,
+                "attrs": _attrs(inst.attrs),
+            }) + "\n")
+        if metrics is not None:
+            fh.write(json.dumps({"type": "metrics", **metrics.snapshot()}) + "\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a :func:`write_jsonl` file back into record dictionaries."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# --- Chrome trace_event ------------------------------------------------------
+def chrome_trace_events(
+    tracer: Tracer, process_name: str = "repro"
+) -> List[Dict[str, Any]]:
+    """The trace as a list of Chrome ``trace_event`` dictionaries."""
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    tids = sorted({s.tid for s in tracer.spans} | {i.tid for i in tracer.instants})
+    for tid in tids:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": "main" if tid == 0 else f"worker-{tid}"},
+        })
+    for span in tracer.walk():
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.ts * 1e6,
+            "dur": span.dur * 1e6,
+            "pid": 1,
+            "tid": span.tid,
+            "args": _attrs(span.attrs),
+        })
+    for inst in tracer.instants:
+        events.append({
+            "name": inst.name,
+            "cat": "repro",
+            "ph": "i",
+            "s": "t",
+            "ts": inst.ts * 1e6,
+            "pid": 1,
+            "tid": inst.tid,
+            "args": _attrs(inst.attrs),
+        })
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a Perfetto/``chrome://tracing``-loadable trace file.
+
+    The metrics snapshot (when given) rides along under ``otherData`` —
+    the viewers ignore it, the file stays self-contained.
+    """
+    other: Dict[str, Any] = {"epoch_wall": tracer.epoch_wall}
+    if meta:
+        other.update(_attrs(meta))
+    if metrics is not None:
+        other["metrics"] = metrics.snapshot()
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+# --- metrics JSON ------------------------------------------------------------
+def write_metrics_json(
+    path: str,
+    metrics: MetricsRegistry,
+    spans: Optional[Dict[str, Dict[str, float]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a metrics snapshot (plus optional per-span summary) as JSON."""
+    doc: Dict[str, Any] = dict(metrics.snapshot())
+    if spans is not None:
+        doc["spans"] = spans
+    if meta:
+        doc["meta"] = _attrs(meta)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# --- human-readable report ---------------------------------------------------
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{1e3 * s:.2f}ms"
+    return f"{1e6 * s:.0f}us"
+
+
+def render_report(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    *,
+    spans: Optional[Dict[str, Dict[str, float]]] = None,
+    title: str = "telemetry report",
+) -> str:
+    """The end-of-run text report: span timing table + metrics.
+
+    Accepts either a live tracer or a pre-aggregated ``spans`` summary
+    (the cross-worker path), and any subset of the inputs.
+    """
+    lines = [title, "=" * len(title)]
+    summary = spans if spans is not None else (tracer.summarize() if tracer else {})
+    if summary:
+        lines.append("")
+        lines.append(f"{'span':<22} {'count':>8} {'total':>10} {'mean':>10} {'max':>10}")
+        for name, row in sorted(summary.items(), key=lambda kv: -kv[1]["total"]):
+            lines.append(
+                f"{name:<22} {row['count']:>8} {_fmt_seconds(row['total']):>10} "
+                f"{_fmt_seconds(row['mean']):>10} {_fmt_seconds(row['max']):>10}"
+            )
+    if metrics is not None:
+        snap = metrics.snapshot()
+        if snap["counters"]:
+            lines.append("")
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<32} {value}")
+        if snap["gauges"]:
+            lines.append("")
+            lines.append("gauges (time-weighted over samples):")
+            for name, g in snap["gauges"].items():
+                lines.append(
+                    f"  {name:<32} last={g['last']:g} min={g['min']:g} "
+                    f"max={g['max']:g} mean={g['mean']:.2f}"
+                )
+        if snap["histograms"]:
+            lines.append("")
+            lines.append("histograms:")
+            for name, h in snap["histograms"].items():
+                fmt = _fmt_seconds if name.endswith("seconds") else lambda v: f"{v:g}"
+                lines.append(
+                    f"  {name:<32} n={h['count']} mean={fmt(h['mean'])} "
+                    f"p50={fmt(h['p50'])} p90={fmt(h['p90'])} "
+                    f"p99={fmt(h['p99'])} max={fmt(h['max'])}"
+                )
+    return "\n".join(lines)

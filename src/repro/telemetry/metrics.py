@@ -1,0 +1,219 @@
+"""Metrics registry: counters, gauges, and histograms with summaries.
+
+Where the tracer answers "where did the time go", the registry answers
+"how much of everything happened": events processed, jobs started by
+route, solver fallbacks, queue depth over simulated time, selector
+latency percentiles.  Three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a sampled value over (simulated) time, summarised
+  with a **time-weighted** mean so long quiet stretches count as such;
+* :class:`Histogram` — raw observations with percentile summaries.
+
+Everything is plain Python data, so a registry pickles across
+:func:`repro.parallel.parallel_map` workers and two registries merge
+exactly (:meth:`MetricsRegistry.merge` concatenates raw observations
+rather than approximating from summaries).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value sampled over time, e.g. queue depth over sim-time.
+
+    Samples without an explicit timestamp get an integer sequence index,
+    so untimed gauges still summarise sensibly.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, value: float, t: Optional[float] = None) -> None:
+        self.samples.append((float(len(self.samples)) if t is None else t, value))
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(v for _, v in self.samples) if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(v for _, v in self.samples) if self.samples else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted mean (each sample holds until the next one).
+
+        Falls back to the arithmetic mean when all samples share one
+        timestamp or timestamps are not sorted ascending.
+        """
+        if not self.samples:
+            return 0.0
+        ts = [t for t, _ in self.samples]
+        span = ts[-1] - ts[0]
+        if span <= 0 or any(b < a for a, b in zip(ts, ts[1:])):
+            return sum(v for _, v in self.samples) / len(self.samples)
+        area = sum(
+            v * (t_next - t)
+            for (t, v), (t_next, _) in zip(self.samples, self.samples[1:])
+        )
+        return area / span
+
+
+class Histogram:
+    """Raw observations with nearest-rank percentile summaries."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily on first touch.
+
+    The inc/set/observe shorthands are the hot-path API; the ``counter``/
+    ``gauge``/``histogram`` accessors return the instrument for reads.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # --- instruments ---------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # --- hot-path shorthands -------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float, t: Optional[float] = None) -> None:
+        self.gauge(name).set(value, t)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # --- aggregation ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry, exactly.
+
+        Counters add, gauges concatenate samples (re-sorted by timestamp),
+        histograms concatenate raw observations — so merged percentiles
+        are computed over the union, not approximated from summaries.
+        """
+        for name, c in other.counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other.gauges.items():
+            mine = self.gauge(name)
+            mine.samples = sorted(mine.samples + g.samples)
+        for name, h in other.histograms.items():
+            self.histogram(name).values.extend(h.values)
+
+    @staticmethod
+    def merged(registries: Sequence["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry holding the exact union of ``registries``."""
+        out = MetricsRegistry()
+        for reg in registries:
+            out.merge(reg)
+        return out
+
+    # --- views ---------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready summary of every instrument."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {
+                name: {
+                    "n": len(g.samples),
+                    "last": g.last,
+                    "min": g.min,
+                    "max": g.max,
+                    "mean": g.mean,
+                }
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                    "p50": h.percentile(50),
+                    "p90": h.percentile(90),
+                    "p99": h.percentile(99),
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }

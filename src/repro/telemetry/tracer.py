@@ -1,0 +1,231 @@
+"""Structured tracing: nested wall-clock spans and instant events.
+
+A :class:`Tracer` records what the scheduler *did* and how long it took:
+every scheduling pass, window extraction, GA solve, decision rule, and
+backfill pass opens a **span** (a named, timed, attributed interval), and
+point observations (a watchdog fallback, a starvation forcing) land as
+**instants**.  Spans nest: each one knows its depth and parent within its
+thread, so an exported trace reconstructs the full call tree of a run.
+
+Two clocks are kept.  ``time.perf_counter`` (monotonic, high resolution)
+times every span relative to the tracer's epoch; ``time.time`` is sampled
+once at construction so exports can anchor the trace to wall-clock time.
+
+The default tracer is the module singleton :data:`NULL_TRACER`: every
+method is a no-op returning a shared inert span, so instrumented code pays
+one attribute lookup and two empty calls per span — effectively zero — and
+untraced simulation results stay byte-identical to uninstrumented code.
+
+``fine=True`` additionally enables the highest-volume instrumentation
+(per-GA-generation spans); leave it off unless you are profiling the
+solver itself, as a default-scale run emits hundreds of thousands of
+generation spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class NullSpan:
+    """Inert span: context manager and attribute sink that does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (API-compatible with :meth:`Span.set`)."""
+
+
+#: Shared inert span handed out by :class:`NullTracer` (and usable as a
+#: stand-in wherever a span-shaped object is needed).
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead default tracer: records nothing.
+
+    Instrumentation sites call ``tracer.span(...)`` / ``tracer.instant(...)``
+    unconditionally; with this tracer both are no-ops, which keeps untraced
+    runs byte-identical to uninstrumented code.
+    """
+
+    enabled: bool = False
+    fine: bool = False
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        return None
+
+
+#: Module singleton used as the default tracer everywhere.
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One named, timed interval with structured attributes.
+
+    Created by :meth:`Tracer.span` and used as a context manager; on exit
+    the span freezes its duration and appends itself to the tracer's
+    finished-span list.  ``ts`` is seconds since the tracer epoch, ``dur``
+    seconds of wall-clock, ``depth`` the nesting level within the opening
+    thread (0 = top level), ``tid`` a small per-thread ordinal.
+    """
+
+    __slots__ = ("name", "attrs", "ts", "dur", "depth", "tid", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.ts = 0.0
+        self.dur = 0.0
+        self.depth = 0
+        self.tid = 0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._close(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, ts={self.ts:.6f}, dur={self.dur:.6f}, depth={self.depth})"
+
+
+class Instant(object):
+    """A point event (no duration): something happened at ``ts``."""
+
+    __slots__ = ("name", "attrs", "ts", "tid")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], ts: float, tid: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.ts = ts
+        self.tid = tid
+
+
+class Tracer:
+    """Collects spans and instants for one traced run.
+
+    Thread-safe by construction: span nesting state lives in
+    ``threading.local`` (the watchdog runs selectors on worker threads),
+    and finished records are appended to plain lists, which is atomic
+    under the GIL.
+
+    Parameters
+    ----------
+    fine:
+        Enable the highest-volume instrumentation sites (per-GA-generation
+        spans).  Off by default; see the module docstring.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, fine: bool = False) -> None:
+        self.fine = fine
+        self.epoch_wall = time.time()
+        self._epoch = time.perf_counter()
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}
+        self._tid_lock = threading.Lock()
+
+    # --- recording -----------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span context manager; the clock starts on ``__enter__``."""
+        return Span(self, name, attrs)
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Record a point event at the current time."""
+        self.instants.append(
+            Instant(name, attrs, time.perf_counter() - self._epoch, self._tid())
+        )
+
+    def mark(self) -> int:
+        """Bookmark into the span list; pass to :meth:`summarize`'s ``since``."""
+        return len(self.spans)
+
+    # --- internals -----------------------------------------------------------
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._tid_lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        span.depth = len(stack)
+        span.tid = self._tid()
+        stack.append(span)
+        span.ts = time.perf_counter() - self._epoch
+
+    def _close(self, span: Span) -> None:
+        span.dur = time.perf_counter() - self._epoch - span.ts
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit: drop through to this span
+            del stack[stack.index(span):]
+        self.spans.append(span)
+
+    # --- views ---------------------------------------------------------------
+    def finished(self, since: int = 0) -> List[Span]:
+        """Finished spans recorded after bookmark ``since`` (see :meth:`mark`)."""
+        return self.spans[since:]
+
+    def summarize(self, since: int = 0) -> Dict[str, Dict[str, float]]:
+        """Per-name timing summary: count, total/mean/max seconds.
+
+        The cheap cross-process currency: a full span list does not travel
+        well between workers, this dictionary does (see
+        :mod:`repro.telemetry.aggregate`).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self.spans[since:]:
+            row = out.get(span.name)
+            if row is None:
+                row = out[span.name] = {"count": 0, "total": 0.0, "max": 0.0}
+            row["count"] += 1
+            row["total"] += span.dur
+            if span.dur > row["max"]:
+                row["max"] = span.dur
+        for row in out.values():
+            row["mean"] = row["total"] / row["count"]
+        return out
+
+    def walk(self) -> Iterator[Span]:
+        """Finished spans in completion order."""
+        return iter(self.spans)
+
+
+#: Anything accepted where a tracer is expected.
+TracerLike = Any
+
+
+def is_enabled(tracer: Optional[TracerLike]) -> bool:
+    """True when ``tracer`` records anything."""
+    return tracer is not None and getattr(tracer, "enabled", False)

@@ -19,6 +19,7 @@ from typing import AbstractSet, List, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..simulator.job import Job
+from ..telemetry import get_tracer
 
 #: Default number of invocations a job may remain unselected (§3.1 cites 50).
 DEFAULT_STARVATION_BOUND = 50
@@ -97,6 +98,12 @@ class WindowPolicy:
         forced = tuple(
             i for i, j in enumerate(jobs) if j.window_age >= self.starvation_bound
         )
+        if forced:
+            get_tracer().instant(
+                "starvation_forced",
+                count=len(forced),
+                jids=[jobs[i].jid for i in forced],
+            )
         return Window(jobs=jobs, forced=forced)
 
     def record_outcome(self, window: Window, selected: AbstractSet[int]) -> None:

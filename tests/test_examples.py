@@ -60,3 +60,16 @@ class TestFaultTolerance:
         assert "node failures" in proc.stdout
         assert "requeued" in proc.stdout
         assert "breaker tripped True" in proc.stdout
+
+
+class TestTraceARun:
+    def test_runs_and_exports_valid_traces(self, tmp_path):
+        proc = run_example("trace_a_run.py", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "top spans by total wall-clock time" in proc.stdout
+        assert "schedule_pass" in proc.stdout
+        assert "GA generations traced" in proc.stdout
+        assert "selector latency" in proc.stdout
+        assert "full telemetry report" in proc.stdout
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "trace.jsonl").exists()

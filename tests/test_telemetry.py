@@ -1,0 +1,499 @@
+"""Telemetry subsystem: tracer, metrics, exporters, and wiring."""
+
+import importlib.util
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core.ga import MOGASolver
+from repro.core.problem import SelectionProblem
+from repro.methods import NaiveSelector, make_selector
+from repro.parallel import parallel_map
+from repro.policies import FCFS
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SchedulingEngine
+from repro.simulator.job import Job
+from repro.telemetry import (
+    NULL_SPAN,
+    NULL_TRACER,
+    MetricsRegistry,
+    TelemetrySnapshot,
+    Tracer,
+    get_tracer,
+    merge_snapshots,
+    read_jsonl,
+    render_report,
+    set_tracer,
+    snapshot_from,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.windows import WindowPolicy
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_validator():
+    """Import tools/validate_trace.py as a module (it is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "validate_trace", REPO / "tools" / "validate_trace.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def make_job(jid, submit=0.0, runtime=100.0, nodes=1, bb=0.0):
+    return Job(jid=jid, submit_time=submit, runtime=runtime,
+               walltime=runtime, nodes=nodes, bb=bb)
+
+
+def run_sim(jobs=None, selector=None, nodes=10):
+    jobs = jobs if jobs is not None else [
+        make_job(i, submit=float(i), nodes=3, runtime=50.0) for i in range(12)
+    ]
+    engine = SchedulingEngine(
+        Cluster(nodes=nodes, bb_capacity=100.0),
+        FCFS(),
+        selector or NaiveSelector(),
+        WindowPolicy(size=5),
+    )
+    return engine, engine.run(jobs)
+
+
+class TestTracerSpans:
+    def test_nesting_depth_and_order(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.spans]
+        assert names == ["inner", "inner", "outer"]  # completion order
+        depths = {s.name: s.depth for s in tracer.spans}
+        assert depths == {"inner": 1, "outer": 0}
+
+    def test_timing_monotonicity(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            time.sleep(0.002)
+            with tracer.span("inner") as inner:
+                time.sleep(0.002)
+        assert outer.dur >= inner.dur > 0.0
+        assert outer.ts <= inner.ts
+        # Child interval is contained in the parent interval.
+        assert inner.ts + inner.dur <= outer.ts + outer.dur + 1e-9
+        # Spans finished later have later end times.
+        ends = [s.ts + s.dur for s in tracer.spans]
+        assert ends == sorted(ends)
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set(b=2)
+        assert tracer.spans[0].attrs == {"a": 1, "b": 2}
+
+    def test_instants(self):
+        tracer = Tracer()
+        tracer.instant("tick", n=1)
+        tracer.instant("tick", n=2)
+        assert [i.attrs["n"] for i in tracer.instants] == [1, 2]
+        assert all(i.ts >= 0.0 for i in tracer.instants)
+
+    def test_summarize_and_mark(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        full = tracer.summarize()
+        assert full["a"]["count"] == 2
+        late = tracer.summarize(since=mark)
+        assert late["a"]["count"] == 1
+        assert late["b"]["count"] == 1
+        assert late["a"]["mean"] == pytest.approx(late["a"]["total"])
+
+
+class TestNullTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_inert_and_shared(self):
+        span = NULL_TRACER.span("anything", x=1)
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(y=2)  # must not raise
+        NULL_TRACER.instant("nothing")
+
+    def test_use_tracer_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+        try:
+            assert prev is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(prev)
+
+
+class TestMetricsRegistry:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 4)
+        assert reg.counter("c").value == 5
+
+    def test_gauge_time_weighted_mean(self):
+        reg = MetricsRegistry()
+        # 2 for 10 time units, then 4 for 10: mean 3.
+        reg.set_gauge("g", 2.0, t=0.0)
+        reg.set_gauge("g", 4.0, t=10.0)
+        reg.set_gauge("g", 0.0, t=20.0)
+        g = reg.gauge("g")
+        assert g.mean == pytest.approx(3.0)
+        assert g.last == 0.0
+        assert g.min == 0.0 and g.max == 4.0
+
+    def test_gauge_untimed_uses_sequence_indices(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        # Each sample holds until the next; untimed samples sit at
+        # indices 0, 1, 2, so 1.0 and 3.0 each hold for one step.
+        g.set(1.0)
+        g.set(3.0)
+        g.set(3.0)
+        assert g.mean == pytest.approx(2.0)
+
+    def test_gauge_unsorted_falls_back_to_arithmetic(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(1.0, t=10.0)
+        g.set(3.0, t=0.0)
+        assert g.mean == pytest.approx(2.0)
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("h", float(v))
+        h = reg.histogram("h")
+        assert h.count == 100
+        assert h.percentile(50) == 50.0
+        assert h.percentile(90) == 90.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+        assert h.mean == pytest.approx(50.5)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_instruments_are_zero(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").percentile(99) == 0.0
+        assert reg.gauge("g").mean == 0.0
+        snap = reg.snapshot()
+        assert snap["histograms"]["h"]["count"] == 0
+
+    def test_merge_is_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        for v in (1.0, 2.0):
+            a.observe("h", v)
+        for v in (3.0, 4.0):
+            b.observe("h", v)
+        a.set_gauge("g", 1.0, t=5.0)
+        b.set_gauge("g", 2.0, t=0.0)
+        merged = MetricsRegistry.merged([a, b])
+        assert merged.counter("c").value == 5
+        assert merged.histogram("h").count == 4
+        # Percentiles over the union of raw values, not an approximation.
+        assert merged.histogram("h").percentile(50) == 2.0
+        # Gauge samples are re-sorted by timestamp after merging.
+        assert [t for t, _ in merged.gauge("g").samples] == [0.0, 5.0]
+
+
+class TestExporters:
+    def _traced_run(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            engine, res = run_sim()
+        tracer.instant("note", detail="x")
+        return tracer, engine.metrics
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer, metrics = self._traced_run()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(str(path), tracer, metrics, meta={"who": "test"})
+        records = read_jsonl(str(path))
+        assert records[0]["type"] == "meta"
+        assert records[0]["who"] == "test"
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == len(tracer.spans)
+        by_name = {r["name"] for r in spans}
+        assert {"event_loop", "schedule_pass", "window_extract"} <= by_name
+        for rec, span in zip(spans, tracer.spans):
+            assert rec["name"] == span.name
+            assert rec["ts"] == pytest.approx(span.ts)
+            assert rec["dur"] == pytest.approx(span.dur)
+            assert rec["depth"] == span.depth
+        instants = [r for r in records if r["type"] == "instant"]
+        assert any(r["name"] == "note" for r in instants)
+        metric_recs = [r for r in records if r["type"] == "metrics"]
+        assert len(metric_recs) == 1
+        assert metric_recs[0]["counters"]["engine.jobs_started"] == 12
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tracer, metrics = self._traced_run()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer, metrics, meta={"who": "test"})
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(tracer.spans)
+        for e in complete:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert e["pid"] == 1
+            assert isinstance(e["args"], dict)
+        assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+        assert any(e["ph"] == "i" for e in events)
+        assert doc["otherData"]["who"] == "test"
+        assert "metrics" in doc["otherData"]
+
+    def test_both_formats_pass_schema_validator(self, tmp_path):
+        validator = load_validator()
+        tracer, metrics = self._traced_run()
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        write_jsonl(str(jsonl), tracer, metrics)
+        write_chrome_trace(str(chrome), tracer, metrics)
+        fmt, spans = validator.validate_file(str(jsonl), "auto")
+        assert fmt == "jsonl" and spans["schedule_pass"] > 0
+        fmt, spans = validator.validate_file(str(chrome), "auto")
+        assert fmt == "chrome" and spans["schedule_pass"] > 0
+
+    def test_validator_rejects_garbage(self, tmp_path):
+        validator = load_validator()
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "name": "", "ts": -1}\n')
+        with pytest.raises(validator.ValidationFailure):
+            validator.validate_jsonl(bad.read_text().splitlines())
+        assert validator.main([str(bad)]) == 1
+
+    def test_metrics_json(self, tmp_path):
+        tracer, metrics = self._traced_run()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), metrics, spans=tracer.summarize(),
+                           meta={"scale": "test"})
+        doc = json.loads(path.read_text())
+        assert doc["meta"]["scale"] == "test"
+        assert doc["spans"]["schedule_pass"]["count"] > 0
+        assert doc["counters"]["engine.jobs_started"] == 12
+
+    def test_render_report(self):
+        tracer, metrics = self._traced_run()
+        text = render_report(tracer=tracer, metrics=metrics, title="t")
+        assert "schedule_pass" in text
+        assert "engine.jobs_started" in text
+        assert "engine.queue_depth" in text
+
+
+class TestEngineWiring:
+    def test_untraced_run_records_no_spans(self):
+        engine, _ = run_sim()
+        assert get_tracer() is NULL_TRACER  # nothing leaked
+
+    def test_traced_results_byte_identical_to_untraced(self):
+        jobs_a = [make_job(i, submit=float(i), nodes=3, runtime=50.0)
+                  for i in range(12)]
+        jobs_b = [make_job(i, submit=float(i), nodes=3, runtime=50.0)
+                  for i in range(12)]
+        _, res_a = run_sim(jobs_a, selector=make_selector("BBSched", seed=7,
+                                                          generations=10))
+        with use_tracer(Tracer(fine=True)):
+            _, res_b = run_sim(jobs_b, selector=make_selector("BBSched", seed=7,
+                                                              generations=10))
+        assert [j.start_time for j in res_a.jobs] == [j.start_time for j in res_b.jobs]
+        assert res_a.makespan == res_b.makespan
+        assert res_a.stats.selected_jobs == res_b.stats.selected_jobs
+        assert res_a.stats.forced_jobs == res_b.stats.forced_jobs
+        assert res_a.stats.backfilled_jobs == res_b.stats.backfilled_jobs
+
+    def test_engine_metrics_counters(self):
+        engine, res = run_sim()
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["engine.events"] == 24  # 12 submits + 12 ends
+        assert counters["engine.events.job_submit"] == 12
+        assert counters["engine.events.job_end"] == 12
+        assert counters["engine.jobs_started"] == 12
+        started = (counters.get("engine.jobs_selected", 0)
+                   + counters.get("engine.jobs_backfilled", 0)
+                   + counters.get("engine.jobs_forced", 0))
+        assert started == 12
+        assert engine.metrics.gauge("engine.queue_depth").samples
+
+    def test_stats_are_derived_from_histogram(self):
+        engine, res = run_sim()
+        hist = engine.metrics.histogram("engine.selector_seconds")
+        assert res.stats.selector_calls == hist.count > 0
+        assert res.stats.selector_time == pytest.approx(hist.total)
+        assert res.stats.selector_time > 0.0
+
+    def test_traced_run_has_expected_span_tree(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_sim(selector=make_selector("BBSched", seed=1, generations=5))
+        names = {s.name for s in tracer.spans}
+        assert {"event_loop", "schedule_pass", "window_extract", "select",
+                "ga_solve", "decision_rule"} <= names
+        # schedule_pass nests under event_loop, ga_solve under select.
+        depth = {s.name: s.depth for s in tracer.spans}
+        assert depth["event_loop"] == 0
+        assert depth["schedule_pass"] == 1
+        assert depth["select"] == 2
+        assert depth["ga_solve"] == 3
+
+    def test_fine_tracing_emits_per_generation_spans(self):
+        problem = SelectionProblem.from_window(
+            [make_job(i, nodes=2, bb=10.0) for i in range(4)], 6, 25.0
+        )
+        coarse = Tracer()
+        with use_tracer(coarse):
+            MOGASolver(generations=3, seed=0).solve(problem)
+        assert sum(s.name == "ga_generation" for s in coarse.spans) == 0
+        fine = Tracer(fine=True)
+        with use_tracer(fine):
+            MOGASolver(generations=3, seed=0).solve(problem)
+        assert sum(s.name == "ga_generation" for s in fine.spans) == 3
+        solve = next(s for s in fine.spans if s.name == "ga_solve")
+        assert solve.attrs["front"] >= 1
+
+
+class TestWatchdogTelemetry:
+    def test_fallback_records_instant(self):
+        from repro.resilience import SolverWatchdog
+
+        class Slow(NaiveSelector):
+            def select(self, window, avail):
+                time.sleep(0.2)
+                return super().select(window, avail)
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_sim(selector=SolverWatchdog(Slow(), budget=0.01, trip_after=2))
+        falls = [i for i in tracer.instants if i.name == "watchdog_fallback"]
+        assert falls
+        assert falls[0].attrs["reason"] == "timeout"
+        assert any(i.attrs["reason"] == "breaker_open" for i in falls[2:])
+
+
+def _tiny_cell(seed):
+    """Module-level so it pickles into pool workers."""
+    from repro.experiments import get_scale, get_workload, run_one
+
+    scale = get_scale("smoke")
+    trace = get_workload("Theta-S2", scale)
+    return run_one(trace, "Baseline", scale, seed=seed, collect_telemetry=True)
+
+
+class TestAggregation:
+    def test_snapshot_from_and_merge(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            engine, _ = run_sim()
+        snap = snapshot_from(tracer, engine.metrics)
+        assert snap.spans["schedule_pass"]["count"] > 0
+        merged = merge_snapshots([snap, snap])
+        assert merged.spans["schedule_pass"]["count"] == \
+            2 * snap.spans["schedule_pass"]["count"]
+        assert merged.metrics.counter("engine.jobs_started").value == 24
+        assert "schedule_pass" in merged.render()
+
+    def test_run_one_collects_snapshot(self):
+        result = _tiny_cell(0)
+        assert isinstance(result.telemetry, TelemetrySnapshot)
+        assert result.telemetry.spans["event_loop"]["count"] == 1
+        assert result.telemetry.metrics.counter("engine.jobs_started").value > 0
+        # run_one's private tracer must not leak into the process slot.
+        assert get_tracer() is NULL_TRACER
+
+    def test_aggregation_across_parallel_workers(self):
+        results = parallel_map(_tiny_cell, [(0,), (1,)], workers=2)
+        snaps = [r.telemetry for r in results]
+        assert all(isinstance(s, TelemetrySnapshot) for s in snaps)
+        merged = merge_snapshots(snaps)
+        assert merged.spans["event_loop"]["count"] == 2
+        total = sum(s.metrics.counter("engine.events").value for s in snaps)
+        assert merged.metrics.counter("engine.events").value == total
+
+    def test_grid_telemetry(self):
+        from repro.experiments.grid import grid_telemetry, run_grid
+
+        grid = run_grid(workloads=["Theta-S2"], methods=["Baseline"],
+                        workers=1, telemetry=True)
+        snap = grid_telemetry(grid)
+        assert snap.spans["event_loop"]["count"] == 1
+        untraced = run_grid(workloads=["Theta-S2"], methods=["Baseline"],
+                            workers=1)
+        assert grid_telemetry(untraced).spans == {}
+
+
+class TestCLITelemetry:
+    def test_sim_alias_with_chrome_trace(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["sim", "Theta-S2", "BBSched",
+                     "--trace", str(trace), "--trace-format", "chrome",
+                     "--metrics-out", str(metrics)]) == 0
+        validator = load_validator()
+        fmt, spans = validator.validate_file(str(trace), "auto")
+        assert fmt == "chrome"
+        assert spans["schedule_pass"] > 0 and spans["ga_solve"] > 0
+        doc = json.loads(metrics.read_text())
+        assert doc["counters"]["engine.jobs_started"] > 0
+        assert get_tracer() is NULL_TRACER
+
+    def test_simulate_jsonl_trace(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        trace = tmp_path / "out.jsonl"
+        assert main(["simulate", "Theta-S2", "Baseline",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: Baseline on Theta-S2" in out
+        records = read_jsonl(str(trace))
+        assert records[0]["type"] == "meta"
+        assert any(r["type"] == "span" and r["name"] == "simulate"
+                   for r in records)
+
+    def test_untraced_simulate_output_unchanged(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["simulate", "Theta-S2", "Baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+        assert "wrote" not in out

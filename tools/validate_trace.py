@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Schema check for repro telemetry traces (JSONL and Chrome trace_event).
+
+Stdlib-only, so CI can validate an emitted trace without installing the
+package.  Exit status 0 means the file is well-formed; any violation
+prints a diagnostic and exits 1.
+
+Usage::
+
+    python tools/validate_trace.py TRACE [--format auto|jsonl|chrome]
+                                         [--expect SPAN_NAME ...]
+
+``--expect`` additionally requires at least one span with the given name
+(repeatable) — CI uses it to prove a traced simulation actually recorded
+``schedule_pass`` / ``ga_solve`` spans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: JSONL record types the exporter may emit.
+JSONL_TYPES = {"meta", "span", "instant", "metrics"}
+#: Chrome trace_event phases the exporter may emit.
+CHROME_PHASES = {"X", "i", "M"}
+
+
+class ValidationFailure(Exception):
+    """A schema violation, with enough context to locate it."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValidationFailure(message)
+
+
+def _check_number(record: Dict[str, Any], key: str, where: str,
+                  minimum: float = 0.0) -> None:
+    value = record.get(key)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{where}: {key!r} must be a number, got {value!r}")
+    _require(value >= minimum, f"{where}: {key!r} must be >= {minimum}, got {value}")
+
+
+def _check_attrs(record: Dict[str, Any], key: str, where: str) -> None:
+    attrs = record.get(key, {})
+    _require(isinstance(attrs, dict), f"{where}: {key!r} must be an object")
+
+
+# --- JSONL -------------------------------------------------------------------
+def validate_jsonl(lines: Iterable[str]) -> Counter:
+    """Validate a JSON Lines trace; returns span-name counts."""
+    spans: Counter = Counter()
+    saw_meta = False
+    n = 0
+    for n, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"line {n}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationFailure(f"{where}: not valid JSON ({exc})") from None
+        _require(isinstance(record, dict), f"{where}: record must be an object")
+        rtype = record.get("type")
+        _require(rtype in JSONL_TYPES,
+                 f"{where}: unknown record type {rtype!r} (known: {sorted(JSONL_TYPES)})")
+        if rtype == "meta":
+            _require(n == 1, f"{where}: 'meta' must be the first record")
+            saw_meta = True
+        elif rtype == "span":
+            _require(isinstance(record.get("name"), str) and record["name"],
+                     f"{where}: span needs a non-empty string 'name'")
+            _check_number(record, "ts", where)
+            _check_number(record, "dur", where)
+            _check_number(record, "depth", where)
+            _check_number(record, "tid", where)
+            _check_attrs(record, "attrs", where)
+            spans[record["name"]] += 1
+        elif rtype == "instant":
+            _require(isinstance(record.get("name"), str) and record["name"],
+                     f"{where}: instant needs a non-empty string 'name'")
+            _check_number(record, "ts", where)
+            _check_attrs(record, "attrs", where)
+        elif rtype == "metrics":
+            for section in ("counters", "gauges", "histograms"):
+                _require(isinstance(record.get(section), dict),
+                         f"{where}: metrics record needs object {section!r}")
+    _require(n > 0, "empty trace file")
+    _require(saw_meta, "missing 'meta' header record")
+    return spans
+
+
+# --- Chrome trace_event ------------------------------------------------------
+def validate_chrome(text: str) -> Counter:
+    """Validate a Chrome trace_event JSON document; returns span counts."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationFailure(f"not valid JSON ({exc})") from None
+    _require(isinstance(doc, dict), "top level must be a JSON object")
+    events = doc.get("traceEvents")
+    _require(isinstance(events, list), "missing 'traceEvents' list")
+    _require(len(events) > 0, "'traceEvents' is empty")
+    spans: Counter = Counter()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        _require(isinstance(event, dict), f"{where}: event must be an object")
+        _require(isinstance(event.get("name"), str) and event["name"],
+                 f"{where}: needs a non-empty string 'name'")
+        phase = event.get("ph")
+        _require(phase in CHROME_PHASES,
+                 f"{where}: unknown phase {phase!r} (known: {sorted(CHROME_PHASES)})")
+        _require("pid" in event and "tid" in event, f"{where}: needs pid and tid")
+        if phase == "M":
+            continue
+        _check_number(event, "ts", where)
+        _check_attrs(event, "args", where)
+        if phase == "X":
+            _check_number(event, "dur", where)
+            spans[event["name"]] += 1
+    return spans
+
+
+def validate_file(path: str, fmt: str = "auto") -> Tuple[str, Counter]:
+    """Validate ``path``; returns (resolved format, span-name counts)."""
+    with open(path) as fh:
+        text = fh.read()
+    if fmt == "auto":
+        fmt = "chrome" if text.lstrip().startswith("{\"traceEvents\"") or \
+            "\"traceEvents\"" in text[:200] else "jsonl"
+    if fmt == "chrome":
+        return fmt, validate_chrome(text)
+    return fmt, validate_jsonl(text.splitlines())
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace file to validate")
+    parser.add_argument("--format", default="auto",
+                        choices=("auto", "jsonl", "chrome"))
+    parser.add_argument("--expect", action="append", default=[],
+                        metavar="SPAN_NAME",
+                        help="require at least one span with this name (repeatable)")
+    args = parser.parse_args(argv)
+    try:
+        fmt, spans = validate_file(args.trace, args.format)
+        missing = [name for name in args.expect if spans.get(name, 0) == 0]
+        if missing:
+            raise ValidationFailure(
+                f"expected span(s) not found: {missing}; present: {sorted(spans)}"
+            )
+    except ValidationFailure as exc:
+        print(f"INVALID {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"ERROR: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    total = sum(spans.values())
+    print(f"OK {args.trace} ({fmt}): {total} spans over {len(spans)} names")
+    for name, count in spans.most_common():
+        print(f"  {name:<22} {count}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
