@@ -1,0 +1,51 @@
+"""Checkpoint/restore and resumable experiment grids.
+
+Long simulations and 80-cell grids should survive pre-emption.  This
+package supplies the two durability layers (see ``docs/checkpointing.md``):
+
+* **engine snapshots** — :func:`save_checkpoint` /
+  :func:`load_checkpoint` persist a mid-run
+  :class:`~repro.simulator.engine.SchedulingEngine` (event queue, clock,
+  allocations, job states, RNG streams, metrics) to a self-verifying
+  file; :class:`Checkpointer` schedules saves at batch boundaries every
+  N simulated hours, on SIGTERM/SIGINT, or at a deterministic cut point,
+  and ``run_one(resume_from=...)`` continues a restored engine;
+* **the results ledger** — :class:`ResultsLedger` appends each completed
+  grid cell to a JSONL file the moment it finishes, so
+  ``run_grid(ledger=..., resume=True)`` re-dispatches only missing or
+  failed cells after a crash.
+
+:func:`verify_resume` proves the contract the rest of the package
+depends on: an interrupted-and-resumed run is fingerprint-identical to
+an uninterrupted one.
+"""
+
+from .ledger import LEDGER_VERSION, LedgerView, ResultsLedger
+from .runtime import CheckpointConfig, Checkpointer
+from .snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    build_manifest,
+    load_checkpoint,
+    read_header,
+    save_checkpoint,
+)
+from .verify import VerifyReport, fingerprint_digest, run_fingerprint, verify_resume
+
+__all__ = [
+    "CheckpointConfig",
+    "Checkpointer",
+    "FORMAT_VERSION",
+    "LEDGER_VERSION",
+    "LedgerView",
+    "MAGIC",
+    "ResultsLedger",
+    "VerifyReport",
+    "build_manifest",
+    "fingerprint_digest",
+    "load_checkpoint",
+    "read_header",
+    "run_fingerprint",
+    "save_checkpoint",
+    "verify_resume",
+]

@@ -1,0 +1,203 @@
+"""JSONL results ledger for resumable experiment grids.
+
+Each completed grid cell is appended to the ledger as one self-contained
+JSON line the moment its result arrives, so a SIGKILL at any point loses
+at most the cells still in flight.  On ``--resume`` the ledger is read
+back, completed cells are skipped, and only missing (or previously
+failed) cells are re-dispatched.
+
+Record kinds::
+
+    {"kind": "cell", "workload": ..., "method": ..., "scale": ...,
+     "telemetry": bool, "seed": int|null,
+     "payload_sha256": "...", "payload": "<base64 pickle of RunResult>"}
+    {"kind": "failure", "workload": ..., "method": ..., "scale": ...,
+     "error": "...", "attempts": int, "traceback": "..."}
+
+Appends are a single ``write()`` on an ``O_APPEND`` descriptor followed
+by flush+fsync — concurrent appends interleave at line granularity and a
+crash can only truncate the *last* line.  :meth:`ResultsLedger.load`
+therefore treats an unparseable or hash-mismatched final line as
+"cell not recorded" rather than an error, while corruption anywhere
+earlier (which atomic appends cannot produce) raises
+:class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CheckpointError
+
+#: Bumped on any incompatible change to the record layout.
+LEDGER_VERSION = 1
+
+
+@dataclass
+class LedgerView:
+    """Parsed ledger contents: completed cells, failures, and tail damage."""
+
+    #: (workload, method) → unpickled RunResult for every matching cell.
+    results: Dict[Tuple[str, str], Any] = field(default_factory=dict)
+    #: Failure records (raw dicts) matching the filter.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: 1 when a truncated/corrupt final line was dropped, else 0.
+    dropped_tail: int = 0
+
+
+class ResultsLedger:
+    """Append-only JSONL ledger of grid-cell results."""
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        self.path = Path(path)
+
+    # --- writing -----------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        if "\n" in line:  # pragma: no cover - json.dumps never emits raw newlines
+            raise CheckpointError("ledger record would span multiple lines")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One write() on an O_APPEND fd is the atomicity unit: POSIX
+        # guarantees the offset update and the write are a single step,
+        # so parallel appenders cannot interleave within a line.
+        data = line.encode("utf-8") + b"\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def append_result(
+        self,
+        result: Any,
+        *,
+        scale: str,
+        telemetry: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Durably record one completed cell (``result`` is a RunResult)."""
+        payload = pickle.dumps(result, protocol=4)
+        self._append({
+            "kind": "cell",
+            "version": LEDGER_VERSION,
+            "workload": result.workload,
+            "method": result.method,
+            "scale": scale,
+            "telemetry": bool(telemetry),
+            "seed": seed,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": base64.b64encode(payload).decode("ascii"),
+        })
+
+    def append_failure(
+        self,
+        *,
+        workload: str,
+        method: str,
+        scale: str,
+        error: str,
+        attempts: int,
+        traceback_text: str = "",
+    ) -> None:
+        """Record a cell that exhausted its retries (kept for diagnosis;
+        failed cells are re-dispatched on resume)."""
+        self._append({
+            "kind": "failure",
+            "version": LEDGER_VERSION,
+            "workload": workload,
+            "method": method,
+            "scale": scale,
+            "error": error,
+            "attempts": int(attempts),
+            "traceback": traceback_text,
+        })
+
+    def reset(self) -> None:
+        """Truncate the ledger (fresh, non-resumed grid run)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    # --- reading -----------------------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(
+        self,
+        *,
+        scale: Optional[str] = None,
+        telemetry: Optional[bool] = None,
+    ) -> LedgerView:
+        """Read the ledger back, filtered to one (scale, telemetry) config.
+
+        Cells recorded under a different scale or telemetry setting are
+        ignored, so a ledger cannot silently satisfy a resume with
+        results computed under other settings.  A failure record for a
+        cell does *not* mark it complete — later success lines win, and
+        cells with only failures are re-dispatched.
+        """
+        view = LedgerView()
+        if not self.path.exists():
+            return view
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            last = i == len(lines) - 1
+            try:
+                record = self._parse(line)
+            except CheckpointError:
+                if last:
+                    # A SIGKILL mid-append truncates only the tail line;
+                    # drop it and let the grid recompute that cell.
+                    view.dropped_tail = 1
+                    continue
+                raise CheckpointError(
+                    f"{self.path}: corrupt record on line {i + 1} "
+                    f"(not the final line, so not crash truncation)"
+                )
+            if scale is not None and record.get("scale") != scale:
+                continue
+            if record["kind"] == "cell":
+                if telemetry is not None and bool(record.get("telemetry")) != telemetry:
+                    continue
+                result = record["result"]
+                view.results[(result.workload, result.method)] = result
+            else:
+                view.failures.append(record)
+        return view
+
+    def _parse(self, line: str) -> Dict[str, Any]:
+        """One line → record dict with ``result`` unpickled; raises on damage."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"not valid JSON: {exc}") from exc
+        if not isinstance(record, dict) or record.get("kind") not in ("cell", "failure"):
+            raise CheckpointError(f"unknown ledger record: {line[:80]!r}")
+        if record.get("version") != LEDGER_VERSION:
+            raise CheckpointError(
+                f"ledger record version {record.get('version')!r}, "
+                f"this build reads version {LEDGER_VERSION}"
+            )
+        if record["kind"] == "failure":
+            return record
+        try:
+            payload = base64.b64decode(record["payload"], validate=True)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CheckpointError(f"undecodable cell payload: {exc}") from exc
+        if hashlib.sha256(payload).hexdigest() != record.get("payload_sha256"):
+            raise CheckpointError("cell payload SHA-256 mismatch")
+        try:
+            record["result"] = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(f"cannot unpickle cell payload: {exc}") from exc
+        return record

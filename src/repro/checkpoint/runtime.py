@@ -1,0 +1,166 @@
+"""Checkpoint scheduling inside the engine's event loop.
+
+The engine calls :meth:`Checkpointer.after_batch` at every *batch
+boundary* — all events at the current timestamp applied and the
+scheduling pass finished — which is the only instant a snapshot is
+guaranteed consistent.  The checkpointer decides whether that boundary
+warrants a save:
+
+* the periodic interval (``every_hours`` of *simulated* time) elapsed;
+* a SIGTERM/SIGINT arrived since the last boundary (``handle_signals``);
+* the deterministic cut point ``stop_after`` was reached (tests and
+  ``verify_resume`` use this to interrupt a run at a known sim-time).
+
+Signals and ``stop_after`` additionally abort the run by raising
+:class:`~repro.errors.SimulationInterrupted` *after* the save, so the
+caller always holds a fresh checkpoint when the loop unwinds.  A second
+signal skips the orderly path and raises ``KeyboardInterrupt`` straight
+from the handler — the escape hatch when the final save itself wedges.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import ConfigurationError, SimulationInterrupted
+from .snapshot import save_checkpoint
+
+#: Signals that trigger an orderly save-and-exit when ``handle_signals``.
+_GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often to snapshot a run.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file; each save atomically replaces the previous one
+        (the format is self-verifying, see :mod:`repro.checkpoint.snapshot`).
+    every_hours:
+        Simulated hours between periodic saves.  ``0`` disables periodic
+        saves — only signals / ``stop_after`` then write checkpoints.
+    stop_after:
+        Simulated time (seconds) after which the run is checkpointed and
+        interrupted, as if a signal had arrived at that boundary.  For
+        deterministic kill-and-resume tests; ``None`` in production.
+    handle_signals:
+        When true, :meth:`Checkpointer.signals` installs SIGINT/SIGTERM
+        handlers for the duration of the run.
+    """
+
+    path: str
+    every_hours: float = 6.0
+    stop_after: Optional[float] = None
+    handle_signals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.every_hours < 0:
+            raise ConfigurationError(
+                f"every_hours must be non-negative, got {self.every_hours}"
+            )
+        if self.stop_after is not None and self.stop_after < 0:
+            raise ConfigurationError(
+                f"stop_after must be non-negative, got {self.stop_after}"
+            )
+
+
+class Checkpointer:
+    """Drives periodic/terminal checkpoints for one engine run."""
+
+    def __init__(self, config: CheckpointConfig,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self.config = config
+        self.meta = dict(meta or {})
+        self.saves = 0
+        self.last_header: Optional[Dict[str, Any]] = None
+        self._next_due: Optional[float] = None
+        self._signal: Optional[int] = None
+
+    @property
+    def path(self) -> Path:
+        return Path(self.config.path)
+
+    @property
+    def interrupted_by(self) -> Optional[int]:
+        """Signal number that interrupted the run, if any."""
+        return self._signal
+
+    def save(self, engine: Any) -> Dict[str, Any]:
+        """Checkpoint ``engine`` now, regardless of schedule."""
+        meta = dict(self.meta)
+        if self._signal is not None:
+            meta["signal"] = int(self._signal)
+        header = save_checkpoint(self.path, engine, meta=meta)
+        self.saves += 1
+        self.last_header = header
+        return header
+
+    def after_batch(self, engine: Any) -> None:
+        """Engine hook: maybe save, maybe abort.  Called at batch boundaries."""
+        now = engine.now
+        interval = self.config.every_hours * 3600.0
+        if self._next_due is None and interval > 0:
+            self._next_due = now + interval
+        stop = self.config.stop_after is not None and now >= self.config.stop_after
+        due = self._next_due is not None and now >= self._next_due
+        if not (stop or due or self._signal is not None):
+            return
+        self.save(engine)
+        if interval > 0:
+            self._next_due = now + interval
+        if self._signal is not None:
+            raise SimulationInterrupted(
+                f"run interrupted by signal {self._signal}; "
+                f"checkpoint written to {self.path}",
+                checkpoint_path=str(self.path), sim_time=now,
+                signum=self._signal,
+            )
+        if stop:
+            raise SimulationInterrupted(
+                f"run stopped at sim-time {now:.0f}s (stop_after="
+                f"{self.config.stop_after}); checkpoint written to {self.path}",
+                checkpoint_path=str(self.path), sim_time=now,
+            )
+
+    def request_stop(self, signum: int = signal.SIGTERM) -> None:
+        """Flag the run for save-and-exit at the next batch boundary.
+
+        The signal handler calls this; tests may call it directly to
+        simulate a signal without process plumbing.
+        """
+        self._signal = int(signum)
+
+    @contextmanager
+    def signals(self) -> Iterator["Checkpointer"]:
+        """Install SIGINT/SIGTERM → orderly save-and-exit for the block.
+
+        First signal: set the flag; the run ends at the next batch
+        boundary with a final checkpoint.  Second signal: raise
+        ``KeyboardInterrupt`` immediately (force exit, checkpoint from
+        the first signal may already be on disk).  A no-op off the main
+        thread or when ``handle_signals`` is false, because the signal
+        module only allows handler installation from the main thread.
+        """
+        if (not self.config.handle_signals
+                or threading.current_thread() is not threading.main_thread()):
+            yield self
+            return
+
+        def _handler(signum: int, frame: Any) -> None:
+            if self._signal is not None:
+                raise KeyboardInterrupt
+            self.request_stop(signum)
+
+        previous = {s: signal.signal(s, _handler) for s in _GRACEFUL_SIGNALS}
+        try:
+            yield self
+        finally:
+            for s, old in previous.items():
+                signal.signal(s, old)

@@ -1,0 +1,184 @@
+"""Checkpoint file format: one header line + a pickled engine.
+
+A checkpoint is a single file::
+
+    {"magic": "repro-ckpt", "version": 1, "payload_bytes": N,
+     "payload_sha256": "...", "manifest": {...}}\\n
+    <N bytes of pickle payload>
+
+The first line is UTF-8 JSON (no embedded newlines) describing the
+payload that follows; everything after the first ``\\n`` is a pickle of
+the :class:`~repro.simulator.engine.SchedulingEngine` — event queue,
+clock, cluster/BB/SSD allocations, job states, RNG streams, metrics
+accumulators and all.  The header carries enough redundancy (payload
+length *and* SHA-256) that truncation from a SIGKILL mid-write and
+bit-rot are both detected at load time, and ``tools/validate_checkpoint.py``
+can audit a file with nothing but the stdlib.
+
+Writes are atomic: payload and header go to a temp file in the target
+directory, which is fsynced and ``os.replace``-d over the destination
+(then the directory is fsynced), so a reader never observes a partial
+checkpoint under POSIX rename semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import CheckpointError
+from ..telemetry import get_tracer
+
+#: First bytes of every checkpoint header — also the format discriminator
+#: used by :mod:`tools.validate_checkpoint`.
+MAGIC = "repro-ckpt"
+#: Bumped on any incompatible change to the header or payload layout.
+FORMAT_VERSION = 1
+#: Protocol 4 keeps checkpoints loadable across every Python this repo
+#: supports (3.8+) regardless of which interpreter wrote them.
+PICKLE_PROTOCOL = 4
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. non-POSIX directory handles
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def build_manifest(engine: Any, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Run-state summary embedded in the header (and shown by the validator)."""
+    return {
+        "sim_time": float(engine.now),
+        "jobs_total": int(engine.jobs_total),
+        "jobs_terminal": int(engine.jobs_terminal),
+        "events_pending": int(engine.events_pending),
+        "created_unix": time.time(),
+        "meta": dict(meta or {}),
+    }
+
+
+def save_checkpoint(
+    path: os.PathLike | str,
+    engine: Any,
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Atomically write ``engine`` to ``path``; returns the header dict.
+
+    ``meta`` is caller context (workload, method, scale, seed) stored
+    verbatim in the manifest — :func:`load_checkpoint` hands it back so a
+    resume can refuse a checkpoint taken from a different run.
+    """
+    path = Path(path)
+    tracer = get_tracer()
+    with tracer.span("checkpoint_save", path=str(path)) as span:
+        t0 = time.perf_counter()
+        payload = pickle.dumps(engine, protocol=PICKLE_PROTOCOL)
+        header = {
+            "magic": MAGIC,
+            "version": FORMAT_VERSION,
+            "payload_bytes": len(payload),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "manifest": build_manifest(engine, meta),
+        }
+        line = json.dumps(header, sort_keys=True)
+        if "\n" in line:  # pragma: no cover - json.dumps never emits raw newlines
+            raise CheckpointError("checkpoint header would span multiple lines")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(line.encode("utf-8"))
+                fh.write(b"\n")
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        _fsync_dir(path.parent)
+        elapsed = time.perf_counter() - t0
+        span.set(bytes=len(payload), sim_time=header["manifest"]["sim_time"])
+        metrics = getattr(engine, "metrics", None)
+        if metrics is not None:
+            metrics.inc("checkpoint.saves")
+            metrics.inc("checkpoint.bytes", len(payload))
+            metrics.observe("checkpoint.save_seconds", elapsed)
+    return header
+
+
+def read_header(path: os.PathLike | str) -> Dict[str, Any]:
+    """Parse and sanity-check a checkpoint's header line (payload untouched).
+
+    Cheap enough to call on every candidate file; full payload
+    verification happens in :func:`load_checkpoint`.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            line = fh.readline(1 << 20)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not line.endswith(b"\n"):
+        raise CheckpointError(f"{path}: truncated header (no newline in first 1MiB)")
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: header is not valid JSON ({exc})") from exc
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise CheckpointError(f"{path}: not a {MAGIC} checkpoint")
+    if header.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: format version {header.get('version')!r}, "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    for key, typ in (("payload_bytes", int), ("payload_sha256", str),
+                     ("manifest", dict)):
+        if not isinstance(header.get(key), typ):
+            raise CheckpointError(f"{path}: header field {key!r} missing or mistyped")
+    return header
+
+
+def load_checkpoint(path: os.PathLike | str) -> Tuple[Any, Dict[str, Any]]:
+    """Verify and unpickle a checkpoint → ``(engine, header)``.
+
+    Raises :class:`~repro.errors.CheckpointError` on truncation (payload
+    shorter than the header promised), corruption (SHA-256 mismatch), or
+    an unloadable payload.  The restored engine is ready for
+    :meth:`~repro.simulator.engine.SchedulingEngine.continue_run`.
+    """
+    path = Path(path)
+    header = read_header(path)
+    with get_tracer().span("checkpoint_load", path=str(path)) as span:
+        with open(path, "rb") as fh:
+            fh.readline(1 << 20)  # skip the header line just re-parsed
+            payload = fh.read()
+        expected = header["payload_bytes"]
+        if len(payload) != expected:
+            raise CheckpointError(
+                f"{path}: payload is {len(payload)} bytes, header promised "
+                f"{expected} (truncated write?)"
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header["payload_sha256"]:
+            raise CheckpointError(
+                f"{path}: payload SHA-256 mismatch (corrupt checkpoint)"
+            )
+        try:
+            engine = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(f"{path}: cannot unpickle payload: {exc}") from exc
+        span.set(bytes=expected, sim_time=header["manifest"].get("sim_time", -1.0))
+    return engine, header

@@ -20,6 +20,18 @@ selection with graceful degradation::
     bbsched run fig6_7 --faults mild      # Figures 6 & 7 on flaky hardware
     bbsched simulate Theta-S4 BBSched --node-mtbf 21600 --watchdog 0.5
 
+Durability (see ``docs/checkpointing.md``): ``simulate --checkpoint PATH``
+snapshots the run every N simulated hours and on SIGINT/SIGTERM (the
+process exits 128+signum after the final save), ``--resume-from PATH``
+continues a snapshot to completion, and the ``grid`` command runs the §4
+evaluation grid with an append-only results ledger so a killed grid
+reruns only its unfinished cells::
+
+    bbsched simulate Theta-S4 BBSched --checkpoint run.ckpt
+    bbsched simulate Theta-S4 BBSched --resume-from run.ckpt
+    bbsched grid --scale smoke --ledger grid.jsonl
+    bbsched grid --scale smoke --ledger grid.jsonl --resume
+
 Observability (see ``docs/observability.md``): ``--trace PATH`` records a
 structured trace of the run (``--trace-format chrome`` produces a
 Perfetto/``chrome://tracing``-loadable file), ``--metrics-out PATH``
@@ -34,13 +46,17 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import signal
 import sys
-from contextlib import nullcontext
-from typing import Callable, Dict, Optional, Tuple
+import threading
+from contextlib import contextmanager, nullcontext
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from . import experiments as exp
-from .errors import ReproError
+from .checkpoint import CheckpointConfig
+from .errors import ReproError, SimulationInterrupted, TaskError
 from .experiments import report
+from .methods import METHODS_SECTION4
 from .resilience import SCENARIOS, FaultScenario, RetryPolicy, get_scenario
 from .telemetry import (
     Tracer,
@@ -177,19 +193,82 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Turn SIGTERM into KeyboardInterrupt so `finally` blocks run.
+
+    Used for runs *without* a checkpoint config (which installs its own
+    graceful handlers); without this a SIGTERM would skip the telemetry
+    flush.  No-op off the main thread, where handlers cannot be set.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum: int, frame) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _flush_interrupted_telemetry(args: argparse.Namespace, tracer: Tracer,
+                                 **meta) -> None:
+    """Best-effort telemetry export when a run did not finish."""
+    if not _exporting(args):
+        return
+    try:
+        _export_telemetry(args, tracer, meta={
+            "command": "simulate", "interrupted": True, **meta})
+    except OSError as exc:  # pragma: no cover - disk-full etc.
+        print(f"telemetry flush failed: {exc}", file=sys.stderr)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scale = _resolve_scale(args)
     custom = _custom_scenario(args)
     if custom is not None:
         scale = dataclasses.replace(scale, faults=custom)
     retry = RetryPolicy(max_attempts=args.max_attempts) if args.max_attempts is not None else None
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = CheckpointConfig(
+            path=args.checkpoint, every_hours=args.checkpoint_every,
+            handle_signals=True,
+        )
     trace = exp.get_workload(args.workload, scale)
     tracer = Tracer()
+    signal_scope = nullcontext() if checkpoint is not None else _sigterm_as_interrupt()
     with use_tracer(tracer) if _exporting(args) else nullcontext():
         with tracer.span("simulate", workload=args.workload, method=args.method,
                          scale=scale.name) as sim_span:
-            result = exp.run_one(trace, args.method, scale, seed=args.seed,
-                                 retry=retry)
+            try:
+                with signal_scope:
+                    result = exp.run_one(trace, args.method, scale, seed=args.seed,
+                                         retry=retry, checkpoint=checkpoint,
+                                         resume_from=args.resume_from)
+            except SimulationInterrupted as exc:
+                # Orderly signal path: the final checkpoint is already on
+                # disk; flush exporters and exit with the signal's code.
+                print(f"interrupted at sim-time {exc.sim_time:.0f}s; "
+                      f"checkpoint: {exc.checkpoint_path}", file=sys.stderr)
+                print(f"resume with: bbsched simulate {args.workload} "
+                      f"{args.method} --scale {scale.name} "
+                      f"--resume-from {exc.checkpoint_path}", file=sys.stderr)
+                _flush_interrupted_telemetry(
+                    args, tracer, workload=args.workload, method=args.method,
+                    checkpoint=exc.checkpoint_path)
+                return 128 + exc.signum if exc.signum is not None else 3
+            except KeyboardInterrupt:
+                # Un-checkpointed interrupt (or second signal): nothing to
+                # resume from, but the telemetry buffers still flush.
+                print("interrupted (no checkpoint written)", file=sys.stderr)
+                _flush_interrupted_telemetry(
+                    args, tracer, workload=args.workload, method=args.method)
+                return 130
     dt = sim_span.dur
     s = result.summary
     print(f"{args.method} on {args.workload} (scale={scale.name}, {dt:.1f}s):")
@@ -224,6 +303,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             meta={"command": "simulate", "workload": args.workload,
                   "method": args.method, "scale": scale.name, "seed": args.seed},
         )
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    # Grid cells re-resolve the scale by name inside pool workers, so only
+    # named scales (no ad-hoc fault overrides) are offered here.
+    scale = exp.get_scale(args.scale)
+    workloads = args.workloads.split(",") if args.workloads else list(exp.ALL_WORKLOADS)
+    methods = args.methods.split(",") if args.methods else list(METHODS_SECTION4)
+    if args.resume and not args.ledger:
+        print("--resume requires --ledger", file=sys.stderr)
+        return 2
+    try:
+        grid = exp.run_grid(
+            scale, workloads=workloads, methods=methods, workers=args.workers,
+            ledger=args.ledger, resume=args.resume,
+            task_timeout=args.task_timeout, task_retries=args.task_retries,
+        )
+    except TaskError as exc:
+        print(f"grid cell failed: {exc}", file=sys.stderr)
+        if exc.traceback_text:
+            print(exc.traceback_text, file=sys.stderr)
+        if args.ledger:
+            print(f"completed cells are preserved in {args.ledger}; "
+                  f"rerun with --resume to retry only the rest", file=sys.stderr)
+        return 1
+    for metric in args.metric or ("node_usage", "bb_usage", "avg_wait"):
+        table = exp.metric_table(grid, metric, workloads, methods)
+        rows = []
+        for w in workloads:
+            row: list = [w]
+            for m in methods:
+                value = table.get(w, {}).get(m)
+                if value is None:
+                    row.append("-")
+                elif metric == "avg_wait":
+                    row.append(report.hours(value))
+                elif metric.endswith("usage"):
+                    row.append(f"{100 * value:.2f}%")
+                else:
+                    row.append(f"{value:.3f}")
+            rows.append(row)
+        print(report.format_table(rows, ["workload"] + methods,
+                                  title=f"{metric} (scale={scale.name})"))
+        print()
     return 0
 
 
@@ -289,7 +413,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed of the fault-injection streams")
     fault.add_argument("--max-attempts", type=int, default=None,
                        help="kills tolerated before a job is abandoned")
+    ckpt = p_sim.add_argument_group(
+        "checkpoint/resume (see docs/checkpointing.md)")
+    ckpt.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="snapshot the run to PATH periodically and on "
+                           "SIGINT/SIGTERM (exits 128+signum after saving)")
+    ckpt.add_argument("--checkpoint-every", type=float, default=6.0,
+                      metavar="SIM_HOURS",
+                      help="simulated hours between periodic snapshots "
+                           "(0 = only on signals)")
+    ckpt.add_argument("--resume-from", default=None, metavar="PATH",
+                      help="restore a checkpoint and continue it to completion")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_grid = sub.add_parser(
+        "grid", help="run the §4 evaluation grid (resumable via a ledger)")
+    p_grid.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
+    p_grid.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                        help="comma-separated workload subset (default: all)")
+    p_grid.add_argument("--methods", default=None, metavar="M1,M2,...",
+                        help="comma-separated method subset (default: all §4)")
+    p_grid.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: REPRO_WORKERS or cores-1)")
+    p_grid.add_argument("--metric", action="append",
+                        default=None, metavar="NAME",
+                        help="metric table(s) to print (repeatable; default: "
+                             "node_usage, bb_usage, avg_wait)")
+    durable = p_grid.add_argument_group("durable execution")
+    durable.add_argument("--ledger", default=None, metavar="PATH",
+                         help="append each completed cell to this JSONL ledger "
+                              "the moment it finishes")
+    durable.add_argument("--resume", action="store_true",
+                         help="skip cells already in the ledger; dispatch only "
+                              "missing/failed ones")
+    durable.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget per cell attempt")
+    durable.add_argument("--task-retries", type=int, default=0,
+                         help="re-dispatches allowed per crashed/hung cell")
+    p_grid.set_defaults(func=_cmd_grid)
     return parser
 
 

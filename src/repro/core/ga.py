@@ -27,12 +27,12 @@ full generation costs a few numpy kernel calls, which is what lets a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..errors import SolverError
-from ..rng import SeedLike, make_rng
+from ..rng import SeedLike, make_rng, restore_rng_state, rng_state
 from ..telemetry import get_tracer
 from .pareto import non_dominated_mask, unique_front
 from .problem import MOOProblem
@@ -134,6 +134,25 @@ class MOGASolver:
         self.selection = selection
         self.seed_greedy = seed_greedy
         self._seed = seed
+
+    # --- RNG stream capture ------------------------------------------------------
+    # When the solver owns a long-lived Generator (``seed`` was a
+    # Generator, or the selector threads one through ``solve``), its state
+    # advances with every scheduling pass.  Checkpoint/resume
+    # (:mod:`repro.checkpoint`) must persist that state or a resumed run
+    # would replay a different GA stream; ``pickle`` captures it through
+    # these hooks because numpy generators serialise their full state.
+    def rng_state(self) -> Optional[dict]:
+        """State of the solver-owned RNG stream, or None if seeded per-call."""
+        if isinstance(self._seed, np.random.Generator):
+            return rng_state(self._seed)
+        return None
+
+    def set_rng_state(self, state: dict) -> None:
+        """Rewind the solver-owned stream to a captured state."""
+        if not isinstance(self._seed, np.random.Generator):
+            raise SolverError("solver does not own a persistent RNG stream")
+        restore_rng_state(self._seed, state)
 
     # --- operators -------------------------------------------------------------
     def _crossover(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:

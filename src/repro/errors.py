@@ -39,3 +39,58 @@ class SolverTimeoutError(SolverError):
 
 class ResilienceError(ReproError, RuntimeError):
     """A fault-injection or recovery action violated resilience invariants."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing, corrupt, or inconsistent with the run."""
+
+
+class SimulationInterrupted(ReproError, RuntimeError):
+    """A run was stopped early after writing a final checkpoint.
+
+    Raised by the engine's checkpoint hook when a SIGTERM/SIGINT was
+    observed (or a configured stop point was reached) and the state was
+    safely persisted; ``checkpoint_path`` names the snapshot to resume
+    from, ``sim_time`` the simulated instant it captures, and ``signum``
+    the POSIX signal that triggered the stop (None for a configured
+    ``stop_after`` cut point).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        checkpoint_path: str,
+        sim_time: float,
+        signum: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.sim_time = sim_time
+        self.signum = signum
+
+
+class TaskError(ReproError, RuntimeError):
+    """A parallel-map task failed after exhausting its retry budget.
+
+    Carries enough context to diagnose a grid failure without re-running
+    it: the task index and arguments, how many attempts were made, and the
+    captured traceback of the final failure (workers live in other
+    processes, so the original traceback object is gone by the time the
+    parent sees the exception).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int,
+        task: tuple,
+        attempts: int,
+        traceback_text: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.task = task
+        self.attempts = attempts
+        self.traceback_text = traceback_text

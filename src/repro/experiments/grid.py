@@ -5,13 +5,23 @@ runs, so it is computed once per scale and memoised for the process
 lifetime.  Each cell is an independent simulation with its own seed;
 multi-core machines execute cells through
 :func:`repro.parallel.parallel_map`.
+
+Long grids are made pre-emption-safe by the results ledger
+(:class:`repro.checkpoint.ResultsLedger`): with ``ledger=...`` every
+completed cell is durably appended the moment it finishes, and
+``resume=True`` reloads those cells and dispatches only the missing (or
+previously failed) ones — a SIGKILL mid-grid costs at most the cells
+that were in flight.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..checkpoint import ResultsLedger
+from ..errors import TaskError
 from ..methods import METHODS_SECTION4
 from ..parallel import parallel_map
 from ..rng import stable_hash
@@ -25,13 +35,23 @@ GridKey = Tuple[str, str]
 Grid = Dict[GridKey, RunResult]
 
 
+def cell_seed(workload: str, method: str) -> int:
+    """The deterministic seed of one grid cell (stable across processes)."""
+    return (BASE_SEED * 31 + stable_hash(f"{workload}|{method}")) & 0x7FFFFFFF
+
+
 def _cell(
-    workload: str, method: str, scale_name: str, telemetry: bool = False
+    workload: str,
+    method: str,
+    scale_name: str,
+    telemetry: bool = False,
+    seed: Optional[int] = None,
 ) -> RunResult:
     """One grid cell (module-level so it pickles for the process pool)."""
     scale = get_scale(scale_name)
     trace = get_workload(workload, scale)
-    seed = (BASE_SEED * 31 + stable_hash(f"{workload}|{method}")) & 0x7FFFFFFF
+    if seed is None:
+        seed = cell_seed(workload, method)
     return run_one(trace, method, scale, seed=seed, collect_telemetry=telemetry)
 
 
@@ -39,7 +59,10 @@ def _cell(
 def _grid_cached(scale_name: str, workloads: Tuple[str, ...],
                  methods: Tuple[str, ...], workers: Optional[int],
                  telemetry: bool = False) -> tuple:
-    tasks = [(w, m, scale_name, telemetry) for w in workloads for m in methods]
+    tasks = [
+        (w, m, scale_name, telemetry, cell_seed(w, m))
+        for w in workloads for m in methods
+    ]
     results = parallel_map(_cell, tasks, workers=workers)
     return tuple(results)
 
@@ -51,17 +74,65 @@ def run_grid(
     methods: Sequence[str] = METHODS_SECTION4,
     workers: Optional[int] = None,
     telemetry: bool = False,
+    ledger: Optional[os.PathLike | str] = None,
+    resume: bool = False,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 0,
 ) -> Grid:
     """All (workload, method) runs as a dictionary keyed by (workload, method).
 
     ``telemetry=True`` makes every cell collect a per-run
     :class:`~repro.telemetry.TelemetrySnapshot` (even when cells execute
     on pool workers); aggregate them with :func:`grid_telemetry`.
+
+    ``ledger`` switches to durable execution: each completed cell is
+    appended to the JSONL ledger as it finishes (bypassing the in-process
+    memoisation).  With ``resume=True`` cells already in the ledger for
+    this (scale, telemetry) configuration are returned without
+    recomputation; without it the ledger is truncated first.
+    ``task_timeout``/``task_retries`` are handed to
+    :func:`~repro.parallel.parallel_map` supervision; a cell that
+    exhausts its budget is recorded as a failure line (and re-dispatched
+    by the next ``resume=True`` run) before the
+    :class:`~repro.errors.TaskError` propagates.
     """
     sc = scale or get_scale()
-    results = _grid_cached(sc.name, tuple(workloads), tuple(methods), workers,
-                           telemetry)
-    return {(r.workload, r.method): r for r in results}
+    if ledger is None:
+        results = _grid_cached(sc.name, tuple(workloads), tuple(methods), workers,
+                               telemetry)
+        return {(r.workload, r.method): r for r in results}
+    book = ResultsLedger(ledger)
+    done: Grid = {}
+    if resume:
+        view = book.load(scale=sc.name, telemetry=telemetry)
+        done = {
+            key: result for key, result in view.results.items()
+            if key[0] in workloads and key[1] in methods
+        }
+    else:
+        book.reset()
+    todo = [(w, m) for w in workloads for m in methods if (w, m) not in done]
+    tasks = [(w, m, sc.name, telemetry, cell_seed(w, m)) for w, m in todo]
+
+    def persist(index: int, result: RunResult) -> None:
+        book.append_result(result, scale=sc.name, telemetry=telemetry,
+                           seed=tasks[index][4])
+
+    try:
+        fresh = parallel_map(
+            _cell, tasks, workers=workers, timeout=task_timeout,
+            retries=task_retries, on_result=persist,
+        )
+    except TaskError as exc:
+        workload, method = exc.task[0], exc.task[1]
+        book.append_failure(
+            workload=workload, method=method, scale=sc.name,
+            error=str(exc), attempts=exc.attempts,
+            traceback_text=exc.traceback_text,
+        )
+        raise
+    done.update({(r.workload, r.method): r for r in fresh})
+    return done
 
 
 def grid_telemetry(grid: Grid) -> TelemetrySnapshot:

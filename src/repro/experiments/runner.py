@@ -8,10 +8,13 @@ the trace's machine spec into a fresh cluster, selects the site base policy
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..backfill import EasyBackfill
+from ..checkpoint import CheckpointConfig, Checkpointer, load_checkpoint
+from ..errors import CheckpointError
 from ..methods import make_selector
 from ..policies import FCFS, WFP, PriorityPolicy
 from ..resilience import FaultInjector, FaultScenario, RetryPolicy, SolverWatchdog
@@ -78,6 +81,8 @@ def run_one(
     retry: Optional[RetryPolicy] = None,
     watchdog_budget: Optional[float] = None,
     collect_telemetry: bool = False,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume_from: Optional[str] = None,
 ) -> RunResult:
     """Simulate ``trace`` under ``method`` and evaluate all metrics.
 
@@ -93,45 +98,74 @@ def run_one(
     the snapshot pickles home).  When a tracer is already active in the
     process (e.g. the CLI's ``--trace``), the run records into it and the
     snapshot covers just this run's spans.
+
+    ``checkpoint`` snapshots the run per its
+    :class:`~repro.checkpoint.CheckpointConfig`; ``resume_from`` restores
+    a snapshotted engine and continues it instead of starting fresh (the
+    selector/fault/seed knobs above are baked into the snapshot, so their
+    arguments are ignored on resume — only the trace and method are
+    cross-checked against the checkpoint's manifest).  See
+    ``docs/checkpointing.md``.
     """
     sc = scale or get_scale()
-    scenario = faults if faults is not None else sc.faults
-    budget = watchdog_budget if watchdog_budget is not None else sc.watchdog_budget
-    selector = make_selector(
-        method,
-        generations=generations if generations is not None else sc.generations,
-        population=sc.population,
-        mutation=sc.mutation,
-        seed=seed if seed is not None else BASE_SEED ^ stable_hash(method) & 0xFFFF,
-    )
-    if budget is not None:
-        selector = SolverWatchdog(selector, budget)
-    injector = (
-        FaultInjector(scenario) if scenario is not None and scenario.enabled else None
-    )
-    engine = SchedulingEngine(
-        trace.machine.make_cluster(),
-        policy_for(trace),
-        selector,
-        WindowPolicy(
-            size=window if window is not None else sc.window,
-            starvation_bound=sc.starvation_bound,
-        ),
-        backfill=EasyBackfill(),
-        faults=injector,
-        retry=retry,
-    )
-    active = get_tracer()
-    if collect_telemetry and not active.enabled:
-        # Private tracer: isolates this run's spans (and works in workers,
-        # where the process-wide slot is at its NULL default).
-        with use_tracer(Tracer()) as tracer:
-            mark = tracer.mark()
-            result = engine.run(trace.fresh_jobs())
+    if resume_from is not None:
+        engine, header = load_checkpoint(resume_from)
+        meta = header["manifest"].get("meta", {})
+        for key, expected in (("workload", trace.name), ("method", method)):
+            recorded = meta.get(key)
+            if recorded is not None and recorded != expected:
+                raise CheckpointError(
+                    f"{resume_from}: checkpoint is for {key}={recorded!r}, "
+                    f"cannot resume it as {key}={expected!r}"
+                )
+        run_engine = lambda: engine.continue_run(checkpointer=checkpointer)  # noqa: E731
     else:
-        tracer = active
-        mark = tracer.mark() if tracer.enabled else 0
-        result = engine.run(trace.fresh_jobs())
+        scenario = faults if faults is not None else sc.faults
+        budget = watchdog_budget if watchdog_budget is not None else sc.watchdog_budget
+        selector = make_selector(
+            method,
+            generations=generations if generations is not None else sc.generations,
+            population=sc.population,
+            mutation=sc.mutation,
+            seed=seed if seed is not None else BASE_SEED ^ stable_hash(method) & 0xFFFF,
+        )
+        if budget is not None:
+            selector = SolverWatchdog(selector, budget)
+        injector = (
+            FaultInjector(scenario) if scenario is not None and scenario.enabled else None
+        )
+        engine = SchedulingEngine(
+            trace.machine.make_cluster(),
+            policy_for(trace),
+            selector,
+            WindowPolicy(
+                size=window if window is not None else sc.window,
+                starvation_bound=sc.starvation_bound,
+            ),
+            backfill=EasyBackfill(),
+            faults=injector,
+            retry=retry,
+        )
+        run_engine = lambda: engine.run(trace.fresh_jobs(), checkpointer=checkpointer)  # noqa: E731
+    checkpointer = None
+    if checkpoint is not None:
+        checkpointer = Checkpointer(checkpoint, meta={
+            "workload": trace.name, "method": method, "scale": sc.name,
+            "seed": seed if isinstance(seed, int) else None,
+        })
+    signal_scope = checkpointer.signals() if checkpointer is not None else nullcontext()
+    active = get_tracer()
+    with signal_scope:
+        if collect_telemetry and not active.enabled:
+            # Private tracer: isolates this run's spans (and works in workers,
+            # where the process-wide slot is at its NULL default).
+            with use_tracer(Tracer()) as tracer:
+                mark = tracer.mark()
+                result = run_engine()
+        else:
+            tracer = active
+            mark = tracer.mark() if tracer.enabled else 0
+            result = run_engine()
     telemetry = None
     if collect_telemetry or tracer.enabled:
         telemetry = snapshot_from(
@@ -149,7 +183,9 @@ def run_one(
         ssd_capacity=result.ssd_capacity,
     )
     resilience = None
-    if injector is not None or budget is not None:
+    # Derived from the engine (not the arguments) so resumed runs report
+    # resilience iff the snapshotted run was fault-injected or watchdogged.
+    if engine.faults is not None or isinstance(engine.selector, SolverWatchdog):
         resilience = compute_resilience_summary(
             result.jobs,
             result.recorder,

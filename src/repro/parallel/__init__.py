@@ -1,5 +1,11 @@
-"""Parallel execution helpers for experiment sweeps."""
+"""Parallel execution helpers for experiment sweeps.
 
-from .pool import default_workers, parallel_map
+:func:`parallel_map` is a *supervised* pool: per-attempt timeouts,
+bounded retries with backoff, worker-crash recovery, and a completion
+hook for durable incremental persistence (see
+:class:`repro.checkpoint.ResultsLedger`).
+"""
 
-__all__ = ["parallel_map", "default_workers"]
+from .pool import DEFAULT_POOL_BACKOFF, default_workers, parallel_map
+
+__all__ = ["DEFAULT_POOL_BACKOFF", "parallel_map", "default_workers"]

@@ -1,4 +1,4 @@
-"""Process-pool execution of experiment grids.
+"""Supervised process-pool execution of experiment grids.
 
 §3.2.2 notes the MOO solve "can be accelerated by leveraging parallel
 processing"; at the harness level the natural parallel axis is the
@@ -8,17 +8,57 @@ experiment grid itself — 80 independent (method, workload) simulations in
 to serial execution on single-core machines (``nproc==1``) or when
 ``workers=1`` — results are bit-identical either way because every task
 carries its own seed.
+
+The pool is *supervised*: a multi-hour grid must survive one wedged cell.
+
+* ``timeout`` bounds each attempt's wall-clock time; an overdue task is
+  abandoned and the wedged worker's pool is rebuilt so the slot comes
+  back (the hung process is terminated best-effort).
+* ``retries`` re-dispatches crashed, failed, or timed-out tasks with the
+  shared :class:`~repro.resilience.BackoffPolicy` damping successive
+  attempts.  A worker crash (``BrokenProcessPool``) fails *every* task in
+  flight on the broken pool, and the parent cannot tell the crasher from
+  its co-resident victims — so the first ``retries`` pool breaks are
+  free (nobody is charged an attempt) and only subsequent breaks charge
+  the broken tasks, which keeps a healthy victim from losing its budget
+  to a neighbour's crash while still bounding a crash-looping task.
+* Exhausting the budget raises :class:`~repro.errors.TaskError` carrying
+  the task index, its arguments, the attempt count, and the final
+  traceback, so a failed grid names its cell instead of a bare
+  exception from nowhere.
+* ``on_result`` fires in the parent as each task completes (completion
+  order, not input order) — the hook :mod:`repro.experiments.grid` uses
+  to persist cells to the results ledger the moment they exist.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TaskError
+from ..resilience import BackoffPolicy
 
 T = TypeVar("T")
+
+#: Wall-clock damping between re-dispatches of a failed task.  Much
+#: tighter than the simulated-time requeue default — a grid retry should
+#: not stall the harness for a minute.
+DEFAULT_POOL_BACKOFF = BackoffPolicy(initial=0.25, factor=2.0, max_delay=30.0)
 
 
 def default_workers() -> int:
@@ -27,12 +67,198 @@ def default_workers() -> int:
     if env is not None:
         try:
             n = int(env)
-        except ValueError:
-            raise ConfigurationError(f"REPRO_WORKERS={env!r} is not an integer")
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"REPRO_WORKERS={env!r} is not an integer"
+            ) from exc
         if n < 1:
             raise ConfigurationError("REPRO_WORKERS must be >= 1")
         return n
     return max((os.cpu_count() or 1) - 1, 1)
+
+
+def _format_exception(exc: BaseException) -> str:
+    return "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+
+
+def _task_error(
+    index: int,
+    task: Tuple[Any, ...],
+    attempts: int,
+    exc: Optional[BaseException] = None,
+    reason: Optional[str] = None,
+) -> TaskError:
+    detail = reason if reason is not None else f"{type(exc).__name__}: {exc}"
+    return TaskError(
+        f"task {index} {tuple(task)!r} failed after {attempts} attempt(s): {detail}",
+        index=index,
+        task=tuple(task),
+        attempts=attempts,
+        traceback_text=_format_exception(exc) if exc is not None else "",
+    )
+
+
+def _serial_map(
+    fn: Callable[..., T],
+    tasks: Sequence[Tuple[Any, ...]],
+    retries: int,
+    backoff: BackoffPolicy,
+    on_result: Optional[Callable[[int, T], None]],
+) -> List[T]:
+    results: List[T] = []
+    for index, task in enumerate(tasks):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value = fn(*task)
+            except Exception as exc:
+                if attempts > retries:
+                    raise _task_error(index, task, attempts, exc) from exc
+                time.sleep(backoff.delay(attempts))
+            else:
+                results.append(value)
+                if on_result is not None:
+                    on_result(index, value)
+                break
+    return results
+
+
+def _shutdown(pool: ProcessPoolExecutor, *, terminate: bool) -> None:
+    """Stop a pool; optionally terminate its workers (wedged/abandoned).
+
+    ``_processes`` is executor-internal, but terminating a provably hung
+    worker is the whole point of supervision — guarded so a stdlib
+    layout change degrades to abandonment instead of crashing.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=not terminate, cancel_futures=terminate)
+    if terminate:
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already-dead worker
+                pass
+
+
+def _supervised_map(
+    fn: Callable[..., T],
+    tasks: Sequence[Tuple[Any, ...]],
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: BackoffPolicy,
+    on_result: Optional[Callable[[int, T], None]],
+) -> List[T]:
+    n = len(tasks)
+    results: List[Optional[T]] = [None] * n
+    attempts = [0] * n
+    pending: deque = deque(range(n))
+    waiting: List[Tuple[float, int]] = []   # (ready_at, index) retry queue
+    inflight: Dict[Future, Tuple[int, Optional[float]]] = {}  # future → (index, deadline)
+    pool_breaks = 0
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(index: int) -> None:
+        attempts[index] += 1
+        future = pool.submit(fn, *tasks[index])
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        inflight[future] = (index, deadline)
+
+    def retry_or_raise(index: int, exc: Optional[BaseException] = None,
+                       reason: Optional[str] = None) -> None:
+        if attempts[index] > retries:
+            raise _task_error(index, tasks[index], attempts[index], exc, reason) from exc
+        waiting.append((time.monotonic() + backoff.delay(attempts[index]), index))
+
+    def requeue_free(index: int) -> None:
+        attempts[index] -= 1
+        pending.append(index)
+
+    def rebuild_pool() -> None:
+        # The wedged/dead pool's healthy in-flight tasks are victims,
+        # not causes: requeue them immediately without charging attempts.
+        nonlocal pool
+        for future, (index, _) in inflight.items():
+            future.cancel()
+            requeue_free(index)
+        inflight.clear()
+        _shutdown(pool, terminate=True)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    failed = False
+    try:
+        while pending or waiting or inflight:
+            now = time.monotonic()
+            if waiting:
+                due = [index for ready_at, index in waiting if ready_at <= now]
+                if due:
+                    waiting[:] = [w for w in waiting if w[0] > now]
+                    pending.extend(due)
+            while pending and len(inflight) < workers:
+                submit(pending.popleft())
+            if not inflight:
+                # Nothing running: sleep until the earliest retry matures.
+                time.sleep(max(0.0, min(r for r, _ in waiting) - time.monotonic()))
+                continue
+            wake: Optional[float] = None
+            deadlines = [d for _, d in inflight.values() if d is not None]
+            if deadlines:
+                wake = max(0.0, min(deadlines) - now)
+            if waiting:
+                next_retry = max(0.0, min(r for r, _ in waiting) - now)
+                wake = next_retry if wake is None else min(wake, next_retry)
+            done, _ = wait(set(inflight), timeout=wake, return_when=FIRST_COMPLETED)
+            broken: List[Tuple[int, BrokenProcessPool]] = []
+            for future in done:
+                index, _ = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool as exc:
+                    broken.append((index, exc))
+                except Exception as exc:
+                    retry_or_raise(index, exc=exc)
+                else:
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+            if broken:
+                # A dead worker fails every in-flight future, and the
+                # parent cannot tell the crasher from its victims: the
+                # first `retries` breaks charge nobody, later ones
+                # charge every broken task (bounding a crash loop).
+                charge = pool_breaks >= retries
+                pool_breaks += 1
+                for index, exc in broken:
+                    if charge:
+                        retry_or_raise(index, exc=exc,
+                                       reason="worker process died mid-task")
+                    else:
+                        requeue_free(index)
+                rebuild_pool()
+                continue
+            now = time.monotonic()
+            overdue = [
+                (future, index)
+                for future, (index, deadline) in inflight.items()
+                if deadline is not None and now >= deadline
+            ]
+            if overdue:
+                wedged = False
+                for future, index in overdue:
+                    del inflight[future]
+                    if not future.cancel():
+                        wedged = True  # already running → that worker is hung
+                    retry_or_raise(
+                        index, reason=f"attempt exceeded timeout of {timeout}s")
+                if wedged:
+                    rebuild_pool()
+        return results  # type: ignore[return-value]  # every slot filled
+    except BaseException:
+        failed = True
+        raise
+    finally:
+        _shutdown(pool, terminate=failed)
 
 
 def parallel_map(
@@ -40,17 +266,56 @@ def parallel_map(
     tasks: Sequence[Tuple[Any, ...]],
     *,
     workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: Optional[BackoffPolicy] = None,
+    on_result: Optional[Callable[[int, T], None]] = None,
 ) -> List[T]:
     """Apply ``fn(*task)`` to every task, preserving input order.
 
     ``fn`` and all task elements must be picklable when ``workers > 1``.
-    Exceptions propagate from the first failing task.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock seconds allowed per attempt.  Overdue tasks count as
+        failed attempts; the wedged worker is abandoned and its pool
+        rebuilt.  Unenforceable in serial mode (``workers=1`` cannot
+        pre-empt itself) and therefore ignored there.
+    retries:
+        Extra attempts after the first for a crashed, raising, or
+        timed-out task.  ``0`` preserves fail-fast semantics.  Worker
+        crashes fail every task in flight on the broken pool; the first
+        ``retries`` pool breaks charge no attempts (the crasher cannot
+        be told from its victims), later breaks charge every broken
+        task.
+    backoff:
+        Delay schedule between attempts of one task
+        (:data:`DEFAULT_POOL_BACKOFF` when None).
+    on_result:
+        ``on_result(index, result)`` runs in the parent as each task
+        completes — in *completion* order — for durable incremental
+        persistence (see the results ledger).
+
+    Raises
+    ------
+    TaskError
+        When a task exhausts its attempt budget; carries the failing
+        index, arguments, attempt count, and worker traceback.  Tasks
+        already completed will have reached ``on_result``.
     """
     n = workers if workers is not None else default_workers()
     if n < 1:
         raise ConfigurationError(f"workers must be >= 1, got {n}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be positive, got {timeout}")
+    schedule = backoff if backoff is not None else DEFAULT_POOL_BACKOFF
+    if not tasks:
+        return []
     if n == 1 or len(tasks) <= 1:
-        return [fn(*task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(n, len(tasks))) as pool:
-        futures = [pool.submit(fn, *task) for task in tasks]
-        return [f.result() for f in futures]
+        return _serial_map(fn, tasks, retries, schedule, on_result)
+    return _supervised_map(
+        fn, tasks, min(n, len(tasks)), timeout, retries, schedule, on_result
+    )

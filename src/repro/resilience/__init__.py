@@ -10,6 +10,7 @@ an engine without an injector (and selectors without a watchdog) behaves
 byte-identically to the fault-free simulator.
 """
 
+from .backoff import BackoffPolicy
 from .faults import (
     SCENARIOS,
     BBDegrade,
@@ -27,6 +28,7 @@ from .watchdog import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "FaultScenario",
     "FaultInjector",
     "NodeFailure",

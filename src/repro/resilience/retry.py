@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from .backoff import BackoffPolicy
 
 
 @dataclass(frozen=True)
@@ -44,16 +45,12 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"max_attempts must be non-negative, got {self.max_attempts}"
             )
-        if self.backoff < 0:
-            raise ConfigurationError(f"backoff must be non-negative, got {self.backoff}")
-        if self.backoff_factor < 1.0:
-            raise ConfigurationError(
-                f"backoff_factor must be >= 1, got {self.backoff_factor}"
-            )
-        if self.max_backoff < self.backoff:
-            raise ConfigurationError(
-                f"max_backoff {self.max_backoff} < backoff {self.backoff}"
-            )
+        # Delegating to the shared schedule also validates the knobs
+        # (non-negative initial, factor >= 1, clamp >= initial).
+        object.__setattr__(self, "_schedule", BackoffPolicy(
+            initial=self.backoff, factor=self.backoff_factor,
+            max_delay=self.max_backoff,
+        ))
 
     def should_retry(self, attempts: int) -> bool:
         """May a job that has been killed ``attempts`` times run again?"""
@@ -63,4 +60,4 @@ class RetryPolicy:
         """Backoff before the ``attempts``-th requeue (``attempts >= 1``)."""
         if attempts < 1:
             raise ConfigurationError(f"requeue_delay needs attempts >= 1, got {attempts}")
-        return min(self.backoff * self.backoff_factor ** (attempts - 1), self.max_backoff)
+        return self._schedule.delay(attempts)

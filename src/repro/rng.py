@@ -10,6 +10,7 @@ a trace does not perturb the GA's random stream.
 
 from __future__ import annotations
 
+import copy
 import zlib
 from typing import Union
 
@@ -41,6 +42,23 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """A deep, picklable snapshot of a generator's internal state.
+
+    Together with :func:`restore_rng_state` this is the currency of
+    checkpoint/resume (:mod:`repro.checkpoint`): capturing the state of a
+    long-lived stream (e.g. a selector's GA generator) and restoring it
+    later continues the stream exactly where it left off, which is what
+    makes a resumed simulation byte-identical to an uninterrupted one.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Rewind ``rng`` to a state captured with :func:`rng_state`."""
+    rng.bit_generator.state = copy.deepcopy(state)
 
 
 def split_rng(seed: SeedLike, n: int, *, salt: int = 0) -> list[np.random.Generator]:

@@ -201,6 +201,7 @@ class SchedulingEngine:
         self._tracer = NULL_TRACER  # rebound from the active tracer in run()
         # --- run state -------------------------------------------------------
         self._events = EventQueue()
+        self._jobs: Optional[List[Job]] = None
         self._queue: List[Job] = []
         self._running: Dict[int, Job] = {}
         self._completed: Set[int] = set()
@@ -214,9 +215,53 @@ class SchedulingEngine:
         #: job id → EventQueue token of its pending JOB_END (for fault kills)
         self._end_tokens: Dict[int, int] = {}
 
+    # --- pickling (checkpoint/resume) ---------------------------------------------
+    # A mid-run engine is the unit :mod:`repro.checkpoint` persists: every
+    # piece of run state above is plain picklable data (jobs, events,
+    # recorder, metrics, RNG-bearing selector/injector).  The one exception
+    # is the active tracer — it holds thread-local nesting state and a lock
+    # — so it is dropped on save and rebound from the process's active
+    # tracer when the restored engine continues.
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        state["_tracer"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._tracer = NULL_TRACER
+
+    # --- run-state introspection (checkpoint manifests, progress displays) --------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds since trace epoch)."""
+        return self._now
+
+    @property
+    def jobs_total(self) -> int:
+        """Number of jobs in the trace being simulated (0 before run())."""
+        return len(self._jobs) if self._jobs is not None else 0
+
+    @property
+    def jobs_terminal(self) -> int:
+        """Jobs that reached a terminal state (completed or abandoned)."""
+        return self._terminal
+
+    @property
+    def events_pending(self) -> int:
+        """Live events still queued."""
+        return len(self._events)
+
     # --- public API ---------------------------------------------------------------
-    def run(self, jobs: Sequence[Job]) -> SimulationResult:
-        """Simulate the full trace; returns when every job has completed."""
+    def run(self, jobs: Sequence[Job], *, checkpointer=None) -> SimulationResult:
+        """Simulate the full trace; returns when every job has completed.
+
+        ``checkpointer`` (a :class:`repro.checkpoint.Checkpointer`) is
+        polled once per event-batch boundary — the only instants at which
+        engine state is internally consistent — and may persist a snapshot
+        or stop the run by raising
+        :class:`~repro.errors.SimulationInterrupted`.
+        """
         jobs = list(jobs)
         ids = {j.jid for j in jobs}
         if len(ids) != len(jobs):
@@ -231,6 +276,7 @@ class SchedulingEngine:
                     f"({job.nodes} nodes, {job.bb}GB BB, {job.ssd}GB/node SSD)"
                 )
             self._events.push(Event(job.submit_time, EventType.JOB_SUBMIT, job))
+        self._jobs = jobs
         if self.faults is not None:
             self._recorder.observe_capacity(
                 0.0, self.cluster.nodes_online, self.cluster.bb_online
@@ -240,9 +286,26 @@ class SchedulingEngine:
             fail_at = self.faults.next_job_fail(0.0)
             if fail_at is not None:
                 self._events.push(Event(fail_at, EventType.JOB_FAIL))
+        return self._run_loop(checkpointer)
+
+    def continue_run(self, *, checkpointer=None) -> SimulationResult:
+        """Resume a restored mid-run engine until the trace completes.
+
+        Only valid on an engine that was priming/running when it was
+        snapshotted (i.e. one loaded by
+        :func:`repro.checkpoint.load_checkpoint`); the event loop picks up
+        exactly where the snapshot froze it.
+        """
+        if self._jobs is None:
+            raise SchedulingError("continue_run() needs a primed engine; call run()")
+        return self._run_loop(checkpointer)
+
+    def _run_loop(self, checkpointer=None) -> SimulationResult:
         # With faults the event stream regenerates itself indefinitely, so
         # the loop also stops once every job is terminal (completed or
         # abandoned); without faults both conditions empty simultaneously.
+        jobs = self._jobs
+        assert jobs is not None
         self._tracer = get_tracer()
         metrics = self.metrics
         with self._tracer.span(
@@ -260,6 +323,10 @@ class SchedulingEngine:
                     changed |= self._process(event)
                 if changed:
                     self._schedule_pass(t)
+                if checkpointer is not None:
+                    # Batch boundary: every event at t is applied and the
+                    # scheduling pass has run — a consistent snapshot point.
+                    checkpointer.after_batch(self)
             loop_span.set(makespan=self._now, events=metrics.counter("engine.events").value)
         self._stats.fallback_calls = getattr(self.selector, "fallback_calls", 0)
         metrics.counter("engine.solver_fallbacks").inc(self._stats.fallback_calls)

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
@@ -66,11 +65,16 @@ class EventQueue:
     order.  Cancellation is supported lazily via :meth:`cancel` (entries are
     tombstoned and skipped on pop), which the engine uses to coalesce
     redundant SCHEDULE events.
+
+    The queue is deliberately built from plain picklable data (the token
+    counter is an int, not an ``itertools.count``) so a mid-run engine
+    snapshot — event queue included — round-trips through ``pickle``
+    byte-exactly (see :mod:`repro.checkpoint`).
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._counter = itertools.count()
+        self._next_token = 0
         self._cancelled: set[int] = set()
         self._live = 0
 
@@ -82,7 +86,8 @@ class EventQueue:
 
     def push(self, event: Event) -> int:
         """Insert ``event``; returns a token usable with :meth:`cancel`."""
-        token = next(self._counter)
+        token = self._next_token
+        self._next_token += 1
         heapq.heappush(self._heap, (event.time, int(event.etype), token, event))
         self._live += 1
         return token

@@ -64,3 +64,60 @@ class TestSimulate:
 
     def test_unknown_method(self, capsys):
         assert main(["simulate", "Theta-S2", "Sorcery"]) == 1
+
+
+class TestSimulateCheckpoint:
+    def test_checkpoint_written_and_resumable(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main(["simulate", "Theta-S4", "Baseline", "--scale", "smoke",
+                     "--checkpoint", str(ckpt), "--checkpoint-every", "2"]) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(["simulate", "Theta-S4", "Baseline", "--scale", "smoke",
+                     "--resume-from", str(ckpt)]) == 0
+        assert "node usage" in capsys.readouterr().out
+
+    def test_resume_from_missing_file(self, tmp_path, capsys):
+        assert main(["simulate", "Theta-S4", "Baseline", "--scale", "smoke",
+                     "--resume-from", str(tmp_path / "nope.ckpt")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_accepts_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "Theta-S4", "BBSched", "--checkpoint", "x.ckpt",
+             "--checkpoint-every", "0.5", "--resume-from", "y.ckpt"])
+        assert args.checkpoint == "x.ckpt"
+        assert args.checkpoint_every == 0.5
+        assert args.resume_from == "y.ckpt"
+
+
+class TestGrid:
+    def test_grid_subset(self, capsys):
+        assert main(["grid", "--scale", "smoke", "--workloads", "Theta-S4",
+                     "--methods", "Baseline,BBSched", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "node_usage" in out
+        assert "BBSched" in out
+
+    def test_grid_ledger_resume(self, tmp_path, capsys):
+        ledger = tmp_path / "grid.jsonl"
+        argv = ["grid", "--scale", "smoke", "--workloads", "Theta-S4",
+                "--methods", "Baseline", "--workers", "1",
+                "--ledger", str(ledger)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert ledger.exists()
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_requires_ledger(self, capsys):
+        assert main(["grid", "--scale", "smoke", "--resume"]) == 2
+        assert "--ledger" in capsys.readouterr().err
+
+    def test_grid_custom_metric(self, capsys):
+        assert main(["grid", "--scale", "smoke", "--workloads", "Theta-S4",
+                     "--methods", "Baseline", "--workers", "1",
+                     "--metric", "avg_slowdown"]) == 0
+        out = capsys.readouterr().out
+        assert "avg_slowdown" in out
+        assert "node_usage" not in out

@@ -1,11 +1,16 @@
-"""Process-pool sweep execution."""
+"""Process-pool sweep execution and supervision."""
 
 import os
+import time
 
 import pytest
 
-from repro.errors import ConfigurationError
-from repro.parallel import default_workers, parallel_map
+from repro.errors import ConfigurationError, TaskError
+from repro.parallel import DEFAULT_POOL_BACKOFF, default_workers, parallel_map
+from repro.resilience import BackoffPolicy
+
+#: Fast wall-clock backoff so retry tests don't sleep for real.
+FAST = BackoffPolicy(initial=0.01, factor=1.0, max_delay=0.01)
 
 
 def square(x):
@@ -20,6 +25,25 @@ def boom(x):
     raise ValueError(f"boom {x}")
 
 
+def crash(x):
+    os._exit(17)  # kills the worker process outright
+
+
+def nap(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def flaky(path, x):
+    """Fails on first invocation, succeeds on the second (marker file)."""
+    marker = f"{path}/attempt_{x}"
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("1")
+        raise ValueError(f"first attempt {x}")
+    return x * x
+
+
 class TestDefaultWorkers:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")
@@ -27,8 +51,10 @@ class TestDefaultWorkers:
 
     def test_env_invalid(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as excinfo:
             default_workers()
+        # The chained context names the real parse failure.
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_env_nonpositive(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "0")
@@ -58,13 +84,132 @@ class TestParallelMap:
     def test_single_task_stays_serial(self):
         assert parallel_map(square, [(5,)], workers=8) == [25]
 
-    def test_exception_propagates(self):
-        with pytest.raises(ValueError):
-            parallel_map(boom, [(1,)], workers=1)
-
     def test_invalid_workers(self):
         with pytest.raises(ConfigurationError):
             parallel_map(square, [(1,)], workers=0)
 
+    def test_invalid_retries(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [(1,)], workers=1, retries=-1)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [(1,)], workers=1, timeout=0.0)
+
     def test_empty(self):
         assert parallel_map(square, [], workers=1) == []
+
+
+class TestFailureContext:
+    """A failing task must name itself, not raise from nowhere."""
+
+    def test_serial_wraps_with_task_context(self):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(boom, [(1,)], workers=1)
+        err = excinfo.value
+        assert err.index == 0
+        assert err.task == (1,)
+        assert err.attempts == 1
+        assert "boom 1" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_parallel_wraps_with_task_context(self):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(boom, [(7,), (8,)], workers=2)
+        err = excinfo.value
+        assert err.task in ((7,), (8,))
+        assert "boom" in err.traceback_text
+
+    def test_seed_visible_in_task(self):
+        # Grid tasks carry their seed as an argument; the error exposes it.
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(boom, [(1234,)], workers=1)
+        assert excinfo.value.task == (1234,)
+
+
+class TestRetries:
+    def test_serial_retry_succeeds(self, tmp_path):
+        results = parallel_map(flaky, [(str(tmp_path), 3)], workers=1,
+                               retries=1, backoff=FAST)
+        assert results == [9]
+
+    def test_parallel_retry_succeeds(self, tmp_path):
+        tasks = [(str(tmp_path), 2), (str(tmp_path), 3)]
+        results = parallel_map(flaky, tasks, workers=2, retries=2, backoff=FAST)
+        assert results == [4, 9]
+
+    def test_retry_budget_exhausted(self):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(boom, [(5,)], workers=1, retries=2, backoff=FAST)
+        assert excinfo.value.attempts == 3
+
+    def test_crashed_worker_is_retried(self, tmp_path):
+        # One task crashes its worker once, then succeeds; a healthy task
+        # rides along and must survive the pool rebuild unharmed.
+        results = parallel_map(
+            crash_once, [(str(tmp_path), 6), (str(tmp_path), 0)],
+            workers=2, retries=1, backoff=FAST)
+        assert results == [36, 0]
+
+    def test_crashed_worker_exhausts_budget(self):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(crash, [(1,), (2,)], workers=2, retries=0,
+                         backoff=FAST)
+        assert "died" in str(excinfo.value)
+
+
+def crash_once(path, x):
+    """Crashes the worker on first invocation, then returns x*x."""
+    marker = f"{path}/crash_{x}"
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("1")
+        os._exit(17)
+    return x * x
+
+
+class TestTimeouts:
+    def test_hung_task_times_out(self):
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(nap, [(0.01,), (5.0,)], workers=2,
+                         timeout=0.5, backoff=FAST)
+        assert "timeout" in str(excinfo.value)
+        assert excinfo.value.task == (5.0,)
+
+    def test_fast_tasks_unaffected_by_timeout(self):
+        assert parallel_map(square, [(1,), (2,), (3,)], workers=2,
+                            timeout=30.0) == [1, 4, 9]
+
+
+class TestOnResult:
+    def test_serial_on_result_order(self):
+        seen = []
+        parallel_map(square, [(1,), (2,), (3,)], workers=1,
+                     on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    def test_parallel_on_result_complete_coverage(self):
+        seen = {}
+        parallel_map(square, [(i,) for i in range(8)], workers=2,
+                     on_result=lambda i, r: seen.__setitem__(i, r))
+        assert seen == {i: i * i for i in range(8)}
+
+    def test_on_result_fires_before_failure_propagates(self):
+        # Completed tasks are persisted even when a later one fails.
+        seen = []
+        with pytest.raises(TaskError):
+            parallel_map(boom_on_zero, [(1,), (2,), (0,)], workers=1,
+                         on_result=lambda i, r: seen.append(i))
+        assert seen == [0, 1]
+
+
+def boom_on_zero(x):
+    if x == 0:
+        raise ValueError("zero")
+    return x
+
+
+class TestBackoffDefaults:
+    def test_default_pool_backoff_is_wall_clock_scale(self):
+        assert DEFAULT_POOL_BACKOFF.initial < 1.0
+        assert DEFAULT_POOL_BACKOFF.delay(1) == DEFAULT_POOL_BACKOFF.initial

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Integrity check for repro checkpoint files and results ledgers.
+
+Stdlib-only, so CI can audit durability artifacts without installing the
+package.  Exit status 0 means the file is well-formed; any violation
+prints a diagnostic and exits 1.
+
+Usage::
+
+    python tools/validate_checkpoint.py FILE [--kind auto|checkpoint|ledger]
+                                             [--expect-workload NAME]
+                                             [--expect-method NAME]
+                                             [--min-cells N]
+
+A *checkpoint* is one JSON header line (magic, format version, payload
+length, payload SHA-256, run manifest) followed by a binary payload; the
+validator re-hashes the payload, so truncation and corruption both fail.
+A *ledger* is JSONL of completed grid cells whose base64 payloads are
+individually hashed; a truncated final line (SIGKILL mid-append) is
+reported but tolerated, matching the loader's semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import hashlib
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+MAGIC = "repro-ckpt"
+FORMAT_VERSION = 1
+LEDGER_VERSION = 1
+MANIFEST_FIELDS = ("sim_time", "jobs_total", "jobs_terminal",
+                   "events_pending", "created_unix", "meta")
+
+
+class ValidationFailure(Exception):
+    """An integrity violation, with enough context to locate it."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValidationFailure(message)
+
+
+# --- checkpoint files --------------------------------------------------------
+def validate_checkpoint(path: str) -> Dict[str, Any]:
+    """Validate one checkpoint file; returns its header."""
+    with open(path, "rb") as fh:
+        line = fh.readline(1 << 20)
+        payload = fh.read()
+    _require(line.endswith(b"\n"), "truncated header (no newline in first 1MiB)")
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValidationFailure(f"header is not valid JSON ({exc})") from None
+    _require(isinstance(header, dict), "header must be a JSON object")
+    _require(header.get("magic") == MAGIC,
+             f"bad magic {header.get('magic')!r} (want {MAGIC!r})")
+    _require(header.get("version") == FORMAT_VERSION,
+             f"format version {header.get('version')!r}, validator reads "
+             f"{FORMAT_VERSION}")
+    _require(isinstance(header.get("payload_bytes"), int),
+             "'payload_bytes' missing or not an integer")
+    _require(isinstance(header.get("payload_sha256"), str),
+             "'payload_sha256' missing or not a string")
+    manifest = header.get("manifest")
+    _require(isinstance(manifest, dict), "'manifest' missing or not an object")
+    for field in MANIFEST_FIELDS:
+        _require(field in manifest, f"manifest missing field {field!r}")
+    _require(isinstance(manifest["meta"], dict), "manifest 'meta' must be an object")
+    for field in ("sim_time", "created_unix"):
+        value = manifest[field]
+        _require(isinstance(value, (int, float)) and value >= 0,
+                 f"manifest {field!r} must be a non-negative number, got {value!r}")
+    for field in ("jobs_total", "jobs_terminal", "events_pending"):
+        value = manifest[field]
+        _require(isinstance(value, int) and value >= 0,
+                 f"manifest {field!r} must be a non-negative integer, got {value!r}")
+    _require(manifest["jobs_terminal"] <= manifest["jobs_total"],
+             "manifest has more terminal jobs than total jobs")
+    _require(len(payload) == header["payload_bytes"],
+             f"payload is {len(payload)} bytes, header promised "
+             f"{header['payload_bytes']} (truncated write?)")
+    digest = hashlib.sha256(payload).hexdigest()
+    _require(digest == header["payload_sha256"],
+             "payload SHA-256 mismatch (corrupt checkpoint)")
+    return header
+
+
+# --- results ledgers ---------------------------------------------------------
+def validate_ledger(path: str) -> Tuple[int, int, int]:
+    """Validate a ledger; returns (cells, failures, dropped_tail)."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+    cells = failures = dropped = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        where = f"line {i + 1}"
+        last = i == len(lines) - 1
+        try:
+            record = json.loads(line)
+            _require(isinstance(record, dict), f"{where}: record must be an object")
+            kind = record.get("kind")
+            _require(kind in ("cell", "failure"),
+                     f"{where}: unknown record kind {kind!r}")
+            _require(record.get("version") == LEDGER_VERSION,
+                     f"{where}: ledger version {record.get('version')!r}")
+            for field in ("workload", "method", "scale"):
+                _require(isinstance(record.get(field), str) and record[field],
+                         f"{where}: needs non-empty string {field!r}")
+            if kind == "failure":
+                _require(isinstance(record.get("attempts"), int),
+                         f"{where}: failure needs integer 'attempts'")
+                failures += 1
+                continue
+            payload = base64.b64decode(record.get("payload", ""), validate=True)
+            _require(
+                hashlib.sha256(payload).hexdigest() == record.get("payload_sha256"),
+                f"{where}: cell payload SHA-256 mismatch")
+            cells += 1
+        except (ValidationFailure, ValueError) as exc:
+            if last:
+                # SIGKILL mid-append can only damage the final line; the
+                # loader drops it and recomputes that cell.
+                dropped = 1
+                continue
+            if isinstance(exc, ValidationFailure):
+                raise
+            raise ValidationFailure(f"{where}: {exc}") from None
+    _require(cells + failures + dropped > 0, "empty ledger")
+    return cells, failures, dropped
+
+
+def detect_kind(path: str) -> str:
+    with open(path, "rb") as fh:
+        first = fh.readline(1 << 20)
+    try:
+        record = json.loads(first.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return "checkpoint"  # binary tail ⇒ let the checkpoint path diagnose
+    if isinstance(record, dict) and record.get("magic") == MAGIC:
+        return "checkpoint"
+    return "ledger"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="checkpoint or ledger file to validate")
+    parser.add_argument("--kind", default="auto",
+                        choices=("auto", "checkpoint", "ledger"))
+    parser.add_argument("--expect-workload", default=None, metavar="NAME",
+                        help="require the checkpoint manifest to name this workload")
+    parser.add_argument("--expect-method", default=None, metavar="NAME",
+                        help="require the checkpoint manifest to name this method")
+    parser.add_argument("--min-cells", type=int, default=0, metavar="N",
+                        help="require at least N valid cell records in a ledger")
+    args = parser.parse_args(argv)
+    try:
+        kind = args.kind if args.kind != "auto" else detect_kind(args.file)
+        if kind == "checkpoint":
+            header = validate_checkpoint(args.file)
+            meta = header["manifest"]["meta"]
+            for key, expected in (("workload", args.expect_workload),
+                                  ("method", args.expect_method)):
+                if expected is not None and meta.get(key) != expected:
+                    raise ValidationFailure(
+                        f"manifest {key}={meta.get(key)!r}, expected {expected!r}")
+            manifest = header["manifest"]
+            print(f"OK {args.file} (checkpoint): "
+                  f"{header['payload_bytes']} payload bytes, "
+                  f"sim_time={manifest['sim_time']:.0f}s, "
+                  f"jobs {manifest['jobs_terminal']}/{manifest['jobs_total']} "
+                  f"terminal, {manifest['events_pending']} events pending")
+            if meta:
+                print("  meta: " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+        else:
+            cells, failures, dropped = validate_ledger(args.file)
+            if cells < args.min_cells:
+                raise ValidationFailure(
+                    f"only {cells} valid cell(s), expected >= {args.min_cells}")
+            tail = ", truncated tail dropped" if dropped else ""
+            print(f"OK {args.file} (ledger): {cells} cells, "
+                  f"{failures} failure records{tail}")
+    except ValidationFailure as exc:
+        print(f"INVALID {args.file}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"ERROR: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
