@@ -10,8 +10,6 @@ approximate the true front.
 Run:  python examples/ga_walkthrough.py
 """
 
-import numpy as np
-
 from repro import ExhaustiveSolver, Job, MOGASolver, SelectionProblem
 from repro.core.pareto import non_dominated_mask
 from repro.units import TB
@@ -36,18 +34,18 @@ class NarratingSolver(MOGASolver):
         self._every = every
         self._generation = 0
 
-    def _select(self, genes, objectives, ages, rng):
-        kept_genes, kept_ages = super()._select(genes, objectives, ages, rng)
+    def _survivors(self, genes, objectives, ages, rng, keys=None):
+        keep = super()._survivors(genes, objectives, ages, rng, keys)
         if self._generation % self._every == 0:
-            F = self._problem.evaluate(kept_genes)
+            F = objectives[keep]
             front = non_dominated_mask(F)
             print(f"generation {self._generation}:")
-            for g, (f1, f2), on_front in zip(kept_genes, F, front):
+            for g, (f1, f2), on_front in zip(genes[keep], F, front):
                 mark = "*" if on_front else " "
                 print(f"  {mark} {''.join(map(str, g))}  "
                       f"nodes {f1 / NODES:5.0%}  BB {f2 / BB:5.0%}")
         self._generation += 1
-        return kept_genes, kept_ages
+        return keep
 
 
 def main() -> None:

@@ -249,7 +249,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 with signal_scope:
                     result = exp.run_one(trace, args.method, scale, seed=args.seed,
                                          retry=retry, checkpoint=checkpoint,
-                                         resume_from=args.resume_from)
+                                         resume_from=args.resume_from,
+                                         eval_cache=not args.no_eval_cache)
             except SimulationInterrupted as exc:
                 # Orderly signal path: the final checkpoint is already on
                 # disk; flush exporters and exit with the signal's code.
@@ -392,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("method", help="e.g. BBSched")
     p_sim.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--no-eval-cache", action="store_true",
+                       help="disable the GA evaluation memo (slower reference "
+                            "path; results are byte-identical either way)")
     p_sim.add_argument("--faults", default=None, choices=sorted(SCENARIOS),
                        help="named fault scenario to inject")
     p_sim.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",

@@ -38,6 +38,11 @@ class BBSchedSelector(Selector):
         when the cluster exposes SSD tiers.  Pass explicitly to override.
     seed:
         Seed for the GA's random stream (one stream across invocations).
+    eval_cache:
+        Memoize GA objective evaluations (byte-identical results, see
+        :mod:`repro.core.evalcache`); ``False`` is the reference path.
+    fast_repair:
+        Opt into the vectorized (RNG-order-changing) repair mode.
     """
 
     name = "BBSched"
@@ -50,6 +55,8 @@ class BBSchedSelector(Selector):
         selection: str = "age",
         decision: Optional[DecisionRule] = None,
         seed: SeedLike = None,
+        eval_cache: bool = True,
+        fast_repair: bool = False,
     ) -> None:
         super().__init__()
         self.solver = MOGASolver(
@@ -58,9 +65,20 @@ class BBSchedSelector(Selector):
             mutation=mutation,
             selection=selection,
             seed=None,
+            eval_cache=eval_cache,
+            fast_repair=fast_repair,
         )
         self.decision = decision
         self._rng = make_rng(seed)
+
+    @property
+    def eval_cache_stats(self):
+        """Solver cache counters (``None`` when caching is disabled).
+
+        The engine harvests these at end of run into the
+        ``ga.eval_cache.*`` telemetry counters.
+        """
+        return self.solver.eval_cache_stats
 
     def build_problem(self, window: Sequence[Job], avail: Available) -> MOOProblem:
         """Formulate the MOO problem for the current invocation."""

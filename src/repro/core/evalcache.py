@@ -1,0 +1,139 @@
+"""Memoized population evaluation for the GA hot loop.
+
+Every generation of :class:`~repro.core.ga.MOGASolver` evaluates a pooled
+``(2P, w)`` population of which the ``P`` parent rows were already scored
+last generation, and crossover routinely reproduces chromosomes seen many
+generations ago.  :class:`EvaluationCache` memoizes objective rows keyed by
+the chromosome's raw bytes so each distinct chromosome is evaluated exactly
+once per solve; duplicate rows *within* one batch are also collapsed to a
+single evaluation.
+
+Byte-identity contract
+----------------------
+The cache may only change *when* a chromosome is evaluated, never the
+values: assembling cached rows must reproduce what one big
+``problem.evaluate`` call would have returned for the same matrix.  That
+holds because the problems' evaluation kernels are *row-subset stable* —
+each output row depends only on its own input row and is computed by
+per-row reductions (``np.einsum`` / the SSD assignment sweep), not by a
+blocked BLAS matmul whose per-row results shift with the batch size.
+``tests/test_differential.py`` pins this end-to-end.
+
+Because every chromosome enters the store *after* repair, store membership
+doubles as a known-feasible certificate: the solver skips re-checking
+feasibility for children that are byte-identical to an already-scored
+chromosome (see ``MOGASolver._repair_known``).
+
+The store is bounded (FIFO eviction, insertion order) and cleared between
+solves — chromosome bytes only mean anything relative to one problem
+instance.  Hit/miss/dedup/eviction counters accumulate across solves and
+feed the ``ga.eval_cache.*`` telemetry counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import SolverError
+
+#: Default bound on distinct chromosomes retained per solve.  A default
+#: (G=500, P=20) solve touches at most ``(G + 1) · P`` distinct rows, so
+#: this never evicts at the paper's parameters while still bounding memory
+#: for pathological configurations.
+DEFAULT_EVAL_CACHE_CAPACITY = 32768
+
+
+def chromosome_keys(genes: np.ndarray) -> List[bytes]:
+    """Per-row byte keys of a ``(P, w)`` chromosome matrix."""
+    rows = np.ascontiguousarray(genes)
+    stride = rows.shape[1] * rows.dtype.itemsize
+    if stride == 0:
+        return [b""] * rows.shape[0]
+    blob = rows.tobytes()
+    return [blob[i * stride : (i + 1) * stride] for i in range(rows.shape[0])]
+
+
+class EvaluationCache:
+    """Bounded chromosome-bytes → objective-row memo table.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of distinct chromosomes retained; the oldest
+        entries are evicted first (insertion order).  Eviction only costs
+        re-evaluation later — results are unaffected.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVAL_CACHE_CAPACITY) -> None:
+        if capacity < 1:
+            raise SolverError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._store: Dict[bytes, np.ndarray] = {}
+        self.hits = 0        #: rows served from the store
+        self.misses = 0      #: rows that triggered an evaluation
+        self.deduped = 0     #: duplicate rows collapsed within one batch
+        self.evictions = 0   #: entries dropped to honour ``capacity``
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._store
+
+    def reset(self) -> None:
+        """Drop the store (counters survive).  Called between solves."""
+        self._store.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters as a plain dict (telemetry-ready)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "deduped": self.deduped,
+            "evictions": self.evictions,
+        }
+
+    def evaluate(self, problem, genes: np.ndarray, keys: List[bytes]) -> np.ndarray:
+        """Objective matrix for ``genes``, evaluating only unseen rows.
+
+        ``keys`` must be ``chromosome_keys(genes)`` (callers thread the
+        keys through generations instead of rehashing survivors).
+        """
+        store = self._store
+        get = store.get
+        miss_pos: List[int] = []
+        hit_pos: List[int] = []
+        hit_rows: List[np.ndarray] = []
+        dup_pos: List[int] = []
+        pending = set()
+        for i, key in enumerate(keys):
+            row = get(key)
+            if row is not None:
+                hit_pos.append(i)
+                hit_rows.append(row)
+            elif key in pending:
+                dup_pos.append(i)
+            else:
+                pending.add(key)
+                miss_pos.append(i)
+        self.hits += len(hit_pos)
+        self.misses += len(miss_pos)
+        self.deduped += len(dup_pos)
+        out = np.empty((len(keys), problem.n_objectives), dtype=float)
+        if miss_pos:
+            fresh = problem.evaluate(np.ascontiguousarray(genes[miss_pos]))
+            for row, i in enumerate(miss_pos):
+                store[keys[i]] = fresh[row]
+            out[miss_pos] = fresh
+        if hit_pos:
+            out[hit_pos] = hit_rows
+        for i in dup_pos:
+            out[i] = store[keys[i]]
+        # Evict only after assembly so the current batch is never dropped
+        # mid-use; FIFO keeps the newest (most crossover-relevant) rows.
+        while len(store) > self.capacity:
+            store.pop(next(iter(store)))
+            self.evictions += 1
+        return out

@@ -27,13 +27,14 @@ full generation costs a few numpy kernel calls, which is what lets a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SolverError
 from ..rng import SeedLike, make_rng, restore_rng_state, rng_state
 from ..telemetry import get_tracer
+from .evalcache import DEFAULT_EVAL_CACHE_CAPACITY, EvaluationCache, chromosome_keys
 from .pareto import non_dominated_mask, unique_front
 from .problem import MOOProblem
 
@@ -59,7 +60,15 @@ class ParetoSet:
         return self.genes.shape[0]
 
     def best_by(self, objective: int) -> int:
-        """Row index of the solution maximizing one objective."""
+        """Row index of the solution maximizing one objective.
+
+        Ties break deterministically to the *lowest* row index (the order
+        rows entered the Pareto set) — ``np.argmax`` returns the first
+        occurrence of the maximum.  Decision rules lean on this: a tied
+        front must yield the same dispatch on every platform and numpy
+        version, or runs stop being reproducible.  Pinned by
+        ``tests/test_ga.py::TestParetoSet::test_best_by_tie_breaks_lowest_index``.
+        """
         if len(self) == 0:
             raise SolverError("empty Pareto set")
         return int(np.argmax(self.objectives[:, objective]))
@@ -109,6 +118,21 @@ class MOGASolver:
         switched off for paper-exact runs.
     seed:
         Seed or generator for all stochastic operators.
+    eval_cache:
+        Memoize objective rows across generations (and skip feasibility
+        checks for children byte-identical to an already-scored
+        chromosome).  Results are byte-identical either way — the
+        problems' evaluation kernels are row-subset stable (see
+        :mod:`repro.core.evalcache`) and the differential suite pins it —
+        so this is on by default; ``False`` is the reference path (and the
+        CLI's ``--no-eval-cache`` escape hatch).
+    cache_capacity:
+        Bound on distinct chromosomes the cache retains per solve.
+    fast_repair:
+        Use the vectorized repair mode (``repair(..., fast=True)``) inside
+        the evolve loop.  Draws the RNG in a different order than the
+        reference repair, so it changes (still deterministic) results —
+        default off.
     """
 
     def __init__(
@@ -119,6 +143,9 @@ class MOGASolver:
         selection: str = "age",
         seed_greedy: bool = True,
         seed: SeedLike = None,
+        eval_cache: bool = True,
+        cache_capacity: int = DEFAULT_EVAL_CACHE_CAPACITY,
+        fast_repair: bool = False,
     ) -> None:
         if generations < 0:
             raise SolverError(f"generations must be >= 0, got {generations}")
@@ -128,12 +155,48 @@ class MOGASolver:
             raise SolverError(f"mutation must be a probability, got {mutation}")
         if selection not in ("age", "crowding"):
             raise SolverError(f"unknown selection scheme {selection!r}")
+        if cache_capacity < 1:
+            raise SolverError(f"cache_capacity must be >= 1, got {cache_capacity}")
         self.generations = generations
         self.population = population
         self.mutation = mutation
         self.selection = selection
         self.seed_greedy = seed_greedy
         self._seed = seed
+        self.eval_cache = eval_cache
+        self.cache_capacity = cache_capacity
+        self.fast_repair = fast_repair
+        #: Lazily built per-solver :class:`EvaluationCache`; dropped on
+        #: pickling (checkpoint snapshots) and rebuilt on first solve.
+        self._cache: Optional[EvaluationCache] = None
+
+    # --- pickling (checkpoint/resume) -------------------------------------------
+    # The eval cache is a pure memo table: dropping it from a snapshot
+    # costs re-evaluation after resume, never changes results (proved by
+    # tests/test_differential.py's resume cycle).  Its counters go with it
+    # — they are wall-clock-class observability, deliberately outside the
+    # run fingerprint.  ``__setstate__`` defaults the newer attributes so
+    # snapshots written before the cache existed still load.
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        state.setdefault("eval_cache", True)
+        state.setdefault("cache_capacity", DEFAULT_EVAL_CACHE_CAPACITY)
+        state.setdefault("fast_repair", False)
+        state.setdefault("_cache", None)
+        self.__dict__.update(state)
+
+    @property
+    def eval_cache_stats(self) -> Optional[Dict[str, int]]:
+        """Cumulative cache counters, or ``None`` when caching is off."""
+        if not self.eval_cache:
+            return None
+        if self._cache is None:
+            return {"hits": 0, "misses": 0, "deduped": 0, "evictions": 0}
+        return self._cache.stats()
 
     # --- RNG stream capture ------------------------------------------------------
     # When the solver owns a long-lived Generator (``seed`` was a
@@ -180,32 +243,57 @@ class MOGASolver:
         children ^= flips.astype(np.uint8)
         return children
 
-    def _select(
+    def _dedup_youngest(
+        self,
+        genes: np.ndarray,
+        ages: np.ndarray,
+        keys: Optional[List[bytes]] = None,
+    ) -> np.ndarray:
+        """Indices keeping the youngest copy of each distinct chromosome.
+
+        Identical genes are one *solution*, and without dedup the Pareto
+        set floods with clones of a single point, which freezes the
+        crossover gene pool and stalls exploration.
+
+        Two equivalent implementations: the void-view ``np.unique`` scan
+        (reference), and — when per-row byte ``keys`` are already in hand
+        from the eval cache — a first-occurrence scan over the age-sorted
+        rows, which skips rebuilding and re-sorting the structured view.
+        Both keep the first (youngest) occurrence per distinct row in
+        age-sorted order, so their outputs are identical.
+        """
+        order = np.lexsort((ages,))
+        if keys is None:
+            rows = np.ascontiguousarray(genes[order])
+            voided = rows.view([("", rows.dtype)] * rows.shape[1]).ravel()
+            _, first = np.unique(voided, return_index=True)
+            return order[np.sort(first)]
+        seen = set()
+        kept = []
+        for j in order:
+            key = keys[j]
+            if key not in seen:
+                seen.add(key)
+                kept.append(j)
+        return np.asarray(kept, dtype=np.intp)
+
+    def _survivors(
         self,
         genes: np.ndarray,
         objectives: np.ndarray,
         ages: np.ndarray,
         rng: np.random.Generator,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Survival selection → (genes, ages) of the next generation.
+        keys: Optional[List[bytes]] = None,
+    ) -> np.ndarray:
+        """Survival selection → indices (into the pool) of the next generation.
 
         Duplicate chromosomes are collapsed first (keeping the youngest
-        copy): identical genes are one *solution*, and without dedup the
-        Pareto set floods with clones of a single point, which freezes the
-        crossover gene pool and stalls exploration.  If fewer than ``P``
-        unique chromosomes exist, the survivors are recycled to keep the
+        copy, see :meth:`_dedup_youngest`).  If fewer than ``P`` unique
+        chromosomes exist, the survivors are recycled to keep the
         population size constant.
         """
         P = self.population
-        # Keep the youngest copy of each distinct chromosome (vectorised:
-        # age-sort rows, view each row as one void scalar, np.unique keeps
-        # the first — i.e. youngest — occurrence per distinct row).
-        order = np.lexsort((ages,))
-        rows = np.ascontiguousarray(genes[order])
-        voided = rows.view([("", rows.dtype)] * rows.shape[1]).ravel()
-        _, first = np.unique(voided, return_index=True)
-        keep_idx = order[np.sort(first)]
-        genes = genes[keep_idx]
+        keep_idx = self._dedup_youngest(genes, ages, keys)
         objectives = objectives[keep_idx]
         ages = ages[keep_idx]
         pareto = non_dominated_mask(objectives)
@@ -232,9 +320,43 @@ class MOGASolver:
             # with replacement) so the population size stays constant.
             pad = rng.integers(0, keep.size, size=P - keep.size)
             keep = np.concatenate([keep, keep[pad]])
-        return genes[keep], ages[keep]
+        return keep_idx[keep]
 
     # --- main loop ---------------------------------------------------------------
+    def _repair_known(
+        self,
+        problem: MOOProblem,
+        children: np.ndarray,
+        rng: np.random.Generator,
+        cache: EvaluationCache,
+    ) -> Tuple[np.ndarray, List[bytes]]:
+        """Repair ``children``, skipping work the cache already certifies.
+
+        Store membership means "was evaluated post-repair", i.e. feasible,
+        so only byte-novel children need a feasibility check — and when
+        those all pass, the whole repair (which would find nothing to do)
+        is skipped.  RNG parity with ``problem.repair``: both skipped
+        branches are exactly the cases where repair's no-copy fast path
+        returns without consuming the RNG, and the fallthrough delegates
+        to the identical ``repair`` call.
+        """
+        keys = chromosome_keys(children)
+        unknown = [i for i, key in enumerate(keys) if key not in cache]
+        if not unknown:
+            return children, keys
+        ok = problem.feasible(np.ascontiguousarray(children[unknown]))
+        if ok.all():
+            return children, keys
+        # Store rows are feasible by construction, so the subset check
+        # expands to the full-population feasibility vector — handing it
+        # to repair as a hint skips both of repair's own full checks.
+        hint = np.ones(len(keys), dtype=bool)
+        hint[unknown] = ok
+        children = problem.repair(
+            children, rng, fast=self.fast_repair, feasible_hint=hint
+        )
+        return children, chromosome_keys(children)
+
     def _evolve_once(
         self,
         problem: MOOProblem,
@@ -242,19 +364,39 @@ class MOGASolver:
         ages: np.ndarray,
         forced: list,
         rng: np.random.Generator,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """One generation: crossover → mutate → repair → survival selection."""
+        cache: Optional[EvaluationCache] = None,
+        keys: Optional[List[bytes]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[List[bytes]]]:
+        """One generation: crossover → mutate → repair → survival selection.
+
+        With ``cache`` the survivor keys thread through so parent rows are
+        never re-hashed, re-evaluated, or re-checked for feasibility;
+        without it this is the reference evaluate-everything path.  Both
+        paths draw identically from ``rng`` and return identical
+        populations (pinned by the differential tests).
+        """
         children = self._crossover(genes, rng)
         children = self._mutate(children, rng)
         if forced:
             children[:, forced] = 1
-        children = problem.repair(children, rng)
+        if cache is None:
+            children = problem.repair(children, rng, fast=self.fast_repair)
+            pool_keys = None
+        else:
+            children, child_keys = self._repair_known(problem, children, rng, cache)
+            assert keys is not None
+            pool_keys = keys + child_keys
         pool_genes = np.concatenate([genes, children])
         pool_ages = np.concatenate(
             [ages + 1, np.zeros(children.shape[0], dtype=np.int64)]
         )
-        pool_obj = problem.evaluate(pool_genes)
-        return self._select(pool_genes, pool_obj, pool_ages, rng)
+        if cache is None:
+            pool_obj = problem.evaluate(pool_genes)
+        else:
+            pool_obj = cache.evaluate(problem, pool_genes, pool_keys)
+        keep = self._survivors(pool_genes, pool_obj, pool_ages, rng, keys=pool_keys)
+        next_keys = [pool_keys[i] for i in keep] if pool_keys is not None else None
+        return pool_genes[keep], pool_ages[keep], next_keys
 
     def solve(self, problem: MOOProblem, seed: SeedLike = None) -> ParetoSet:
         """Approximate the Pareto set of ``problem``.
@@ -268,6 +410,16 @@ class MOGASolver:
                 genes=np.zeros((0, 0), dtype=np.uint8),
                 objectives=np.zeros((0, problem.n_objectives)),
             )
+        cache = None
+        before: Dict[str, int] = {}
+        if self.eval_cache:
+            cache = self._cache
+            if cache is None:
+                cache = self._cache = EvaluationCache(self.cache_capacity)
+            # Chromosome bytes are only meaningful relative to one problem
+            # instance; counters accumulate across solves, the store not.
+            cache.reset()
+            before = cache.stats()
         tracer = get_tracer()
         with tracer.span(
             "ga_solve",
@@ -275,6 +427,8 @@ class MOGASolver:
             objectives=problem.n_objectives,
             generations=self.generations,
             population=self.population,
+            eval_cache=cache is not None,
+            repair_vectorized=self.fast_repair,
         ) as solve_span:
             genes = problem.random_population(self.population, rng)
             forced = list(problem.forced)
@@ -288,16 +442,29 @@ class MOGASolver:
                     k = min(seeds.shape[0], self.population)
                     genes[:k] = seeds[:k]
             ages = np.zeros(self.population, dtype=np.int64)
+            keys = chromosome_keys(genes) if cache is not None else None
             if tracer.fine:
                 # Per-generation spans are the highest-volume instrumentation
                 # in the repo — emitted only under Tracer(fine=True).
                 for gen in range(self.generations):
                     with tracer.span("ga_generation", gen=gen):
-                        genes, ages = self._evolve_once(problem, genes, ages, forced, rng)
+                        genes, ages, keys = self._evolve_once(
+                            problem, genes, ages, forced, rng, cache, keys
+                        )
             else:
                 for _ in range(self.generations):
-                    genes, ages = self._evolve_once(problem, genes, ages, forced, rng)
-            final_obj = problem.evaluate(genes)
+                    genes, ages, keys = self._evolve_once(
+                        problem, genes, ages, forced, rng, cache, keys
+                    )
+            if cache is not None:
+                final_obj = cache.evaluate(problem, genes, keys)
+                after = cache.stats()
+                solve_span.set(
+                    cache_hits=after["hits"] - before["hits"],
+                    cache_misses=after["misses"] - before["misses"],
+                )
+            else:
+                final_obj = problem.evaluate(genes)
             front = non_dominated_mask(final_obj)
             g, o = unique_front(genes[front], final_obj[front])
             solve_span.set(front=int(g.shape[0]))

@@ -34,6 +34,25 @@ from ..rng import SeedLike, make_rng
 from ..simulator.job import Job
 
 
+def _stable_matmul(pop: np.ndarray, mat: np.ndarray) -> np.ndarray:
+    """Row-subset-stable ``pop @ mat``.
+
+    Each output row is reduced independently (``np.einsum`` evaluates the
+    contraction row by row), so evaluating any subset of rows yields
+    bitwise the same values as evaluating the full matrix.  A blocked BLAS
+    ``@`` does not guarantee that — its per-row results can shift with the
+    batch size — and row stability is what lets the GA's evaluation cache
+    (:mod:`repro.core.evalcache`) reuse scores across generations without
+    changing results.
+    """
+    return np.einsum("ij,jk->ik", pop, mat)
+
+
+def _stable_matvec(pop: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    """Row-subset-stable ``pop @ vec`` (see :func:`_stable_matmul`)."""
+    return np.einsum("ij,j->i", pop, vec)
+
+
 class MOOProblem(abc.ABC):
     """Interface shared by all window-selection MOO problems."""
 
@@ -52,44 +71,113 @@ class MOOProblem(abc.ABC):
     def feasible(self, population: np.ndarray) -> np.ndarray:
         """Boolean feasibility vector ``(P,)`` for a population."""
 
-    def repair(self, population: np.ndarray, seed: SeedLike = None) -> np.ndarray:
+    def repair(
+        self,
+        population: np.ndarray,
+        seed: SeedLike = None,
+        *,
+        fast: bool = False,
+        feasible_hint: "np.ndarray | None" = None,
+    ) -> np.ndarray:
         """Return a feasible copy of ``population``.
 
         Infeasible chromosomes have randomly chosen *non-forced* selected
         genes cleared one at a time until the constraints hold.  Forced
         genes are first re-asserted.  The input is not modified.
+
+        Per clearing round only the still-infeasible rows are re-checked
+        (clearing genes never breaks an untouched row), which preserves the
+        historical RNG draw order exactly while skipping most of the
+        feasibility work.
+
+        ``fast=True`` switches to a vectorized clearing step: one uniform
+        draw per infeasible row per round instead of one ``rng.choice`` per
+        row.  It consumes the RNG in a different order, so its output is
+        *not* byte-identical to the default mode — its equivalence class
+        (feasible output, forced genes intact, genes only ever cleared,
+        deterministic per seed) is pinned separately by the property tests.
+        It is therefore default-off and opt-in via
+        ``MOGASolver(fast_repair=True)``.
+
+        ``feasible_hint`` (trusted, internal) is a per-row feasibility
+        vector the caller already computed — the GA's evaluation cache
+        knows survivor rows are feasible and checks only byte-novel
+        children.  The caller guarantees the hint equals
+        ``self.feasible(population)`` and that forced genes are already
+        asserted; feasibility kernels are row-subset stable, so reusing
+        the vector is byte-identical to recomputing it.
         """
         pop = np.asarray(population, dtype=np.uint8)
         self.assert_shape(pop)
+        ok = feasible_hint
         # Fast path: feasible populations with forced genes already set
         # pass through unchanged (no copy) — the common case once the GA
         # has converged, and the hot path of every generation.
-        if not self.forced or (pop[:, list(self.forced)] == 1).all():
-            ok = self.feasible(pop)
-            if ok.all():
-                return pop
+        if ok is None:
+            if not self.forced or (pop[:, list(self.forced)] == 1).all():
+                ok = self.feasible(pop)
+        if ok is not None and ok.all():
+            return pop
         rng = make_rng(seed)
         pop = np.array(population, dtype=np.uint8, copy=True)
-        if self.forced:
-            pop[:, list(self.forced)] = 1
-        bad = ~self.feasible(pop)
         forced_mask = np.zeros(self.w, dtype=bool)
         if self.forced:
+            pop[:, list(self.forced)] = 1
             forced_mask[list(self.forced)] = True
+        # ``ok`` (when set) was computed on rows identical to the copy —
+        # the fast path only produces it with forced genes already set —
+        # so the infeasible-row set needs no second full check.
+        bad_idx = np.flatnonzero(~ok) if ok is not None else np.flatnonzero(
+            ~self.feasible(pop)
+        )
         guard = 0
-        while bad.any():
-            for i in np.flatnonzero(bad):
-                clearable = np.flatnonzero((pop[i] == 1) & ~forced_mask)
-                if clearable.size == 0:
-                    raise SolverError(
-                        "cannot repair chromosome: forced genes alone are infeasible"
-                    )
-                pop[i, rng.choice(clearable)] = 0
-            bad = ~self.feasible(pop)
+        while bad_idx.size:
+            if fast:
+                self._clear_one_gene_vectorized(pop, bad_idx, forced_mask, rng)
+            else:
+                for i in bad_idx:
+                    clearable = np.flatnonzero((pop[i] == 1) & ~forced_mask)
+                    if clearable.size == 0:
+                        raise SolverError(
+                            "cannot repair chromosome: forced genes alone are infeasible"
+                        )
+                    # Same draw (value and stream) as ``rng.choice(clearable)``
+                    # — Generator.choice reduces to exactly this int64 draw —
+                    # minus choice's per-call overhead.
+                    pick = rng.integers(0, clearable.size, dtype=np.int64)
+                    pop[i, clearable[pick]] = 0
+            still_bad = ~self.feasible(np.ascontiguousarray(pop[bad_idx]))
+            bad_idx = bad_idx[still_bad]
             guard += 1
             if guard > self.w + 1:  # pragma: no cover - defensive
                 raise SolverError("repair failed to converge")
         return pop
+
+    @staticmethod
+    def _clear_one_gene_vectorized(
+        pop: np.ndarray,
+        bad_idx: np.ndarray,
+        forced_mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Clear one random non-forced selected gene in every ``bad_idx`` row.
+
+        The per-row choice is uniform over that row's clearable genes —
+        the same distribution as the scalar loop — realised as one batched
+        draw: pick the ``k``-th set bit per row via a cumulative count.
+        """
+        clearable = (pop[bad_idx] == 1) & ~forced_mask  # (b, w)
+        counts = clearable.sum(axis=1)
+        if (counts == 0).any():
+            raise SolverError(
+                "cannot repair chromosome: forced genes alone are infeasible"
+            )
+        draws = (rng.random(bad_idx.size) * counts).astype(np.int64)
+        # Guard the r*counts rounding edge where the product lands on counts.
+        ordinal = np.minimum(draws, counts - 1)
+        cum = np.cumsum(clearable, axis=1)
+        chosen = (cum == (ordinal + 1)[:, None]).argmax(axis=1)
+        pop[bad_idx, chosen] = 0
 
     def assert_shape(self, population: np.ndarray) -> None:
         """Validate a population matrix against this problem."""
@@ -121,15 +209,19 @@ class MOOProblem(abc.ABC):
         objectives = self.evaluate(np.eye(self.w, dtype=np.uint8))
         for k in range(self.n_objectives):
             orders.append(np.argsort(-objectives[:, k], kind="stable"))
-        seeds = []
-        for order in orders:
-            genes = np.zeros(self.w, dtype=np.uint8)
-            for i in order:
-                genes[i] = 1
-                if not bool(self.feasible(genes[None, :])[0]):
-                    genes[i] = 0
-            seeds.append(genes)
-        return np.unique(np.stack(seeds), axis=0)
+        # All fills advance in lock-step: step ``s`` tentatively sets one
+        # gene per order and a single batched feasibility call keeps or
+        # reverts them.  Feasibility is per-row, so this is identical to
+        # filling each order separately — at 1/w the kernel invocations.
+        order_mat = np.stack(orders)  # (m, w)
+        rows = np.arange(order_mat.shape[0])
+        genes = np.zeros((order_mat.shape[0], self.w), dtype=np.uint8)
+        for step in range(self.w):
+            pos = order_mat[:, step]
+            genes[rows, pos] = 1
+            ok = self.feasible(genes)
+            genes[rows[~ok], pos[~ok]] = 0
+        return np.unique(genes, axis=0)
 
 
 def window_demand_matrix(jobs: Sequence[Job]) -> np.ndarray:
@@ -194,11 +286,11 @@ class SelectionProblem(MOOProblem):
 
     def evaluate(self, population: np.ndarray) -> np.ndarray:
         self.assert_shape(population)
-        return population.astype(float) @ self.demands
+        return _stable_matmul(population.astype(float), self.demands)
 
     def feasible(self, population: np.ndarray) -> np.ndarray:
         self.assert_shape(population)
-        usage = population.astype(float) @ self.demands
+        usage = _stable_matmul(population.astype(float), self.demands)
         return (usage <= self.capacities + 1e-9).all(axis=1)
 
     def greedy_chromosomes(self) -> np.ndarray:
@@ -316,15 +408,15 @@ class SSDSelectionProblem(MOOProblem):
                 waste += grab * (self.tier_caps[t] - self._ssd[j])
                 left -= grab
             feasible &= left <= 1e-9
-        bb_usage = pop @ self._bb
+        bb_usage = _stable_matvec(pop, self._bb)
         feasible &= bb_usage <= self.free_bb + 1e-9
         return waste, feasible
 
     def evaluate(self, population: np.ndarray) -> np.ndarray:
         pop = population.astype(float)
-        f1 = pop @ self._nodes
-        f2 = pop @ self._bb
-        f3 = pop @ (self._ssd * self._nodes)
+        f1 = _stable_matvec(pop, self._nodes)
+        f2 = _stable_matvec(pop, self._bb)
+        f3 = _stable_matvec(pop, self._ssd * self._nodes)
         waste, _ = self._sweep(population)
         return np.column_stack([f1, f2, f3, -waste])
 

@@ -54,20 +54,27 @@ class ScalarGASolver(MOGASolver):
         population: int = DEFAULT_POPULATION,
         mutation: float = DEFAULT_MUTATION,
         seed: SeedLike = None,
+        eval_cache: bool = True,
+        cache_capacity: int | None = None,
+        fast_repair: bool = False,
     ) -> None:
+        extra = {} if cache_capacity is None else {"cache_capacity": cache_capacity}
         super().__init__(
             generations=generations,
             population=population,
             mutation=mutation,
             selection="age",
             seed=seed,
+            eval_cache=eval_cache,
+            fast_repair=fast_repair,
+            **extra,
         )
         self.coeffs = np.asarray(coeffs, dtype=float)
         if self.coeffs.ndim != 1 or self.coeffs.size == 0:
             raise SolverError(f"coeffs must be a non-empty vector, got {self.coeffs}")
 
-    def _select(self, genes, objectives, ages, rng):
-        """Keep the ``P`` fittest *unique* chromosomes.
+    def _survivors(self, genes, objectives, ages, rng, keys=None):
+        """Keep the ``P`` fittest *unique* chromosomes (pool indices).
 
         Duplicates are collapsed (youngest copy kept) for the same reason
         as in :class:`MOGASolver`: clones freeze the crossover gene pool.
@@ -78,18 +85,14 @@ class ScalarGASolver(MOGASolver):
                 f"problem has {objectives.shape[1]} objectives, "
                 f"solver has {self.coeffs.size} coefficients"
             )
-        order = np.lexsort((ages,))
-        rows = np.ascontiguousarray(genes[order])
-        voided = rows.view([("", rows.dtype)] * rows.shape[1]).ravel()
-        _, first = np.unique(voided, return_index=True)
-        idx = order[np.sort(first)]
+        idx = self._dedup_youngest(genes, ages, keys)
         fitness = objectives[idx] @ self.coeffs
         order = np.lexsort((ages[idx], -fitness))
-        keep = idx[order[: self.population]]
+        keep = order[: self.population]
         if keep.size < self.population:
             pad = rng.integers(0, keep.size, size=self.population - keep.size)
             keep = np.concatenate([keep, keep[pad]])
-        return genes[keep], ages[keep]
+        return idx[keep]
 
     def best(self, problem: MOOProblem, seed: SeedLike = None) -> ScalarSolution:
         """Run the GA and return the single fittest solution found."""

@@ -80,6 +80,7 @@ def run_one(
     faults: Optional[FaultScenario] = None,
     retry: Optional[RetryPolicy] = None,
     watchdog_budget: Optional[float] = None,
+    eval_cache: bool = True,
     collect_telemetry: bool = False,
     checkpoint: Optional[CheckpointConfig] = None,
     resume_from: Optional[str] = None,
@@ -91,6 +92,12 @@ def run_one(
     ``watchdog_budget`` override the scale's resilience knobs, so any
     figure experiment reruns under a fault scenario by replacing its
     scale (see ``Scale.faults``) or any single run by passing them here.
+
+    ``eval_cache=False`` disables the GA evaluation memo
+    (:mod:`repro.core.evalcache`) — the slower reference path that
+    produces byte-identical results, used by the differential tests and
+    the performance benchmark.  Like the other selector knobs it is baked
+    into checkpoints and therefore ignored on resume.
 
     ``collect_telemetry=True`` installs a private tracer for the run and
     attaches a :class:`~repro.telemetry.TelemetrySnapshot` to the result
@@ -128,6 +135,7 @@ def run_one(
             population=sc.population,
             mutation=sc.mutation,
             seed=seed if seed is not None else BASE_SEED ^ stable_hash(method) & 0xFFFF,
+            eval_cache=eval_cache,
         )
         if budget is not None:
             selector = SolverWatchdog(selector, budget)

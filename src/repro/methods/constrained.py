@@ -37,6 +37,9 @@ class ConstrainedSelector(Selector):
     target:
         ``"cpu"``, ``"bb"``, or ``"ssd"`` — which utilization to maximize.
         ``"ssd"`` requires a cluster with local SSD tiers.
+    eval_cache:
+        Memoize GA objective evaluations (byte-identical results, see
+        :mod:`repro.core.evalcache`); ``False`` is the reference path.
     """
 
     def __init__(
@@ -47,6 +50,7 @@ class ConstrainedSelector(Selector):
         population: int = DEFAULT_POPULATION,
         mutation: float = DEFAULT_MUTATION,
         seed: SeedLike = None,
+        eval_cache: bool = True,
     ) -> None:
         super().__init__()
         if target not in _TARGETS:
@@ -56,9 +60,21 @@ class ConstrainedSelector(Selector):
         self.target = target
         self.name = f"Constrained_{target.upper()}"
         self._ga = dict(
-            generations=generations, population=population, mutation=mutation
+            generations=generations,
+            population=population,
+            mutation=mutation,
+            eval_cache=eval_cache,
         )
         self._rng = make_rng(seed)
+        # Per-call ScalarGASolvers are throwaway; counters accumulate here.
+        self._cache_stats = {"hits": 0, "misses": 0, "deduped": 0, "evictions": 0}
+
+    @property
+    def eval_cache_stats(self):
+        """Cumulative cache counters across all select() calls, or None."""
+        if not self._ga["eval_cache"]:
+            return None
+        return dict(self._cache_stats)
 
     def select(self, window: Sequence[Job], avail: Available) -> List[int]:
         self._require_system()
@@ -77,6 +93,10 @@ class ConstrainedSelector(Selector):
         coeffs[_TARGETS[self.target]] = 1.0
         solver = ScalarGASolver(coeffs, seed=None, **self._ga)
         best = solver.best(problem, seed=self._rng)
+        stats = solver.eval_cache_stats
+        if stats:
+            for key in self._cache_stats:
+                self._cache_stats[key] += stats[key]
         return [int(i) for i in np.flatnonzero(best.genes)]
 
 

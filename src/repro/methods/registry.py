@@ -49,18 +49,26 @@ def make_selector(
     population: int = DEFAULT_POPULATION,
     mutation: float = DEFAULT_MUTATION,
     seed: SeedLike = None,
+    eval_cache: bool = True,
 ) -> Selector:
     """Build a selector by its §4.3 name.
 
     GA parameters apply to every GA-backed method (identical optimization
     budget keeps the comparison about the *formulation*, not solver time);
-    the greedy methods (Baseline, Bin_Packing) ignore them.
+    the greedy methods (Baseline, Bin_Packing) ignore them, as they do
+    ``eval_cache`` (the GA evaluation memo, byte-identical either way —
+    ``False`` is the reference path the differential tests compare against).
     """
     # Imported here, not at module scope: BBSchedSelector lives in repro.core,
     # which itself imports repro.methods.base — a top-level import would cycle.
     from ..core.bbsched import BBSchedSelector
 
-    ga = dict(generations=generations, population=population, mutation=mutation)
+    ga = dict(
+        generations=generations,
+        population=population,
+        mutation=mutation,
+        eval_cache=eval_cache,
+    )
     factories: Dict[str, Callable[[], Selector]] = {
         "Baseline": NaiveSelector,
         "Weighted": lambda: weighted_equal(seed=seed, **ga),

@@ -45,6 +45,9 @@ class WeightedSelector(Selector):
         Weights for the §5 objectives; ignored on systems without SSD
         tiers.  Defaults make the 4-objective ``Weighted`` method equally
         weighted, as §5 specifies.
+    eval_cache:
+        Memoize GA objective evaluations (byte-identical results, see
+        :mod:`repro.core.evalcache`); ``False`` is the reference path.
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class WeightedSelector(Selector):
         population: int = DEFAULT_POPULATION,
         mutation: float = DEFAULT_MUTATION,
         seed: SeedLike = None,
+        eval_cache: bool = True,
     ) -> None:
         super().__init__()
         for label, wgt in (
@@ -77,9 +81,28 @@ class WeightedSelector(Selector):
         self.waste_weight = waste_weight
         self.name = name or "Weighted"
         self._ga = dict(
-            generations=generations, population=population, mutation=mutation
+            generations=generations,
+            population=population,
+            mutation=mutation,
+            eval_cache=eval_cache,
         )
         self._rng = make_rng(seed)
+        # A fresh ScalarGASolver is built per select() call, so cumulative
+        # cache counters live here and absorb each solver's totals.
+        self._cache_stats = {"hits": 0, "misses": 0, "deduped": 0, "evictions": 0}
+
+    @property
+    def eval_cache_stats(self):
+        """Cumulative cache counters across all select() calls, or None."""
+        if not self._ga["eval_cache"]:
+            return None
+        return dict(self._cache_stats)
+
+    def _absorb_cache_stats(self, solver: ScalarGASolver) -> None:
+        stats = solver.eval_cache_stats
+        if stats:
+            for key in self._cache_stats:
+                self._cache_stats[key] += stats[key]
 
     def select(self, window: Sequence[Job], avail: Available) -> List[int]:
         system = self._require_system()
@@ -102,6 +125,7 @@ class WeightedSelector(Selector):
         coeffs = np.asarray(weights) / np.asarray(scales)
         solver = ScalarGASolver(coeffs, seed=None, **self._ga)
         best = solver.best(problem, seed=self._rng)
+        self._absorb_cache_stats(solver)
         return [int(i) for i in np.flatnonzero(best.genes)]
 
 

@@ -138,6 +138,16 @@ class SolverWatchdog(Selector):
         """Number of selections answered by the fallback (engine-facing)."""
         return self.stats.fallback_calls
 
+    @property
+    def eval_cache_stats(self):
+        """Inner selector's GA eval-cache counters (engine-facing).
+
+        ``None`` when the inner selector has no cache (greedy methods) or
+        caching is disabled; fallback selectors are cheap greedy/tiny-GA
+        paths whose counters are not tracked.
+        """
+        return getattr(self.inner, "eval_cache_stats", None)
+
     def select(self, window: Sequence[Job], avail: Available) -> List[int]:
         self.stats.calls += 1
         if self.stats.tripped:

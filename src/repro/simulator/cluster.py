@@ -18,7 +18,9 @@ capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
 
 from ..errors import AllocationError, ConfigurationError, ResilienceError
 from .job import Job
@@ -43,6 +45,27 @@ class Available:
             return False
         qualifying = sum(n for cap, n in self.ssd_free.items() if cap >= job.ssd)
         return qualifying >= job.nodes
+
+    def fits_mask(self, jobs: Sequence[Job]) -> np.ndarray:
+        """Vectorized :meth:`fits` — one boolean per job.
+
+        Builds the sorted tier-capacity vector and its qualifying-node
+        suffix sums once for the whole batch instead of re-summing the
+        tier mapping per job; result is element-wise identical to
+        ``[self.fits(j) for j in jobs]``.
+        """
+        if not jobs:
+            return np.zeros(0, dtype=bool)
+        nodes = np.array([j.nodes for j in jobs])
+        bb = np.array([j.bb for j in jobs], dtype=float)
+        ssd = np.array([j.ssd for j in jobs], dtype=float)
+        caps = np.array(sorted(self.ssd_free), dtype=float)
+        free = np.array([self.ssd_free[c] for c in caps], dtype=np.int64)
+        # suffix[i] = free nodes on tiers caps[i:]; suffix[len(caps)] = 0
+        # (a request above every tier capacity qualifies zero nodes).
+        suffix = np.concatenate([np.cumsum(free[::-1])[::-1], [0]])
+        qualifying = suffix[np.searchsorted(caps, ssd, side="left")]
+        return (nodes <= self.nodes) & (bb <= self.bb) & (qualifying >= nodes)
 
 
 class Cluster:

@@ -330,6 +330,11 @@ class SchedulingEngine:
             loop_span.set(makespan=self._now, events=metrics.counter("engine.events").value)
         self._stats.fallback_calls = getattr(self.selector, "fallback_calls", 0)
         metrics.counter("engine.solver_fallbacks").inc(self._stats.fallback_calls)
+        # GA evaluation-cache counters (None for greedy methods / cache off).
+        cache_stats = getattr(self.selector, "eval_cache_stats", None)
+        if cache_stats:
+            for key, value in cache_stats.items():
+                metrics.inc(f"ga.eval_cache.{key}", value)
         # Derived views: EngineStats timing fields come from the telemetry
         # histogram, the run's single timing source.
         selector_hist = metrics.histograms.get("engine.selector_seconds")
@@ -585,8 +590,11 @@ class SchedulingEngine:
             "schedule_pass", t=now, queue=len(self._queue)
         ) as pass_span:
             with self._tracer.span("window_extract") as win_span:
+                # One ordering + dependency-gating pass serves both window
+                # extraction and the backfill stage below.
                 ordered = self.policy.order(self._queue, now)
-                window = self.window.extract(ordered, self._completed)
+                eligible = self.window.eligible(ordered, self._completed)
+                window = self.window.extract_eligible(eligible)
                 win_span.set(window=len(window), forced=len(window.forced))
             started: Set[int] = set()
             selected_window_idx: Set[int] = set()
@@ -609,8 +617,11 @@ class SchedulingEngine:
             # 2. Window selection via the configured method.
             if blocked_forced is None:
                 reduced = [j for i, j in enumerate(window.jobs) if i not in selected_window_idx]
-                if reduced and any(self.cluster.can_fit(j) for j in reduced):
-                    avail = self.cluster.available()
+                # One capacity snapshot both gates the pass and feeds the
+                # selector (nothing allocates in between, so it is exactly
+                # the per-job can_fit() this replaces).
+                avail = self.cluster.available()
+                if reduced and avail.fits_mask(reduced).any():
                     with self._tracer.span(
                         "select", method=self.selector.name, window=len(reduced)
                     ) as sel_span:
@@ -640,13 +651,17 @@ class SchedulingEngine:
             #    this pass may skip ahead; "queue" scope considers everything.
             backfilled = 0
             if self.backfill is not None and self._queue:
-                eligible = self.window.eligible(
-                    self.policy.order(self._queue, now), self._completed
-                )
+                # Jobs started above left the queue; because the policy
+                # orders by a per-job sort key, filtering them out of the
+                # pass's eligible list equals re-ordering the shrunk queue.
+                in_queue = {j.jid for j in self._queue}
+                still_eligible = [j for j in eligible if j.jid in in_queue]
                 if self.backfill_scope == "window":
-                    remaining = eligible[: self.window.scope_size(len(eligible))]
+                    remaining = still_eligible[
+                        : self.window.scope_size(len(still_eligible))
+                    ]
                 else:
-                    remaining = list(eligible)
+                    remaining = still_eligible
                 if blocked_forced is not None and blocked_forced in remaining:
                     remaining.remove(blocked_forced)
                     remaining.insert(0, blocked_forced)

@@ -13,11 +13,8 @@ cheap).  It is a drop-in replacement for the static
 
 from __future__ import annotations
 
-from typing import AbstractSet, Sequence
-
 from ..errors import ConfigurationError
-from ..simulator.job import Job
-from .window import DEFAULT_STARVATION_BOUND, Window, WindowPolicy
+from .window import DEFAULT_STARVATION_BOUND, WindowPolicy
 
 
 class DynamicWindowPolicy(WindowPolicy):
@@ -59,16 +56,3 @@ class DynamicWindowPolicy(WindowPolicy):
 
     def scope_size(self, eligible_count: int) -> int:
         return self.current_size(eligible_count)
-
-    def extract(
-        self, ordered_queue: Sequence[Job], completed: AbstractSet[int]
-    ) -> Window:
-        eligible = self.eligible(ordered_queue, completed)
-        size = self.current_size(len(eligible))
-        jobs = tuple(eligible[:size])
-        if self.starvation_bound is None:
-            return Window(jobs=jobs)
-        forced = tuple(
-            i for i, j in enumerate(jobs) if j.window_age >= self.starvation_bound
-        )
-        return Window(jobs=jobs, forced=forced)

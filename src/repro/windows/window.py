@@ -84,15 +84,15 @@ class WindowPolicy:
         """
         return self.size
 
-    def extract(
-        self, ordered_queue: Sequence[Job], completed: AbstractSet[int]
-    ) -> Window:
-        """Build the window from a priority-ordered queue.
+    def extract_eligible(self, eligible: Sequence[Job]) -> Window:
+        """Build the window from an already-computed eligible list.
 
-        ``completed`` is the set of completed job ids used for dependency
-        gating.  Jobs already past the starvation bound are flagged forced.
+        The engine computes the priority-ordered eligible list once per
+        scheduling pass and shares it between window extraction and
+        window-scoped backfilling; this entry point avoids re-deriving it.
+        Jobs already past the starvation bound are flagged forced.
         """
-        jobs = tuple(self.eligible(ordered_queue, completed)[: self.size])
+        jobs = tuple(eligible[: self.scope_size(len(eligible))])
         if self.starvation_bound is None:
             return Window(jobs=jobs)
         forced = tuple(
@@ -105,6 +105,16 @@ class WindowPolicy:
                 jids=[jobs[i].jid for i in forced],
             )
         return Window(jobs=jobs, forced=forced)
+
+    def extract(
+        self, ordered_queue: Sequence[Job], completed: AbstractSet[int]
+    ) -> Window:
+        """Build the window from a priority-ordered queue.
+
+        ``completed`` is the set of completed job ids used for dependency
+        gating.
+        """
+        return self.extract_eligible(self.eligible(ordered_queue, completed))
 
     def record_outcome(self, window: Window, selected: AbstractSet[int]) -> None:
         """Update starvation ages after a selection.

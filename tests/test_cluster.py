@@ -138,6 +138,33 @@ class TestAvailable:
         assert c.can_fit(make_job(nodes=10, bb=100.0))
         assert not c.can_fit(make_job(nodes=11))
 
+    def test_fits_mask_empty(self):
+        avail = Available(nodes=5, bb=10.0, ssd_free={0.0: 5})
+        assert avail.fits_mask([]).shape == (0,)
+
+    def test_fits_mask_matches_fits(self):
+        """The batched mask must agree with per-job fits() on every job,
+        including SSD requests landing exactly on, between, and above the
+        tier capacities."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        snapshots = [
+            Available(nodes=5, bb=10.0, ssd_free={0.0: 5}),
+            Available(nodes=4, bb=0.0, ssd_free={128.0: 2, 256.0: 2}),
+            Available(nodes=9, bb=50.0, ssd_free={0.0: 3, 128.0: 2, 256.0: 4}),
+        ]
+        for avail in snapshots:
+            jobs = [
+                make_job(jid=j, nodes=int(rng.integers(1, 8)),
+                         bb=float(rng.integers(0, 15)),
+                         ssd=float(rng.choice([0.0, 64.0, 128.0, 200.0,
+                                               256.0, 300.0])))
+                for j in range(40)
+            ]
+            expected = [avail.fits(job) for job in jobs]
+            assert avail.fits_mask(jobs).tolist() == expected
+
     def test_bb_utilization_zero_capacity(self):
         c = Cluster(nodes=10, bb_capacity=0.0)
         assert c.bb_utilization() == 0.0

@@ -1,0 +1,168 @@
+"""Differential tests: the GA evaluation cache changes nothing but speed.
+
+The memoized evaluation path (:mod:`repro.core.evalcache`) must be
+*byte-identical* to the reference path (``eval_cache=False``) at every
+level: solver outputs (ParetoSet genes and objectives), full-run
+fingerprints for every §4 method under both site policies, and runs that
+pass through a checkpoint/resume cycle.  Any divergence — an RNG draw
+consumed differently, a float assembled from a different batch shape —
+shows up here as a hard failure.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.verify import fingerprint_digest, verify_resume
+from repro.core.ga import MOGASolver
+from repro.core.problem import SelectionProblem, SSDSelectionProblem
+from repro.core.scalar import ScalarGASolver
+from repro.experiments import get_scale, get_workload
+from repro.experiments.runner import run_one
+from repro.methods.registry import METHODS_SECTION4
+from repro.simulator.job import Job
+
+#: Deliberately tiny: 16 method×workload fingerprint pairs run per test
+#: session, each pair simulating the trace twice.  The name must stay a
+#: registered scale — get_workload resolves machine shrink factors by it.
+TINY = dataclasses.replace(
+    get_scale("smoke"), n_jobs=60, generations=12, population=8, window=8,
+)
+
+#: One FCFS site (Cori) and one WFP site (Theta), per §4.3.
+WORKLOADS = ("Cori-S1", "Theta-S2")
+
+
+def make_job(jid, nodes, bb=0.0, ssd=0.0):
+    return Job(jid=jid, submit_time=0.0, runtime=10.0, walltime=10.0,
+               nodes=nodes, bb=bb, ssd=ssd)
+
+
+def random_selection_problem(rng):
+    w = int(rng.integers(3, 12))
+    demands = np.column_stack([
+        rng.integers(1, 50, size=w).astype(float),
+        rng.integers(0, 80, size=w).astype(float),
+    ])
+    return SelectionProblem(
+        demands, [float(rng.integers(10, 120)), float(rng.integers(0, 150))]
+    )
+
+
+def random_ssd_problem(rng):
+    w = int(rng.integers(3, 10))
+    jobs = [
+        make_job(j + 1, int(rng.integers(1, 4)),
+                 bb=float(rng.integers(0, 30)),
+                 ssd=float(rng.choice([0.0, 64.0, 200.0])))
+        for j in range(w)
+    ]
+    tiers = {128.0: int(rng.integers(1, 5)), 256.0: int(rng.integers(1, 5))}
+    return SSDSelectionProblem(
+        jobs, free_nodes=sum(tiers.values()),
+        free_bb=float(rng.integers(0, 60)),
+        free_tiers=tiers,
+    )
+
+
+def assert_pareto_identical(a, b):
+    """Byte-level equality of two ParetoSets (genes and objectives)."""
+    assert a.genes.tobytes() == b.genes.tobytes()
+    assert a.objectives.tobytes() == b.objectives.tobytes()
+
+
+class TestSolverDifferential:
+    """Cache on/off byte-identity at the solver level."""
+
+    @pytest.mark.parametrize("selection", ["age", "crowding"])
+    @pytest.mark.parametrize("trial", range(6))
+    def test_moga_selection_problem(self, selection, trial):
+        rng = np.random.default_rng(1000 + trial)
+        problem = random_selection_problem(rng)
+        seed = int(rng.integers(0, 2**31))
+        kw = dict(generations=25, population=10, selection=selection)
+        on = MOGASolver(eval_cache=True, seed=seed, **kw).solve(problem)
+        off = MOGASolver(eval_cache=False, seed=seed, **kw).solve(problem)
+        assert_pareto_identical(on, off)
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_moga_ssd_problem(self, trial):
+        rng = np.random.default_rng(2000 + trial)
+        problem = random_ssd_problem(rng)
+        seed = int(rng.integers(0, 2**31))
+        kw = dict(generations=25, population=10)
+        on = MOGASolver(eval_cache=True, seed=seed, **kw).solve(problem)
+        off = MOGASolver(eval_cache=False, seed=seed, **kw).solve(problem)
+        assert_pareto_identical(on, off)
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_scalar_solver(self, trial):
+        rng = np.random.default_rng(3000 + trial)
+        problem = random_selection_problem(rng)
+        seed = int(rng.integers(0, 2**31))
+        coeffs = [1.0, 0.5]
+        kw = dict(generations=25, population=10)
+        on = ScalarGASolver(coeffs, eval_cache=True, seed=seed, **kw)
+        off = ScalarGASolver(coeffs, eval_cache=False, seed=seed, **kw)
+        assert_pareto_identical(on.solve(problem), off.solve(problem))
+
+    def test_cache_actually_engages(self):
+        """The on-path must really memoize, or these tests prove nothing."""
+        problem = random_selection_problem(np.random.default_rng(7))
+        solver = MOGASolver(generations=30, population=10, seed=42,
+                            eval_cache=True)
+        solver.solve(problem)
+        stats = solver.eval_cache_stats
+        assert stats is not None and stats["hits"] > 0
+
+    def test_tiny_capacity_still_identical(self):
+        """Evictions cost re-evaluation, never correctness."""
+        # Wide window + hot mutation: enough distinct chromosomes to
+        # overflow a 4-entry store many times over.
+        rng = np.random.default_rng(11)
+        demands = np.column_stack([
+            rng.integers(1, 20, size=14).astype(float),
+            rng.integers(0, 30, size=14).astype(float),
+        ])
+        problem = SelectionProblem(demands, [60.0, 90.0])
+        kw = dict(generations=30, population=10, mutation=0.05, seed=42)
+        small = MOGASolver(eval_cache=True, cache_capacity=4, **kw)
+        off = MOGASolver(eval_cache=False, **kw)
+        assert_pareto_identical(small.solve(problem), off.solve(problem))
+        assert small.eval_cache_stats["evictions"] > 0
+
+
+class TestRunDifferential:
+    """Cache on/off fingerprint identity for every §4 method."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("method", METHODS_SECTION4)
+    def test_fingerprints_identical(self, method, workload):
+        on = run_one(get_workload(workload, TINY), method, TINY,
+                     eval_cache=True)
+        off = run_one(get_workload(workload, TINY), method, TINY,
+                      eval_cache=False)
+        assert fingerprint_digest(on) == fingerprint_digest(off)
+
+
+class TestResumeDifferential:
+    """The cache survives a checkpoint/resume cycle without divergence.
+
+    The memo store is dropped on pickling (``MOGASolver.__getstate__``)
+    and rebuilt lazily, so a resumed run re-warms it mid-trace — the
+    riskiest path for a stale-entry bug.
+    """
+
+    def test_resume_with_cache_matches_no_cache_reference(self, tmp_path):
+        workload, method = "Theta-S2", "BBSched"
+        # verify_resume asserts uninterrupted == interrupted+resumed, all
+        # three runs with the cache on.
+        report = verify_resume(
+            get_workload(workload, TINY), method, TINY,
+            eval_cache=True, stop_fraction=0.5, workdir=str(tmp_path),
+        )
+        # The shared digest must also equal the cache-off reference.
+        off = run_one(get_workload(workload, TINY), method, TINY,
+                      eval_cache=False)
+        assert report.digest == fingerprint_digest(off)

@@ -130,6 +130,19 @@ class TestParetoSet:
         assert ps.best_by(0) == 0
         assert ps.best_by(1) == 1
 
+    def test_best_by_tie_breaks_lowest_index(self):
+        """A tied maximum must dispatch the lowest row index, always.
+
+        Decision rules pick the dispatched solution via best_by; on a tied
+        front any other tie-break would make runs platform-dependent.
+        """
+        ps = ParetoSet(
+            genes=np.array([[1, 0], [0, 1], [1, 1]], dtype=np.uint8),
+            objectives=np.array([[7.0, 2.0], [7.0, 5.0], [3.0, 5.0]]),
+        )
+        assert ps.best_by(0) == 0  # rows 0 and 1 tie on objective 0
+        assert ps.best_by(1) == 1  # rows 1 and 2 tie on objective 1
+
     def test_best_by_empty_raises(self):
         ps = ParetoSet(genes=np.zeros((0, 2), dtype=np.uint8),
                        objectives=np.zeros((0, 2)))
@@ -140,6 +153,63 @@ class TestParetoSet:
         with pytest.raises(SolverError):
             ParetoSet(genes=np.zeros((2, 2), dtype=np.uint8),
                       objectives=np.zeros((1, 2)))
+
+
+class TestEvalCache:
+    def test_stats_none_when_disabled(self):
+        s = MOGASolver(generations=10, population=8, eval_cache=False, seed=0)
+        s.solve(table1_problem())
+        assert s.eval_cache_stats is None
+
+    def test_stats_zero_before_first_solve(self):
+        s = MOGASolver(eval_cache=True)
+        assert s.eval_cache_stats == {
+            "hits": 0, "misses": 0, "deduped": 0, "evictions": 0,
+        }
+
+    def test_stats_accumulate_across_solves(self):
+        s = MOGASolver(generations=15, population=8, eval_cache=True, seed=0)
+        s.solve(table1_problem())
+        first = s.eval_cache_stats
+        assert first["hits"] > 0 and first["misses"] > 0
+        s.solve(table1_problem())
+        second = s.eval_cache_stats
+        assert second["hits"] > first["hits"]
+
+    def test_store_cleared_between_solves(self):
+        """Chromosome bytes are meaningless across problems — a stale
+        entry would serve wrong objectives, so each solve starts empty."""
+        s = MOGASolver(generations=10, population=8, eval_cache=True, seed=0)
+        s.solve(table1_problem())
+        jobs = [make_job(1, 3, 50.0), make_job(2, 4, 10.0)]
+        other = SelectionProblem.from_window(jobs, 10, 60.0)
+        result = s.solve(other)
+        assert other.feasible(result.genes).all()
+        assert np.allclose(result.objectives, other.evaluate(result.genes))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SolverError):
+            MOGASolver(cache_capacity=0)
+
+    def test_pickle_drops_cache_and_results_stay_identical(self):
+        """The memo store never rides along in a checkpoint: pickling
+        drops it, and the restored solver rebuilds it lazily producing
+        byte-identical output from its restored RNG."""
+        import pickle
+
+        problem = table1_problem()
+        a = MOGASolver(generations=20, population=8, eval_cache=True, seed=9)
+        b = pickle.loads(pickle.dumps(a))
+        assert b._cache is None
+        ra, rb = a.solve(problem), b.solve(problem)
+        assert ra.genes.tobytes() == rb.genes.tobytes()
+        assert ra.objectives.tobytes() == rb.objectives.tobytes()
+        # Warm solver pickled mid-life: store still dropped, output still equal.
+        c = pickle.loads(pickle.dumps(a))
+        assert c._cache is None
+        rc = c.solve(problem)
+        ra2 = a.solve(problem)
+        assert rc.genes.tobytes() == ra2.genes.tobytes()
 
 
 class TestCrowdingDistance:

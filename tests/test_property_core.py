@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.exhaustive import ExhaustiveSolver, bit_matrix
-from repro.core.ga import MOGASolver
+from repro.core.ga import MOGASolver, crowding_distance
 from repro.core.gd import generational_distance, hypervolume_2d
 from repro.core.pareto import non_dominated_mask, pareto_front_2d
 from repro.core.problem import SelectionProblem
@@ -26,6 +26,32 @@ def selection_problems(draw, max_w=8):
     cap_b = draw(st.integers(0, 150))
     demands = np.array([[float(n), float(b)] for n, b in zip(nodes, bbs)])
     return SelectionProblem(demands, [float(cap_n), float(cap_b)])
+
+
+@st.composite
+def forced_selection_problems(draw, max_w=8):
+    """Selection problems carrying a feasible (possibly empty) forced set."""
+    base = draw(selection_problems(max_w=max_w))
+    order = draw(st.permutations(list(range(base.w))))
+    forced, total = [], np.zeros(base.n_objectives)
+    for i in order:
+        if len(forced) >= 3:
+            break
+        if ((total + base.demands[i]) <= base.capacities + 1e-9).all():
+            forced.append(i)
+            total += base.demands[i]
+    return SelectionProblem(base.demands, base.capacities, forced=forced)
+
+
+#: Matrices whose columns each hold pairwise-distinct values — crowding
+#: distance's boundary-inf assignment is only well-defined up to argsort
+#: ties, so permutation invariance is stated on tie-free inputs.
+unique_column_matrices = st.integers(3, 25).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 10_000), min_size=n, max_size=n, unique=True),
+        st.lists(st.integers(0, 10_000), min_size=n, max_size=n, unique=True),
+    ).map(lambda cols: np.column_stack(cols).astype(float))
+)
 
 
 objective_matrices = st.integers(1, 40).flatmap(
@@ -113,6 +139,34 @@ class TestProblemProperties:
         assert pop.shape == (12, problem.w)
         assert problem.feasible(pop).all()
 
+    @given(forced_selection_problems(), st.integers(0, 2**31 - 1),
+           st.booleans())
+    @settings(**COMMON, max_examples=40)
+    def test_repair_feasible_and_forced_intact_both_modes(
+        self, problem, seed, fast
+    ):
+        """Both repair modes end feasible with forced genes asserted."""
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 2, size=(12, problem.w), dtype=np.uint8)
+        fixed = problem.repair(pop, seed, fast=fast)
+        assert problem.feasible(fixed).all()
+        if problem.forced:
+            assert (fixed[:, list(problem.forced)] == 1).all()
+        # Genes are only ever cleared, except forced re-assertion.
+        unforced = [i for i in range(problem.w) if i not in problem.forced]
+        assert (fixed[:, unforced] <= pop[:, unforced]).all()
+
+    @given(forced_selection_problems(), st.integers(0, 2**31 - 1),
+           st.booleans())
+    @settings(**COMMON, max_examples=40)
+    def test_repair_idempotent(self, problem, seed, fast):
+        """Repairing an already-feasible population changes nothing."""
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 2, size=(10, problem.w), dtype=np.uint8)
+        fixed = problem.repair(pop, seed, fast=fast)
+        again = problem.repair(fixed, seed + 1, fast=fast)
+        assert (again == fixed).all()
+
 
 # --- GA / exhaustive invariants --------------------------------------------------------
 
@@ -150,6 +204,43 @@ class TestSolverProperties:
         M = bit_matrix(0, 1 << w, w)
         codes = (M.astype(np.int64) * (1 << np.arange(w))).sum(axis=1)
         assert (codes == np.arange(1 << w)).all()
+
+    @given(selection_problems(max_w=10), st.integers(0, 2**31 - 1),
+           st.sampled_from(["age", "crowding"]))
+    @settings(**COMMON, max_examples=15)
+    def test_eval_cache_never_changes_solve(self, problem, seed, selection):
+        """Memoized evaluation is byte-identical to the reference path,
+        across random problems, window widths, seeds, and both survival
+        schemes (the broad-stroke twin of tests/test_differential.py)."""
+        kw = dict(generations=20, population=8, selection=selection, seed=seed)
+        on = MOGASolver(eval_cache=True, **kw).solve(problem)
+        off = MOGASolver(eval_cache=False, **kw).solve(problem)
+        assert on.genes.tobytes() == off.genes.tobytes()
+        assert on.objectives.tobytes() == off.objectives.tobytes()
+
+
+# --- crowding-distance invariants ---------------------------------------------------
+
+class TestCrowdingProperties:
+    @given(unique_column_matrices, st.randoms(use_true_random=False))
+    @settings(**COMMON)
+    def test_permutation_invariant(self, F, rnd):
+        """Each row's crowding distance depends on values, not row order."""
+        perm = list(range(F.shape[0]))
+        rnd.shuffle(perm)
+        base = crowding_distance(F)
+        shuffled = crowding_distance(F[perm])
+        assert np.array_equal(shuffled, base[perm])
+
+    @given(unique_column_matrices)
+    @settings(**COMMON)
+    def test_boundaries_infinite_interior_finite(self, F):
+        dist = crowding_distance(F)
+        assert dist.shape == (F.shape[0],)
+        for m in range(F.shape[1]):
+            assert np.isinf(dist[np.argmin(F[:, m])])
+            assert np.isinf(dist[np.argmax(F[:, m])])
+        assert (dist[np.isfinite(dist)] >= 0).all()
 
 
 # --- quality metric invariants --------------------------------------------------------
