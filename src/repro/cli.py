@@ -250,7 +250,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     result = exp.run_one(trace, args.method, scale, seed=args.seed,
                                          retry=retry, checkpoint=checkpoint,
                                          resume_from=args.resume_from,
-                                         eval_cache=not args.no_eval_cache)
+                                         eval_cache=not args.no_eval_cache,
+                                         fast_engine=not args.no_fast_engine)
             except SimulationInterrupted as exc:
                 # Orderly signal path: the final checkpoint is already on
                 # disk; flush exporters and exit with the signal's code.
@@ -396,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--no-eval-cache", action="store_true",
                        help="disable the GA evaluation memo (slower reference "
                             "path; results are byte-identical either way)")
+    p_sim.add_argument("--no-fast-engine", action="store_true",
+                       help="disable the array-backed engine fast path "
+                            "(slower reference path; results are "
+                            "byte-identical either way)")
     p_sim.add_argument("--faults", default=None, choices=sorted(SCENARIOS),
                        help="named fault scenario to inject")
     p_sim.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",

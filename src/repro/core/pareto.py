@@ -48,6 +48,13 @@ def non_dominated_mask(objectives: np.ndarray) -> np.ndarray:
     n = objectives.shape[0]
     if n == 0:
         return np.zeros(0, dtype=bool)
+    if objectives.shape[1] == 2:
+        # Two objectives: the O(n log n) sort-and-scan front is exact (pure
+        # comparisons, no arithmetic) and beats the quadratic mask at every
+        # size that matters.
+        mask = np.zeros(n, dtype=bool)
+        mask[pareto_front_2d(objectives)] = True
+        return mask
     if n <= _CHUNK:
         return _pairwise_mask(objectives)
     # Cull in two passes: survivors of chunk-local fronts, then a global
@@ -88,21 +95,25 @@ def pareto_front_2d(objectives: np.ndarray) -> np.ndarray:
     n = objectives.shape[0]
     if n == 0:
         return np.zeros(0, dtype=np.intp)
-    # Sort by f1 desc, then f2 desc; scan keeping rows whose f2 strictly
-    # exceeds the best f2 seen, plus exact duplicates of kept rows.
+    # Sort by f1 desc, then f2 desc; keep rows whose f2 strictly exceeds
+    # every earlier f2, plus exact duplicates of kept rows.  The scan is
+    # vectorized: the strict-improvement test is a prefix running max, and
+    # duplicate rows sort adjacent, so each row of an equal run inherits
+    # the keep decision of the run's first row.
     order = np.lexsort((-objectives[:, 1], -objectives[:, 0]))
-    f = objectives[order]
-    keep = np.zeros(n, dtype=bool)
-    best_f2 = -np.inf
-    best_pair = (np.inf, np.inf)
-    for i in range(n):
-        f1, f2 = f[i]
-        if f2 > best_f2:
-            keep[i] = True
-            best_f2 = f2
-            best_pair = (f1, f2)
-        elif (f1, f2) == best_pair:
-            keep[i] = True  # duplicate of the row just kept
+    s1 = objectives[order, 0]
+    s2 = objectives[order, 1]
+    prev_max = np.empty(n)
+    prev_max[0] = -np.inf
+    np.maximum.accumulate(s2[:-1], out=prev_max[1:])
+    keep = s2 > prev_max
+    if n > 1:
+        # Map every row to the index of the first row of its equal run.
+        run_start = np.arange(n)
+        dup = (s1[1:] == s1[:-1]) & (s2[1:] == s2[:-1])
+        run_start[1:][dup] = 0
+        np.maximum.accumulate(run_start, out=run_start)
+        keep = keep[run_start]
     return order[keep]
 
 

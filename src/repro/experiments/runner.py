@@ -81,6 +81,7 @@ def run_one(
     retry: Optional[RetryPolicy] = None,
     watchdog_budget: Optional[float] = None,
     eval_cache: bool = True,
+    fast_engine: bool = True,
     collect_telemetry: bool = False,
     checkpoint: Optional[CheckpointConfig] = None,
     resume_from: Optional[str] = None,
@@ -98,6 +99,11 @@ def run_one(
     produces byte-identical results, used by the differential tests and
     the performance benchmark.  Like the other selector knobs it is baked
     into checkpoints and therefore ignored on resume.
+
+    ``fast_engine=False`` likewise disables the engine's array-backed fast
+    path (vectorized queue ordering, the FCFS order cache, incremental
+    planned releases) — again a byte-identical reference path, exposed on
+    the CLI as ``--no-fast-engine`` and pinned by the differential tests.
 
     ``collect_telemetry=True`` installs a private tracer for the run and
     attaches a :class:`~repro.telemetry.TelemetrySnapshot` to the result
@@ -153,6 +159,7 @@ def run_one(
             backfill=EasyBackfill(),
             faults=injector,
             retry=retry,
+            fast=fast_engine,
         )
         run_engine = lambda: engine.run(trace.fresh_jobs(), checkpointer=checkpointer)  # noqa: E731
     checkpointer = None

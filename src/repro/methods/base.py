@@ -96,10 +96,11 @@ class Selector(abc.ABC):
         if bb > avail.bb + 1e-9:
             raise SchedulingError(f"selection uses {bb}GB BB, only {avail.bb}GB free")
         tiers = dict(avail.ssd_free)
+        caps = sorted(tiers)  # keys never change below, only counts do
         for i in sorted(selected):
             job = window[i]
             remaining = job.nodes
-            for cap in sorted(tiers):
+            for cap in caps:
                 if cap < job.ssd or remaining == 0:
                     continue
                 grab = min(tiers[cap], remaining)
@@ -125,19 +126,29 @@ class Selector(abc.ABC):
         naive method); otherwise non-fitting jobs are skipped.
         """
         tiers = dict(avail.ssd_free)
+        caps = sorted(tiers)  # keys never change below, only counts do
+        # Exact fast path for the qualifying count: a request at or below
+        # the smallest tier capacity qualifies every free node (the common
+        # case on single-tier systems), so track the integer total.
+        min_cap = caps[0] if caps else 0.0
+        total = sum(tiers.values())
         bb = avail.bb
         chosen: List[int] = []
         for i in order:
             job = window[i]
-            qualifying = sum(n for cap, n in tiers.items() if cap >= job.ssd)
+            if job.ssd <= min_cap:
+                qualifying = total
+            else:
+                qualifying = sum(n for cap, n in tiers.items() if cap >= job.ssd)
             if job.bb <= bb + 1e-9 and qualifying >= job.nodes:
                 remaining = job.nodes
-                for cap in sorted(tiers):
+                for cap in caps:
                     if cap < job.ssd or remaining == 0:
                         continue
                     grab = min(tiers[cap], remaining)
                     tiers[cap] -= grab
                     remaining -= grab
+                total -= job.nodes
                 bb -= job.bb
                 chosen.append(i)
             elif stop_at_first_miss:

@@ -8,14 +8,31 @@ with WFP, ALCF's utility-based policy.
 A policy is a pure ordering function: given the queued jobs and the current
 time it returns them in descending priority.  Ties are always broken by
 ``(submit_time, jid)`` so orderings are total and deterministic.
+
+Two equivalent execution paths produce the ordering:
+
+* the **reference path** — ``sorted(queue, key=...)`` over per-job
+  :meth:`PriorityPolicy.priority` calls, the executable spec;
+* the **vectorized path** — used when the caller supplies a
+  :class:`~repro.simulator.jobtable.JobTable`: scores come from
+  :meth:`PriorityPolicy.priority_array` (or a per-job fallback for custom
+  policies) and one ``np.lexsort`` over ``(-score, submit_time, jid)``
+  replaces the tuple sort.  Because every jid is unique the sort key is
+  total, so both paths yield the *identical* permutation — pinned by the
+  property tests in ``tests/test_differential.py``.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
 
 from ..simulator.job import Job
+
+if TYPE_CHECKING:  # import cycle: the simulator imports policies
+    from ..simulator.jobtable import JobTable
 
 
 class PriorityPolicy(abc.ABC):
@@ -24,15 +41,58 @@ class PriorityPolicy(abc.ABC):
     #: Short identifier used in reports.
     name: str = "base"
 
+    #: True when :meth:`priority` ignores ``now`` (e.g. FCFS), letting the
+    #: engine reuse an ordering until queue membership changes.
+    time_independent: bool = False
+
     @abc.abstractmethod
     def priority(self, job: Job, now: float) -> float:
         """Numeric priority of ``job`` at time ``now`` (higher runs first)."""
 
-    def order(self, queue: Sequence[Job], now: float) -> List[Job]:
-        """Queue sorted by descending priority, ties by submit order."""
-        return sorted(
-            queue, key=lambda j: (-self.priority(j, now), j.submit_time, j.jid)
-        )
+    def priority_array(
+        self, table: "JobTable", rows: np.ndarray, now: float
+    ) -> Optional[np.ndarray]:
+        """Vectorized :meth:`priority` over table rows, or None.
+
+        Returning None routes :meth:`order` through the per-job fallback —
+        correct for any custom policy; concrete policies override this
+        with an implementation whose float64 arithmetic is bit-identical
+        to the scalar one.
+        """
+        return None
+
+    def order(
+        self,
+        queue: Sequence[Job],
+        now: float,
+        *,
+        table: Optional["JobTable"] = None,
+        rows: Optional[np.ndarray] = None,
+    ) -> List[Job]:
+        """Queue sorted by descending priority, ties by submit order.
+
+        With ``table`` (and optionally precomputed ``rows`` into it) the
+        vectorized path runs; without it the reference tuple sort does.
+        Both return the same permutation.
+        """
+        if table is None or len(queue) < 2:
+            return sorted(
+                queue, key=lambda j: (-self.priority(j, now), j.submit_time, j.jid)
+            )
+        if rows is None:
+            rows = table.rows_for(queue)
+        scores = self.priority_array(table, rows, now)
+        if scores is None:
+            scores = np.fromiter(
+                (self.priority(j, now) for j in queue),
+                dtype=np.float64,
+                count=len(queue),
+            )
+        # Reference key is (-score, submit_time, jid) ascending; lexsort
+        # takes its primary key last.  jid uniqueness makes the key total,
+        # so sort stability cannot matter.
+        perm = np.lexsort((table.jid[rows], table.submit_time[rows], -scores))
+        return [queue[i] for i in perm]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

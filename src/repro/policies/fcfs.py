@@ -2,14 +2,34 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+import numpy as np
+
 from ..simulator.job import Job
 from .base import PriorityPolicy
 
+if TYPE_CHECKING:
+    from ..simulator.jobtable import JobTable
+
 
 class FCFS(PriorityPolicy):
-    """Jobs run in arrival order: priority is the negated submit time."""
+    """Jobs run in arrival order: priority is the negated submit time.
+
+    The score never depends on ``now`` (``time_independent``), so the
+    engine caches the ordering and invalidates it only when queue
+    membership changes.
+    """
 
     name = "fcfs"
+    time_independent = True
 
     def priority(self, job: Job, now: float) -> float:
         return -job.submit_time
+
+    def priority_array(
+        self, table: "JobTable", rows: np.ndarray, now: float
+    ) -> np.ndarray:
+        # Negation is exact, so the vectorized scores are bit-identical
+        # to the scalar ones.
+        return -table.submit_time[rows]

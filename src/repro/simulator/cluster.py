@@ -49,16 +49,40 @@ class Available:
     def fits_mask(self, jobs: Sequence[Job]) -> np.ndarray:
         """Vectorized :meth:`fits` — one boolean per job.
 
-        Builds the sorted tier-capacity vector and its qualifying-node
-        suffix sums once for the whole batch instead of re-summing the
-        tier mapping per job; result is element-wise identical to
-        ``[self.fits(j) for j in jobs]``.
+        Result is element-wise identical to ``[self.fits(j) for j in jobs]``.
         """
         if not jobs:
             return np.zeros(0, dtype=bool)
-        nodes = np.array([j.nodes for j in jobs])
-        bb = np.array([j.bb for j in jobs], dtype=float)
-        ssd = np.array([j.ssd for j in jobs], dtype=float)
+        return self.fits_cols(
+            np.array([j.nodes for j in jobs]),
+            np.array([j.bb for j in jobs], dtype=float),
+            np.array([j.ssd for j in jobs], dtype=float),
+        )
+
+    def fits_cols(
+        self, nodes: np.ndarray, bb: np.ndarray, ssd: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`fits_mask` over pre-gathered demand columns.
+
+        The fast engine slices these straight out of its
+        :class:`~repro.simulator.jobtable.JobTable` instead of looping over
+        Job objects.  Builds the sorted tier-capacity vector and its
+        qualifying-node suffix sums once for the whole batch instead of
+        re-summing the tier mapping per job.
+        """
+        if len(nodes) == 0:
+            return np.zeros(0, dtype=bool)
+        if len(self.ssd_free) == 1:
+            # Single-tier system (e.g. Cori: burst buffer, no local SSDs):
+            # a request qualifies every free node or none, so the suffix-sum
+            # machinery below collapses to one comparison per column.
+            ((cap, free),) = self.ssd_free.items()
+            return (
+                (nodes <= self.nodes)
+                & (bb <= self.bb)
+                & (ssd <= cap)
+                & (nodes <= free)
+            )
         caps = np.array(sorted(self.ssd_free), dtype=float)
         free = np.array([self.ssd_free[c] for c in caps], dtype=np.int64)
         # suffix[i] = free nodes on tiers caps[i:]; suffix[len(caps)] = 0

@@ -29,6 +29,7 @@ from ..backfill import EasyBackfill, PlannedRelease
 from ..errors import SchedulingError, TraceError
 from ..policies.base import PriorityPolicy
 from ..telemetry import NULL_TRACER, MetricsRegistry, get_tracer
+from ..telemetry.tracer import NULL_SPAN
 
 if TYPE_CHECKING:  # pulled lazily at runtime — repro.methods imports the
     # core solvers, which import this simulator package: a module-level
@@ -40,10 +41,16 @@ from ..windows import WindowPolicy
 from .cluster import Cluster
 from .events import Event, EventQueue, EventType
 from .job import Job, JobState
+from .jobtable import JobTable
 from .recorder import UsageRecorder
 
 #: EventType → counter name, precomputed so the hot loop does no formatting.
 _EVENT_COUNTERS = {et: f"engine.events.{et.name.lower()}" for et in EventType}
+
+#: Queue depth below which a time-dependent (uncacheable) ordering uses the
+#: reference tuple sort even on the fast engine — the lexsort path's array
+#: setup only amortizes past this measured crossover.
+_VECTOR_MIN_QUEUE = 48
 
 
 @dataclass
@@ -151,6 +158,18 @@ class SchedulingEngine:
         Spans are additionally emitted to the process's active tracer
         (:func:`repro.telemetry.get_tracer`) — the zero-overhead NULL
         tracer unless a run is explicitly traced.
+    fast:
+        Enable the array-backed fast path (default).  The fast engine
+        builds a :class:`~repro.simulator.jobtable.JobTable` over the
+        trace, orders the queue with one ``np.lexsort`` instead of a
+        Python tuple sort (caching the ordering for time-independent
+        policies such as FCFS until queue membership changes), keeps the
+        backfiller's planned-release list incrementally instead of
+        rebuilding it every pass, and gates window feasibility from the
+        table's columns.  Every shortcut is *byte-identical* to the
+        reference path — same job outcomes, same fingerprints — which
+        the differential tests assert across all §4 methods.  ``False``
+        runs the reference path (the CLI exposes ``--no-fast-engine``).
     """
 
     def __init__(
@@ -164,6 +183,7 @@ class SchedulingEngine:
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fast: bool = True,
     ) -> None:
         if backfill_scope not in ("window", "queue"):
             raise SchedulingError(
@@ -199,6 +219,27 @@ class SchedulingEngine:
             self.retry = retry
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._tracer = NULL_TRACER  # rebound from the active tracer in run()
+        self.fast = bool(fast)
+        # Cached instrument objects: the hot loop bumps Counter.value
+        # directly instead of going through the registry's name lookup on
+        # every event.  Refs are shared with self.metrics, so snapshots and
+        # pickling (one memo) see the same objects.
+        m = self.metrics
+        self._c_event_by_type = {
+            et: m.counter(name) for et, name in _EVENT_COUNTERS.items()
+        }
+        self._c_events = m.counter("engine.events")
+        self._c_started = m.counter("engine.jobs_started")
+        self._c_passes = m.counter("engine.passes")
+        self._c_passes_skipped = m.counter("engine.passes_skipped")
+        self._c_forced = m.counter("engine.jobs_forced")
+        self._c_selected = m.counter("engine.jobs_selected")
+        self._c_backfilled = m.counter("engine.jobs_backfilled")
+        self._c_order_vectorized = m.counter("engine.order.vectorized")
+        self._c_order_cache_hits = m.counter("engine.order.cache_hits")
+        self._c_order_fallback = m.counter("engine.order.fallback")
+        self._g_queue_depth = m.gauge("engine.queue_depth")
+        self._h_selector = m.histogram("engine.selector_seconds")
         # --- run state -------------------------------------------------------
         self._events = EventQueue()
         self._jobs: Optional[List[Job]] = None
@@ -214,6 +255,22 @@ class SchedulingEngine:
         self._terminal = 0
         #: job id → EventQueue token of its pending JOB_END (for fault kills)
         self._end_tokens: Dict[int, int] = {}
+        # --- fast-path state -------------------------------------------------
+        #: column view of the trace (fast engine only; None on the reference path)
+        self._table: Optional[JobTable] = None
+        #: bumped whenever queue *membership* changes; keys the order cache
+        self._queue_rev = 0
+        #: cached priority ordering for time-independent policies
+        self._order_cache: Optional[List[Job]] = None
+        self._order_rev = -1
+        #: jid → PlannedRelease, maintained in lock-step with ``_running``
+        self._release_map: Dict[int, PlannedRelease] = {}
+        #: True when window.eligible() is provably the identity for this run
+        self._eligible_passthrough = False
+        #: True when the policy overrides priority_array (pure vectorized scores)
+        self._order_vectorized = (
+            type(self.policy).priority_array is not PriorityPolicy.priority_array
+        )
 
     # --- pickling (checkpoint/resume) ---------------------------------------------
     # A mid-run engine is the unit :mod:`repro.checkpoint` persists: every
@@ -277,6 +334,13 @@ class SchedulingEngine:
                 )
             self._events.push(Event(job.submit_time, EventType.JOB_SUBMIT, job))
         self._jobs = jobs
+        if self.fast:
+            self._table = JobTable(jobs)
+            # Dep-free trace + stock eligibility filter → the filter is the
+            # identity, so each pass can skip rebuilding the eligible list.
+            self._eligible_passthrough = not any(
+                job.deps for job in jobs
+            ) and type(self.window).eligible is WindowPolicy.eligible
         if self.faults is not None:
             self._recorder.observe_capacity(
                 0.0, self.cluster.nodes_online, self.cluster.bb_online
@@ -308,26 +372,43 @@ class SchedulingEngine:
         assert jobs is not None
         self._tracer = get_tracer()
         metrics = self.metrics
+        events = self._events
+        n_jobs = len(jobs)
+        c_events = self._c_events
+        by_type = self._c_event_by_type
         with self._tracer.span(
-            "event_loop", jobs=len(jobs), method=self.selector.name
+            "event_loop", jobs=n_jobs, method=self.selector.name
         ) as loop_span:
-            while self._events and self._terminal < len(jobs):
-                t = self._events.peek_time()
+            while events and self._terminal < n_jobs:
+                t = events.peek_time()
                 assert t is not None
                 self._now = t
                 changed = False
-                while self._events and self._events.peek_time() == t:
-                    event = self._events.pop()
-                    metrics.inc("engine.events")
-                    metrics.inc(_EVENT_COUNTERS[event.etype])
-                    changed |= self._process(event)
+                if self.fast:
+                    # Batch-pop: pop_at re-checks the heap top each
+                    # iteration, so events pushed *for t* while processing
+                    # the batch are delivered in exactly the reference
+                    # peek/pop order below.
+                    while True:
+                        event = events.pop_at(t)
+                        if event is None:
+                            break
+                        c_events.value += 1
+                        by_type[event.etype].value += 1
+                        changed |= self._process(event)
+                else:
+                    while events and events.peek_time() == t:
+                        event = events.pop()
+                        metrics.inc("engine.events")
+                        metrics.inc(_EVENT_COUNTERS[event.etype])
+                        changed |= self._process(event)
                 if changed:
                     self._schedule_pass(t)
                 if checkpointer is not None:
                     # Batch boundary: every event at t is applied and the
                     # scheduling pass has run — a consistent snapshot point.
                     checkpointer.after_batch(self)
-            loop_span.set(makespan=self._now, events=metrics.counter("engine.events").value)
+            loop_span.set(makespan=self._now, events=c_events.value)
         self._stats.fallback_calls = getattr(self.selector, "fallback_calls", 0)
         metrics.counter("engine.solver_fallbacks").inc(self._stats.fallback_calls)
         # GA evaluation-cache counters (None for greedy methods / cache off).
@@ -371,10 +452,12 @@ class SchedulingEngine:
             self.cluster.release(job)
             job.mark_completed(event.time)
             del self._running[job.jid]
+            self._release_map.pop(job.jid, None)
             self._end_tokens.pop(job.jid, None)
             self._completed.add(job.jid)
             self._terminal += 1
             self._ssd_used -= job.ssd * job.nodes
+            self._sync_state(job)
             self._observe(event.time)
             return True
         if event.etype is EventType.JOB_SUBMIT:
@@ -387,12 +470,16 @@ class SchedulingEngine:
                 return False
             job.mark_queued()
             self._queue.append(job)
+            self._queue_rev += 1
+            self._sync_state(job)
             self._observe_queue(event.time)
             return True
         if event.etype is EventType.JOB_REQUEUE:
             job = event.payload
             job.mark_requeued()
             self._queue.append(job)
+            self._queue_rev += 1
+            self._sync_state(job)
             self._observe_queue(event.time)
             return True
         if event.etype is EventType.NODE_DOWN:
@@ -448,12 +535,30 @@ class SchedulingEngine:
         job.mark_started(now)
         self._running[job.jid] = job
         self._queue.remove(job)
-        self.metrics.inc("engine.jobs_started")
+        self._queue_rev += 1
+        self._c_started.value += 1
         self._ssd_used += job.ssd * job.nodes
         self._ssd_waste += self.cluster.allocated_waste(job)
         self._end_tokens[job.jid] = self._events.push(
             Event(now + job.runtime, EventType.JOB_END, job)
         )
+        # The job's planned release is fixed at start (walltime estimate and
+        # tier assignment never change while it runs), so it is recorded once
+        # here instead of being rebuilt from _running every backfill pass.
+        # Insertions/deletions mirror _running exactly, so iteration order —
+        # and therefore the backfill plan — matches the reference rebuild.
+        self._release_map[job.jid] = PlannedRelease(
+            est_end=now + job.walltime,
+            bb=job.bb,
+            nodes_by_tier=self.cluster.nodes_by_tier(job),
+        )
+        self._sync_state(job)
+
+    def _sync_state(self, job: Job) -> None:
+        """Mirror a lifecycle transition into the job table's state column."""
+        table = self._table
+        if table is not None:
+            table.set_state(table.row_of[job.jid], job.state)
 
     # --- fault handling ---------------------------------------------------------
     def _push_fault(self, etype: EventType, incident) -> None:
@@ -509,12 +614,14 @@ class SchedulingEngine:
         self._ssd_waste -= self.cluster.allocated_waste(job)
         self.cluster.release(job)
         del self._running[job.jid]
+        self._release_map.pop(job.jid, None)
         self._ssd_used -= job.ssd * job.nodes
         token = self._end_tokens.pop(job.jid, None)
         if token is not None:
             self._events.cancel(token)
         before = job.lost_node_seconds
         job.mark_killed(now)
+        self._sync_state(job)
         self._stats.lost_node_seconds += job.lost_node_seconds - before
         assert self.retry is not None
         if self.retry.should_retry(job.attempts):
@@ -539,8 +646,10 @@ class SchedulingEngine:
                 continue
             if j in self._queue:
                 self._queue.remove(j)
+                self._queue_rev += 1
                 self._observe_queue(now)
             j.mark_abandoned(now)
+            self._sync_state(j)
             self._abandoned.add(j.jid)
             self._terminal += 1
             self._stats.abandoned_jobs += 1
@@ -561,9 +670,13 @@ class SchedulingEngine:
         """Record queue depth to both the usage recorder and telemetry."""
         depth = len(self._queue)
         self._recorder.observe_queue(now, depth)
-        self.metrics.set_gauge("engine.queue_depth", depth, t=now)
+        self._g_queue_depth.set(depth, now)
 
     def _planned_releases(self) -> List[PlannedRelease]:
+        if self.fast:
+            # Maintained incrementally at _start/_kill/JOB_END in the same
+            # insertion order as _running; identical to the rebuild below.
+            return list(self._release_map.values())
         releases = []
         for job in self._running.values():
             assert job.start_time is not None
@@ -576,6 +689,39 @@ class SchedulingEngine:
             )
         return releases
 
+    def _ordered_queue(self, now: float) -> List[Job]:
+        """Priority-ordered queue, via the fast path when enabled.
+
+        For time-independent policies (FCFS) the ordering is cached and
+        invalidated only when queue *membership* changes (``_queue_rev``
+        bumps at the four mutation sites: submit, requeue, start, abandon)
+        — the scores of the jobs already in the queue can never change.
+
+        Time-dependent policies (WFP) must rescore every pass, and their
+        bit-exact score kernels still pay per-element Python pow, so the
+        lexsort path only wins once the array setup amortizes: below
+        ``_VECTOR_MIN_QUEUE`` (measured crossover ~48) the reference
+        tuple sort is used even on the fast engine.
+        """
+        if self._table is None or len(self._queue) < 2:
+            return self.policy.order(self._queue, now)
+        if self.policy.time_independent:
+            if self._order_rev == self._queue_rev and self._order_cache is not None:
+                self._c_order_cache_hits.value += 1
+                return self._order_cache
+            ordered = self.policy.order(self._queue, now, table=self._table)
+            self._order_cache = ordered
+            self._order_rev = self._queue_rev
+            self._c_order_vectorized.value += 1
+            return ordered
+        if len(self._queue) < _VECTOR_MIN_QUEUE:
+            return self.policy.order(self._queue, now)
+        if self._order_vectorized:
+            self._c_order_vectorized.value += 1
+        else:
+            self._c_order_fallback.value += 1
+        return self.policy.order(self._queue, now, table=self._table)
+
     def _schedule_pass(self, now: float) -> None:
         """One full scheduling invocation (§3 pipeline)."""
         if not self._queue:
@@ -583,17 +729,27 @@ class SchedulingEngine:
         if self.cluster.nodes_free == 0:
             # Nothing can start; skip the (possibly expensive) selection.
             self._stats.skipped_passes += 1
-            self.metrics.inc("engine.passes_skipped")
+            self._c_passes_skipped.value += 1
             return
-        self.metrics.inc("engine.passes")
-        with self._tracer.span(
-            "schedule_pass", t=now, queue=len(self._queue)
+        self._c_passes.value += 1
+        tracer = self._tracer
+        traced = tracer.enabled  # skip span construction on untraced runs
+        with (
+            tracer.span("schedule_pass", t=now, queue=len(self._queue))
+            if traced
+            else NULL_SPAN
         ) as pass_span:
-            with self._tracer.span("window_extract") as win_span:
+            with (
+                tracer.span("window_extract") if traced else NULL_SPAN
+            ) as win_span:
                 # One ordering + dependency-gating pass serves both window
                 # extraction and the backfill stage below.
-                ordered = self.policy.order(self._queue, now)
-                eligible = self.window.eligible(ordered, self._completed)
+                ordered = self._ordered_queue(now)
+                eligible = (
+                    ordered
+                    if self._eligible_passthrough
+                    else self.window.eligible(ordered, self._completed)
+                )
                 window = self.window.extract_eligible(eligible)
                 win_span.set(window=len(window), forced=len(window.forced))
             started: Set[int] = set()
@@ -609,7 +765,7 @@ class SchedulingEngine:
                     started.add(job.jid)
                     selected_window_idx.add(i)
                     self._stats.forced_jobs += 1
-                    self.metrics.inc("engine.jobs_forced")
+                    self._c_forced.value += 1
                 else:
                     blocked_forced = job
                     break
@@ -621,15 +777,28 @@ class SchedulingEngine:
                 # selector (nothing allocates in between, so it is exactly
                 # the per-job can_fit() this replaces).
                 avail = self.cluster.available()
-                if reduced and avail.fits_mask(reduced).any():
-                    with self._tracer.span(
-                        "select", method=self.selector.name, window=len(reduced)
+                if reduced:
+                    table = self._table
+                    if table is not None:
+                        wrows = table.rows_for(reduced)
+                        feasible = avail.fits_cols(
+                            table.nodes[wrows], table.bb[wrows], table.ssd[wrows]
+                        ).any()
+                    else:
+                        feasible = avail.fits_mask(reduced).any()
+                else:
+                    feasible = False
+                if feasible:
+                    with (
+                        tracer.span(
+                            "select", method=self.selector.name, window=len(reduced)
+                        )
+                        if traced
+                        else NULL_SPAN
                     ) as sel_span:
                         t0 = _time.perf_counter()
                         picks = self.selector.select(reduced, avail)
-                        self.metrics.observe(
-                            "engine.selector_seconds", _time.perf_counter() - t0
-                        )
+                        self._h_selector.observe(_time.perf_counter() - t0)
                         sel_span.set(picked=len(picks))
                     type(self.selector).verify_feasible(reduced, avail, picks)
                     index_map = [
@@ -641,7 +810,7 @@ class SchedulingEngine:
                         started.add(job.jid)
                         selected_window_idx.add(index_map[p])
                         self._stats.selected_jobs += 1
-                        self.metrics.inc("engine.jobs_selected")
+                        self._c_selected.value += 1
                 self._stats.invocations += 1
 
             self.window.record_outcome(window, selected_window_idx)
@@ -666,8 +835,10 @@ class SchedulingEngine:
                     remaining.remove(blocked_forced)
                     remaining.insert(0, blocked_forced)
                 if remaining:
-                    with self._tracer.span(
-                        "backfill_pass", candidates=len(remaining)
+                    with (
+                        tracer.span("backfill_pass", candidates=len(remaining))
+                        if traced
+                        else NULL_SPAN
                     ) as bf_span:
                         plan = self.backfill.plan(
                             remaining,
@@ -681,6 +852,6 @@ class SchedulingEngine:
                             self._stats.backfilled_jobs += 1
                             backfilled += 1
                         bf_span.set(backfilled=backfilled)
-            self.metrics.inc("engine.jobs_backfilled", backfilled)
+            self._c_backfilled.value += backfilled
             pass_span.set(started=len(started) + backfilled)
             self._observe(now)

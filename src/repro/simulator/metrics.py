@@ -110,10 +110,67 @@ def _measured_jobs(jobs: Sequence[Job], interval: Interval) -> List[Job]:
     ]
 
 
+def _job_arrays(jobs: Sequence[Job]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(submit, start, runtime) float64 columns; start is NaN if never started."""
+    n = len(jobs)
+    submit = np.fromiter((j.submit_time for j in jobs), np.float64, count=n)
+    start = np.fromiter(
+        (np.nan if j.start_time is None else j.start_time for j in jobs),
+        np.float64,
+        count=n,
+    )
+    runtime = np.fromiter((j.runtime for j in jobs), np.float64, count=n)
+    return submit, start, runtime
+
+
+def _measured_mask(
+    submit: np.ndarray, start: np.ndarray, interval: Interval
+) -> np.ndarray:
+    """Boolean column equivalent of :func:`_measured_jobs`."""
+    return ~np.isnan(start) & (submit >= interval.start) & (submit < interval.end)
+
+
+def _mean_wait(submit: np.ndarray, start: np.ndarray, mask: np.ndarray) -> float:
+    waits = start[mask] - submit[mask]
+    # np.mean over the gathered column equals np.mean over the per-job
+    # wait_time list: same float64 values in the same order, same pairwise
+    # summation.
+    return float(np.mean(waits)) if waits.size else 0.0
+
+
+def _mean_slowdown(
+    jobs: Sequence[Job],
+    submit: np.ndarray,
+    start: np.ndarray,
+    runtime: np.ndarray,
+    mask: np.ndarray,
+    abnormal_runtime: float,
+) -> float:
+    sel = mask & (runtime >= abnormal_runtime)
+    if not sel.any():
+        return 0.0
+    r = runtime[sel]
+    if (r <= 0).any():
+        # Zero runtimes reach slowdown only with abnormal_runtime <= 0; the
+        # scalar path raises a per-job error there, so defer to it.
+        values = [
+            j.slowdown()
+            for j in _measured_jobs_from_mask(jobs, mask)
+            if j.runtime >= abnormal_runtime
+        ]
+        return float(np.mean(values)) if values else 0.0
+    values = (start[sel] - submit[sel] + r) / r
+    return float(np.mean(values))
+
+
+def _measured_jobs_from_mask(jobs: Sequence[Job], mask: np.ndarray) -> List[Job]:
+    return [j for j, m in zip(jobs, mask) if m]
+
+
 def average_wait(jobs: Sequence[Job], interval: Interval) -> float:
     """Mean queue wait (seconds) of jobs submitted in ``interval``."""
-    waits = [j.wait_time for j in _measured_jobs(jobs, interval)]
-    return float(np.mean(waits)) if waits else 0.0
+    submit, start, _ = _job_arrays(jobs)
+    return _mean_wait(submit, start, _measured_mask(submit, start, interval))
 
 
 def average_slowdown(
@@ -123,12 +180,9 @@ def average_slowdown(
     abnormal_runtime: float = ABNORMAL_RUNTIME,
 ) -> float:
     """Mean slowdown, excluding abnormal (near-instantly-ending) jobs."""
-    values = [
-        j.slowdown()
-        for j in _measured_jobs(jobs, interval)
-        if j.runtime >= abnormal_runtime
-    ]
-    return float(np.mean(values)) if values else 0.0
+    submit, start, runtime = _job_arrays(jobs)
+    mask = _measured_mask(submit, start, interval)
+    return _mean_slowdown(jobs, submit, start, runtime, mask, abnormal_runtime)
 
 
 def compute_summary(
@@ -160,14 +214,20 @@ def compute_summary(
         if ssd_capacity > 0
         else 0.0
     )
+    # One column gather serves the wait average, the slowdown average, and
+    # the measured-job count.
+    submit, start, runtime = _job_arrays(jobs)
+    mask = _measured_mask(submit, start, interval)
     return MetricsSummary(
         node_usage=node_usage,
         bb_usage=bb_usage,
-        avg_wait=average_wait(jobs, interval),
-        avg_slowdown=average_slowdown(jobs, interval, abnormal_runtime=abnormal_runtime),
+        avg_wait=_mean_wait(submit, start, mask),
+        avg_slowdown=_mean_slowdown(
+            jobs, submit, start, runtime, mask, abnormal_runtime
+        ),
         ssd_usage=ssd_usage,
         ssd_waste=ssd_waste,
-        n_jobs=len(_measured_jobs(jobs, interval)),
+        n_jobs=int(mask.sum()),
         interval=interval,
     )
 
@@ -298,6 +358,35 @@ def breakdown_wait(
     (first bin is inclusive on both ends; the zero bin ``(0, 0)`` catches
     exact zeros).  Jobs matching no bin are dropped.
     """
+    labels = [_bin_label(lo, hi, unit) for lo, hi in bins]
+    if len(set(labels)) != len(labels):
+        # Colliding labels merge their bins in the scalar spec; keep it.
+        return _breakdown_wait_scalar(jobs, interval, key, bins, unit)
+    measured = _measured_jobs(jobs, interval)
+    n = len(measured)
+    if n == 0:
+        return {label: 0.0 for label in labels}
+    values = np.fromiter((key(j) for j in measured), np.float64, count=n)
+    waits = np.fromiter((j.wait_time for j in measured), np.float64, count=n)
+    unassigned = np.ones(n, dtype=bool)
+    out: Dict[str, float] = {}
+    for (lo, hi), label in zip(bins, labels):
+        # First-bin-wins: only still-unassigned jobs can land here, which
+        # matches the scalar loop's `break` after the first matching bin.
+        sel = unassigned & (lo <= values) & (values <= hi)
+        unassigned &= ~sel
+        out[label] = float(np.mean(waits[sel])) if sel.any() else 0.0
+    return out
+
+
+def _breakdown_wait_scalar(
+    jobs: Sequence[Job],
+    interval: Interval,
+    key: Callable[[Job], float],
+    bins: Sequence[Tuple[float, float]],
+    unit: str,
+) -> Dict[str, float]:
+    """Reference per-job binning loop (executable spec for the above)."""
     groups: Dict[str, List[float]] = {
         _bin_label(lo, hi, unit): [] for lo, hi in bins
     }

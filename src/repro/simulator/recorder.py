@@ -10,16 +10,32 @@ current timestamp and the *new* occupancy; the recorder accumulates
 ``level × dt`` for the interval since the previous observation.  The full
 step series is retained so metrics can be re-evaluated over any trimmed
 sub-interval after the run.
+
+Two implementations of the step series exist:
+
+* :class:`StepSeries` — the production series on amortized-growth numpy
+  buffers; ``integral`` is a vectorized ``searchsorted`` + segment dot
+  product (numpy's pairwise/blocked summation, drift-resistant compared
+  to naive left-to-right accumulation).
+* :class:`ReferenceStepSeries` — the list-backed executable spec whose
+  ``integral`` walks segments one by one and sums with ``math.fsum``
+  (exactly-rounded).  ``tests/test_recorder.py`` pins the production
+  series to it on random step functions, including the equal-timestamp
+  overwrite semantics.
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import List, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+#: Initial capacity of a step-series buffer (doubles as it fills).
+_INITIAL_CAPACITY = 64
 
 
 class StepSeries:
@@ -29,11 +45,107 @@ class StepSeries:
     Observations must be time-ordered (equal timestamps allowed; the last
     value at a timestamp wins, which matches processing several events at
     one instant).
+
+    Storage is a pair of numpy buffers grown by doubling, so a month-long
+    trace appends in amortized O(1) and the integral runs vectorized over
+    the filled prefix with no list→array conversion.
+    """
+
+    __slots__ = ("_times", "_values", "_n")
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._values = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._times[0] = start_time
+        self._values[0] = initial
+        self._n = 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def observe(self, time: float, value: float) -> None:
+        """Record the level changing to ``value`` at ``time``."""
+        n = self._n
+        times = self._times
+        last = times[n - 1]
+        if time < last:
+            raise ConfigurationError(
+                f"observations must be time-ordered: {time} < {last}"
+            )
+        if time == last:
+            self._values[n - 1] = value
+            return
+        if n == times.shape[0]:
+            self._times = times = np.concatenate([times, np.empty_like(times)])
+            self._values = np.concatenate([self._values, np.empty_like(self._values)])
+        times[n] = time
+        self._values[n] = value
+        self._n = n + 1
+
+    @property
+    def last_time(self) -> float:
+        return float(self._times[self._n - 1])
+
+    @property
+    def last_value(self) -> float:
+        return float(self._values[self._n - 1])
+
+    def integral(self, t0: float, t1: float) -> float:
+        """∫ level dt over ``[t0, t1]``; the level extends flat beyond data."""
+        if t1 < t0:
+            raise ConfigurationError(f"empty interval [{t0}, {t1}]")
+        n = self._n
+        times = self._times[:n]
+        values = self._values[:n]
+        # First change point at or before t0 (level extends flat both ways).
+        i = bisect_right(times, t0) - 1
+        if i < 0:
+            i = 0
+        # Segment boundaries: the change points inside (t0, t1], clamped,
+        # with t0 prepended and t1 appended; values[i:] are the levels
+        # held on each segment, the last extending flat past the data.
+        bounds = np.empty(n - i + 1, dtype=np.float64)
+        bounds[0] = t0
+        np.clip(times[i + 1:], t0, t1, out=bounds[1:-1])
+        bounds[-1] = t1
+        return float(np.dot(values[i:], np.diff(bounds)))
+
+    def mean(self, t0: float, t1: float) -> float:
+        """Time-average level over ``[t0, t1]`` (0 for a zero-length span)."""
+        if t1 <= t0:
+            return 0.0
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) numpy copies of the recorded steps."""
+        return self._times[: self._n].copy(), self._values[: self._n].copy()
+
+    # --- pickling: persist the filled prefix, not the spare capacity ---------
+    def __getstate__(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.as_arrays()
+
+    def __setstate__(self, state: Tuple[np.ndarray, np.ndarray]) -> None:
+        times, values = state
+        self._times = np.array(times, dtype=np.float64)
+        self._values = np.array(values, dtype=np.float64)
+        self._n = len(self._times)
+
+
+class ReferenceStepSeries:
+    """List-backed reference twin of :class:`StepSeries`.
+
+    The executable spec: same API, plain Python lists, and an ``integral``
+    that walks segments in order and reduces with ``math.fsum`` — the
+    drift-free accumulation the vectorized dot product is measured
+    against.  Used by the differential tests; not on any hot path.
     """
 
     def __init__(self, initial: float = 0.0, start_time: float = 0.0) -> None:
         self._times: List[float] = [start_time]
         self._values: List[float] = [float(initial)]
+
+    def __len__(self) -> int:
+        return len(self._times)
 
     def observe(self, time: float, value: float) -> None:
         """Record the level changing to ``value`` at ``time``."""
@@ -57,27 +169,26 @@ class StepSeries:
         return self._values[-1]
 
     def integral(self, t0: float, t1: float) -> float:
-        """∫ level dt over ``[t0, t1]``; the level extends flat beyond data."""
+        """∫ level dt over ``[t0, t1]``, accumulated with ``math.fsum``."""
         if t1 < t0:
             raise ConfigurationError(f"empty interval [{t0}, {t1}]")
         times = self._times
         values = self._values
-        # index of the last change point at or before t0
         i = max(bisect_right(times, t0) - 1, 0)
-        total = 0.0
+        terms: List[float] = []
         t = t0
         while i < len(times):
             seg_end = times[i + 1] if i + 1 < len(times) else t1
             seg_end = min(seg_end, t1)
             if seg_end > t:
-                total += values[i] * (seg_end - t)
+                terms.append(values[i] * (seg_end - t))
                 t = seg_end
             if t >= t1:
                 break
             i += 1
         if t < t1:  # level persists past the last change point
-            total += values[-1] * (t1 - t)
-        return total
+            terms.append(values[-1] * (t1 - t))
+        return math.fsum(terms)
 
     def mean(self, t0: float, t1: float) -> float:
         """Time-average level over ``[t0, t1]`` (0 for a zero-length span)."""

@@ -1,12 +1,21 @@
-"""Differential tests: the GA evaluation cache changes nothing but speed.
+"""Differential tests: the fast paths change nothing but speed.
 
-The memoized evaluation path (:mod:`repro.core.evalcache`) must be
-*byte-identical* to the reference path (``eval_cache=False``) at every
-level: solver outputs (ParetoSet genes and objectives), full-run
-fingerprints for every §4 method under both site policies, and runs that
-pass through a checkpoint/resume cycle.  Any divergence — an RNG draw
-consumed differently, a float assembled from a different batch shape —
-shows up here as a hard failure.
+Two pure performance features are pinned here against their reference
+paths, which must be *byte-identical* at every level:
+
+* the GA evaluation cache (:mod:`repro.core.evalcache`, vs
+  ``eval_cache=False``) — solver outputs (ParetoSet genes and
+  objectives), full-run fingerprints for every §4 method under both
+  site policies, and runs that pass through a checkpoint/resume cycle;
+* the array-backed engine fast path (vectorized queue ordering, the
+  FCFS order cache, incremental planned releases, batch event pops; vs
+  ``fast_engine=False`` / CLI ``--no-fast-engine``) — full-run
+  fingerprints for every §4 method, plus the ordering permutation
+  itself under score ties.
+
+Any divergence — an RNG draw consumed differently, a float assembled
+from a different batch shape, a sort tie broken differently — shows up
+here as a hard failure.
 """
 
 import dataclasses
@@ -21,7 +30,10 @@ from repro.core.scalar import ScalarGASolver
 from repro.experiments import get_scale, get_workload
 from repro.experiments.runner import run_one
 from repro.methods.registry import METHODS_SECTION4
+from repro.policies import FCFS, WFP
+from repro.policies.base import PriorityPolicy
 from repro.simulator.job import Job
+from repro.simulator.jobtable import JobTable
 
 #: Deliberately tiny: 16 method×workload fingerprint pairs run per test
 #: session, each pair simulating the trace twice.  The name must stay a
@@ -144,6 +156,85 @@ class TestRunDifferential:
         off = run_one(get_workload(workload, TINY), method, TINY,
                       eval_cache=False)
         assert fingerprint_digest(on) == fingerprint_digest(off)
+
+
+class TestFastEngineDifferential:
+    """Fast-engine vs reference-engine fingerprint identity, every §4 method."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("method", METHODS_SECTION4)
+    def test_fingerprints_identical(self, method, workload):
+        fast = run_one(get_workload(workload, TINY), method, TINY,
+                       fast_engine=True)
+        ref = run_one(get_workload(workload, TINY), method, TINY,
+                      fast_engine=False)
+        assert fingerprint_digest(fast) == fingerprint_digest(ref)
+
+    def test_both_fast_paths_off_matches_both_on(self):
+        """The two reference knobs compose: everything off still matches."""
+        workload, method = "Theta-S2", "BBSched"
+        on = run_one(get_workload(workload, TINY), method, TINY,
+                     eval_cache=True, fast_engine=True)
+        off = run_one(get_workload(workload, TINY), method, TINY,
+                      eval_cache=False, fast_engine=False)
+        assert fingerprint_digest(on) == fingerprint_digest(off)
+
+
+class _ModuloPolicy(PriorityPolicy):
+    """Custom policy without priority_array: exercises the per-job
+    fallback inside the vectorized path, with heavy score ties."""
+
+    name = "modulo"
+
+    def priority(self, job, now):
+        return float(job.nodes % 3)
+
+
+class TestOrderDifferential:
+    """The lexsort ordering equals the reference tuple sort, ties included."""
+
+    @staticmethod
+    def _tied_jobs(rng, n):
+        # Coarse value pools force collisions in every key component the
+        # policies score on: FCFS ties on submit_time, WFP additionally on
+        # walltime/nodes; jid stays the unique total-order tie-breaker.
+        return [
+            Job(
+                jid=i + 1,
+                submit_time=float(rng.choice([0.0, 10.0, 20.0, 30.0])),
+                runtime=5.0,
+                walltime=float(rng.choice([10.0, 40.0])),
+                nodes=int(rng.integers(1, 5)),
+                bb=float(rng.choice([0.0, 8.0])),
+                ssd=0.0,
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("policy_cls", [FCFS, WFP, _ModuloPolicy])
+    @pytest.mark.parametrize("trial", range(8))
+    def test_vectorized_order_matches_reference(self, policy_cls, trial):
+        rng = np.random.default_rng(4000 + trial)
+        n = int(rng.integers(2, 40))
+        jobs = self._tied_jobs(rng, n)
+        table = JobTable(jobs)
+        # The engine orders arbitrary sub-queues of the full table.
+        sub = rng.permutation(n)[: max(2, int(rng.integers(2, n + 1)))]
+        queue = [jobs[i] for i in sub]
+        policy = policy_cls()
+        now = float(rng.choice([15.0, 35.0, 1000.0]))
+        ref = policy.order(queue, now)
+        vec = policy.order(queue, now, table=table)
+        assert [j.jid for j in vec] == [j.jid for j in ref]
+
+    def test_all_scores_tied_falls_back_to_submit_then_jid(self):
+        jobs = [
+            Job(jid=j, submit_time=5.0, runtime=1.0, walltime=10.0, nodes=2)
+            for j in (3, 1, 2)
+        ]
+        table = JobTable(jobs)
+        ordered = _ModuloPolicy().order(jobs, 100.0, table=table)
+        assert [j.jid for j in ordered] == [1, 2, 3]
 
 
 class TestResumeDifferential:

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core.exhaustive import ExhaustiveSolver, bit_matrix
 from repro.core.ga import MOGASolver, crowding_distance
 from repro.core.gd import generational_distance, hypervolume_2d
-from repro.core.pareto import non_dominated_mask, pareto_front_2d
+from repro.core.pareto import _pairwise_mask, non_dominated_mask, pareto_front_2d
 from repro.core.problem import SelectionProblem
 
 COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -88,6 +88,20 @@ class TestParetoProperties:
         fast = set(map(tuple, F[pareto_front_2d(F)]))
         slow = set(map(tuple, F[non_dominated_mask(F)]))
         assert fast == slow
+
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_2d_sweep_matches_pairwise_mask(self, F):
+        """non_dominated_mask routes k=2 through the O(n log n) sweep;
+        it must agree with the quadratic reference *per index* — set
+        equality would miss a mishandled duplicate row."""
+        assert np.array_equal(non_dominated_mask(F), _pairwise_mask(F))
+
+    @given(objective_matrices)
+    @settings(**COMMON)
+    def test_2d_sweep_front_indices_match_pairwise(self, F):
+        front = pareto_front_2d(F)
+        assert sorted(front.tolist()) == np.flatnonzero(_pairwise_mask(F)).tolist()
 
     @given(objective_matrices, st.randoms(use_true_random=False))
     @settings(**COMMON)

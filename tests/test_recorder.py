@@ -1,9 +1,16 @@
 """Step-series recorder: exact time-weighted integration."""
 
+import math
+
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.simulator.recorder import StepSeries, UsageRecorder
+from repro.simulator.recorder import ReferenceStepSeries, StepSeries, UsageRecorder
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
 
 class TestStepSeries:
@@ -73,6 +80,105 @@ class TestStepSeries:
         s.observe(4.0, 9.0)
         assert s.last_time == 4.0
         assert s.last_value == 9.0
+
+
+#: Random step functions as (dt, value) pairs; dt == 0 exercises the
+#: equal-timestamp overwrite rule (last observation wins).
+step_functions = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 0.25, 1.0, 3.5, 100.0]),
+        st.floats(-50.0, 50.0, allow_nan=False, width=32),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+def _build_pair(initial, steps):
+    fast = StepSeries(initial)
+    ref = ReferenceStepSeries(initial)
+    t = 0.0
+    for dt, value in steps:
+        t += dt
+        fast.observe(t, value)
+        ref.observe(t, value)
+    return fast, ref, t
+
+
+class TestStepSeriesDifferential:
+    """The numpy-buffered series against the fsum list-backed reference."""
+
+    @given(
+        st.floats(-10.0, 10.0, allow_nan=False, width=32),
+        step_functions,
+        st.floats(0.0, 1.0, allow_nan=False),
+        st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(**COMMON)
+    def test_integral_matches_reference(self, initial, steps, a, b):
+        fast, ref, horizon = _build_pair(initial, steps)
+        span = horizon + 10.0
+        t0, t1 = sorted((a * span, b * span))
+        assert fast.integral(t0, t1) == pytest.approx(
+            ref.integral(t0, t1), rel=1e-12, abs=1e-9
+        )
+        assert fast.mean(t0, t1) == pytest.approx(
+            ref.mean(t0, t1), rel=1e-12, abs=1e-9
+        )
+
+    @given(st.floats(-10.0, 10.0, allow_nan=False, width=32), step_functions)
+    @settings(**COMMON)
+    def test_arrays_and_accessors_match(self, initial, steps):
+        fast, ref, _ = _build_pair(initial, steps)
+        ft, fv = fast.as_arrays()
+        rt, rv = ref.as_arrays()
+        assert ft.tolist() == rt.tolist()
+        assert fv.tolist() == rv.tolist()
+        assert len(fast) == len(ref)
+        assert fast.last_time == ref.last_time
+        assert fast.last_value == ref.last_value
+
+    def test_growth_past_initial_capacity(self):
+        """A long series crosses the amortized-doubling boundary; every
+        prefix integral still matches the fsum reference."""
+        rng = np.random.default_rng(7)
+        fast, ref = StepSeries(1.0), ReferenceStepSeries(1.0)
+        t = 0.0
+        for _ in range(500):
+            t += float(rng.choice([0.0, 0.5, 2.0, 9.0]))
+            v = float(rng.uniform(-100.0, 100.0))
+            fast.observe(t, v)
+            ref.observe(t, v)
+        for _ in range(200):
+            t0, t1 = sorted(rng.uniform(-5.0, t + 5.0, size=2))
+            assert fast.integral(t0, t1) == pytest.approx(
+                ref.integral(t0, t1), rel=1e-12, abs=1e-9
+            )
+
+    def test_overwrite_run_keeps_last(self):
+        """A burst of same-timestamp observations collapses to the last."""
+        fast, ref = StepSeries(0.0), ReferenceStepSeries(0.0)
+        for s in (fast, ref):
+            s.observe(2.0, 1.0)
+            s.observe(2.0, 5.0)
+            s.observe(2.0, -3.0)
+        assert fast.integral(0.0, 4.0) == ref.integral(0.0, 4.0) == -6.0
+        assert len(fast) == len(ref) == 2
+
+    def test_reference_uses_fsum_compensation(self):
+        """Many tiny segments: the reference's fsum keeps the exact sum;
+        the numpy pairwise dot must stay within float64 round-off of it."""
+        fast, ref = StepSeries(0.0), ReferenceStepSeries(0.0)
+        t = 0.0
+        for i in range(2000):
+            t += 0.1
+            for s in (fast, ref):
+                s.observe(t, 0.1 * ((-1) ** i))
+        expected = math.fsum(
+            0.1 * 0.1 * ((-1) ** i) for i in range(2000 - 1)
+        )
+        assert ref.integral(0.0, t) == pytest.approx(expected, abs=1e-12)
+        assert fast.integral(0.0, t) == pytest.approx(expected, abs=1e-9)
 
 
 class TestUsageRecorder:
