@@ -55,7 +55,7 @@ def test_checkpoint_overhead_budget(scale, tmp_path, save_result):
       CI box doesn't flake.
     """
     repeats = 5
-    plain, checkpointed = [], []
+    plain, checkpointed, hook_only = [], [], []
     reference = _run(scale, _config(tmp_path, 6.0))  # warm both paths
     for _ in range(repeats):
         t0 = time.perf_counter()
@@ -64,6 +64,12 @@ def test_checkpoint_overhead_budget(scale, tmp_path, save_result):
         t0 = time.perf_counter()
         _run(scale, _config(tmp_path, 6.0))
         checkpointed.append(time.perf_counter() - t0)
+        # Hook-only run: every_hours=0 keeps the per-batch after_batch()
+        # call but never saves, separating the standing hook cost from
+        # the saves themselves in the breakdown below.
+        t0 = time.perf_counter()
+        _run(scale, _config(tmp_path, 0.0))
+        hook_only.append(time.perf_counter() - t0)
 
     # The accounted cost: what the saves themselves took, from the run's
     # own metrics (collected outside the timing loop).
@@ -71,7 +77,12 @@ def test_checkpoint_overhead_budget(scale, tmp_path, save_result):
     metered = run_one(trace, "BBSched", scale, seed=0,
                       checkpoint=_config(tmp_path, 6.0),
                       collect_telemetry=True)
-    save_hist = metered.telemetry.metrics.histograms["checkpoint.save_seconds"]
+    hists = metered.telemetry.metrics.histograms
+    save_hist = hists["checkpoint.save_seconds"]
+    phase_totals = {
+        phase: round(hists[f"checkpoint.{phase}_seconds"].total, 6)
+        for phase in ("pickle", "digest", "io")
+    }
 
     # One save and one restore, timed in isolation on a mid-run engine.
     cut = tmp_path / "cut.ckpt"
@@ -90,7 +101,9 @@ def test_checkpoint_overhead_budget(scale, tmp_path, save_result):
 
     base = sorted(plain)[repeats // 2]
     durable = sorted(checkpointed)[repeats // 2]
+    hook = sorted(hook_only)[repeats // 2]
     end_to_end = durable / base - 1.0
+    hook_overhead = hook / base - 1.0
     accounted = save_hist.total / base
     doc = {
         "scale": scale.name,
@@ -99,10 +112,15 @@ def test_checkpoint_overhead_budget(scale, tmp_path, save_result):
         "repeats": repeats,
         "uncheckpointed_s": round(base, 6),
         "checkpointed_s": round(durable, 6),
+        "hook_only_s": round(hook, 6),
         "saves": save_hist.count,
         "save_seconds_total": round(save_hist.total, 6),
+        "save_phase_totals_s": phase_totals,
         "accounted_overhead_fraction": round(accounted, 6),
+        "hook_overhead_fraction": round(hook_overhead, 6),
         "end_to_end_overhead_fraction": round(end_to_end, 6),
+        "unattributed_overhead_fraction": round(
+            end_to_end - accounted - hook_overhead, 6),
         "design_target_fraction": 0.03,
         "save_s": round(save_s, 6),
         "load_s": round(load_s, 6),
@@ -117,11 +135,15 @@ def test_checkpoint_overhead_budget(scale, tmp_path, save_result):
         "uncheckpointed : %.4fs\n"
         "checkpointed   : %.4fs\n"
         "accounted      : %+.2f%% over %d saves (design target < 3%%)\n"
+        "  pickle/digest/io : %.4fs / %.4fs / %.4fs\n"
+        "hook only      : %+.2f%% (after_batch with saves disabled)\n"
         "end-to-end     : %+.2f%% (noisy on shared boxes)\n"
         "one restore    : %.4fs\n"
         "one save       : %.4fs (%d mid-run payload bytes)"
         % (repeats, base, durable, accounted * 100.0, save_hist.count,
-           end_to_end * 100.0, load_s, save_s, header["payload_bytes"]),
+           phase_totals["pickle"], phase_totals["digest"], phase_totals["io"],
+           hook_overhead * 100.0, end_to_end * 100.0, load_s, save_s,
+           header["payload_bytes"]),
     )
     assert accounted < 0.03
     assert end_to_end < 0.25

@@ -1,0 +1,101 @@
+"""Service throughput and crash-recovery latency under the chaos harness.
+
+Two seeded plans against a real ``repro serve`` daemon subprocess:
+
+* **healthy** — no injected faults; measures sustained request
+  throughput through the full admission → pool → journal path, plus
+  cold-start time.
+* **chaos** — worker crashes, a deadline-tripping hang, one daemon
+  SIGKILL mid-backlog with a torn journal tail; measures recovery
+  readiness and backlog-drain time, and asserts the exactly-once
+  contract held.
+
+Distilled into ``results/BENCH_service.json`` so resilience regressions
+diff as JSON, like the checkpoint and perf benches.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from chaos import ChaosPlan, run_chaos  # noqa: E402
+
+from conftest import RESULTS_DIR  # noqa: E402
+
+
+def test_service_throughput_and_recovery(scale, tmp_path, save_result):
+    healthy_plan = ChaosPlan(
+        seed=0, requests=8, crash_fraction=0.0, hang_fraction=0.0,
+        daemon_kills=0, scale=scale.name, workers=2, deadline=120.0,
+        timeout=600.0,
+    )
+    healthy = run_chaos(healthy_plan, workdir=str(tmp_path / "healthy"))
+    assert healthy["outcomes"] == {"done": healthy_plan.requests}
+    assert healthy["audit"]["exactly_once"]
+    assert not healthy["audit"]["expectation_mismatches"]
+
+    chaos_plan = ChaosPlan(
+        seed=0, requests=6, crash_fraction=0.34, hang_fraction=0.17,
+        daemon_kills=1, truncate_tail=True, scale=scale.name, workers=2,
+        deadline=120.0, retries=3, timeout=600.0,
+    )
+    chaos = run_chaos(chaos_plan, workdir=str(tmp_path / "chaos"))
+    assert chaos["outcomes"] == {"done": chaos_plan.requests}
+    assert chaos["daemon_kills"] == 1
+    assert chaos["audit"]["exactly_once"]
+    assert not chaos["audit"]["expectation_mismatches"]
+
+    startup = healthy["recoveries"][0]["ready_s"]
+    throughput = healthy_plan.requests / (healthy["elapsed_s"] - startup)
+    restarts = chaos["recoveries"][1:]  # [0] is the cold start
+    ready = [r["ready_s"] for r in restarts]
+    drain = [r["drain_s"] for r in restarts]
+    injected = sum(1 for r in chaos["per_request"].values() if r["chaos"])
+    doc = {
+        "scale": scale.name,
+        "workloads": list(healthy_plan.workloads),
+        "method": healthy_plan.methods[0],
+        "workers": healthy_plan.workers,
+        "healthy_requests": healthy_plan.requests,
+        "healthy_elapsed_s": round(healthy["elapsed_s"], 3),
+        "startup_ready_s": round(startup, 3),
+        "throughput_rps": round(throughput, 3),
+        "chaos_requests": chaos_plan.requests,
+        "chaos_injected_faults": injected,
+        "chaos_outcomes": chaos["outcomes"],
+        "chaos_elapsed_s": round(chaos["elapsed_s"], 3),
+        "daemon_kills": chaos["daemon_kills"],
+        "tails_torn": chaos["tails_torn"],
+        "recovery_ready_s": [round(v, 3) for v in ready],
+        "recovery_drain_s": [round(v, 3) for v in drain],
+        "recovery_ready_max_s": round(max(ready), 3),
+        "recovery_ready_p99_s": round(
+            sorted(ready)[min(len(ready) - 1, int(0.99 * len(ready)))], 3),
+        "exactly_once": True,
+        "journal_tail_dropped": chaos["audit"]["dropped_tail"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(doc, indent=2) + "\n")
+    save_result(
+        "service_resilience",
+        "simulation service under the deterministic chaos harness "
+        "(seed 0, scale %s)\n"
+        "healthy throughput : %.2f req/s (%d requests, %d workers, "
+        "%.2fs cold start)\n"
+        "chaos plan         : %d requests, %d injected fault(s), "
+        "1 daemon SIGKILL, torn tail\n"
+        "outcomes           : %s (exactly-once audit passed)\n"
+        "recovery readiness : %s s\n"
+        "recovery drain     : %s s"
+        % (scale.name, throughput, healthy_plan.requests,
+           healthy_plan.workers, startup,
+           chaos_plan.requests, injected, chaos["outcomes"],
+           ", ".join(f"{v:.2f}" for v in ready),
+           ", ".join(f"{v:.2f}" for v in drain)),
+    )

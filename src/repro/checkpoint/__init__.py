@@ -20,6 +20,7 @@ depends on: an interrupted-and-resumed run is fingerprint-identical to
 an uninterrupted one.
 """
 
+from .journal import JsonlJournal, decode_payload, encode_payload
 from .ledger import LEDGER_VERSION, LedgerView, ResultsLedger
 from .runtime import CheckpointConfig, Checkpointer
 from .snapshot import (
@@ -36,12 +37,15 @@ __all__ = [
     "CheckpointConfig",
     "Checkpointer",
     "FORMAT_VERSION",
+    "JsonlJournal",
     "LEDGER_VERSION",
     "LedgerView",
     "MAGIC",
     "ResultsLedger",
     "VerifyReport",
     "build_manifest",
+    "decode_payload",
+    "encode_payload",
     "fingerprint_digest",
     "load_checkpoint",
     "read_header",

@@ -1,0 +1,189 @@
+"""Append-only JSONL journal: the shared durability substrate.
+
+Two subsystems persist their progress as a stream of self-contained JSON
+lines: the grid results ledger (:mod:`repro.checkpoint.ledger`) and the
+simulation service's request journal (:mod:`repro.service.journal`).
+Both need the same three guarantees, factored here once:
+
+* **atomic appends** — each record is a single ``write()`` on an
+  ``O_APPEND`` descriptor followed by flush+fsync.  POSIX makes the
+  offset update and the write one step, so concurrent appenders
+  interleave at line granularity and a crash can only damage the *last*
+  line of the file;
+* **tail-tolerant replay** — :meth:`JsonlJournal.replay` yields parsed
+  records in order, silently dropping an unparseable or
+  integrity-violating *final* line (the SIGKILL-mid-append case) while
+  raising :class:`~repro.errors.CheckpointError` for damage anywhere
+  earlier, which atomic appends cannot produce and therefore indicates
+  real corruption;
+* **verified payloads** — :func:`encode_payload` / :func:`decode_payload`
+  wrap a pickled object as base64 plus its SHA-256, so every record
+  carrying a result is individually checkable (by the loader and by
+  ``tools/validate_checkpoint.py`` with nothing but the stdlib).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from ..errors import CheckpointError
+
+#: Pickle protocol for journal payloads (matches checkpoint snapshots).
+PICKLE_PROTOCOL = 4
+
+
+def encode_payload(obj: Any) -> Dict[str, str]:
+    """Pickle ``obj`` into self-verifying record fields.
+
+    Returns ``{"payload": <base64>, "payload_sha256": <hex>}`` — merge
+    into the record dict before appending.
+    """
+    payload = pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+    return {
+        "payload": base64.b64encode(payload).decode("ascii"),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+
+
+def decode_payload(record: Dict[str, Any]) -> Any:
+    """Verify and unpickle a record's payload; raises on any damage."""
+    try:
+        payload = base64.b64decode(record["payload"], validate=True)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CheckpointError(f"undecodable journal payload: {exc}") from exc
+    if hashlib.sha256(payload).hexdigest() != record.get("payload_sha256"):
+        raise CheckpointError("journal payload SHA-256 mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"cannot unpickle journal payload: {exc}") from exc
+
+
+class JsonlJournal:
+    """One append-only JSONL file with crash-safe append and replay."""
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        self.path = Path(path)
+        #: 1 when the last replay dropped a damaged final line, else 0.
+        self.dropped_tail = 0
+
+    # --- writing -----------------------------------------------------------------
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record as a single atomic line write."""
+        line = json.dumps(record, sort_keys=True)
+        if "\n" in line:  # pragma: no cover - json.dumps never emits raw newlines
+            raise CheckpointError("journal record would span multiple lines")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One write() on an O_APPEND fd is the atomicity unit: POSIX
+        # guarantees the offset update and the write are a single step,
+        # so parallel appenders cannot interleave within a line.
+        data = line.encode("utf-8") + b"\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def reset(self) -> None:
+        """Truncate the journal (fresh, non-resumed run)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+        self.dropped_tail = 0
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def repair_tail(
+        self,
+        parse: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> int:
+        """Make replay's torn-tail tolerance durable; returns bytes cut.
+
+        Replay *tolerates* a damaged final line, but a journal that will
+        be appended to again must also *remove* it — otherwise the next
+        append strands the damage mid-file, exactly where replay treats
+        it as real corruption.  Two cases:
+
+        * final line unparseable (or rejected by ``parse``): truncate it;
+        * final line intact but missing its newline (a tear that removed
+          only the terminator): re-terminate it in place, so the next
+          append cannot fuse two records into one corrupt line.
+        """
+        if not self.path.exists():
+            return 0
+        raw = self.path.read_bytes()
+        stripped = raw[:-1] if raw.endswith(b"\n") else raw
+        if not stripped:
+            return 0
+        start = stripped.rfind(b"\n") + 1
+        tail = stripped[start:]
+        intact = True
+        try:
+            record = json.loads(tail.decode("utf-8", errors="replace"))
+            if not isinstance(record, dict):
+                intact = False
+            elif parse is not None:
+                parse(record)
+        except (json.JSONDecodeError, CheckpointError):
+            intact = False
+        fd = os.open(self.path, os.O_WRONLY)
+        try:
+            if intact:
+                if not raw.endswith(b"\n"):
+                    os.lseek(fd, 0, os.SEEK_END)
+                    os.write(fd, b"\n")
+                    os.fsync(fd)
+                return 0
+            os.ftruncate(fd, start)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return len(raw) - start
+
+    # --- reading -----------------------------------------------------------------
+    def replay(
+        self,
+        parse: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Yield ``(line_number, record)`` for every intact record.
+
+        ``parse`` may validate/enrich each raw dict (raising
+        :class:`~repro.errors.CheckpointError` on violations); its result
+        is what gets yielded.  A damaged *final* line — invalid JSON, or a
+        ``parse`` rejection — is dropped and counted in
+        :attr:`dropped_tail`, because a SIGKILL mid-append can only ever
+        truncate the tail.  Damage on any earlier line raises.
+        """
+        self.dropped_tail = 0
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            last = i == len(lines) - 1
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise CheckpointError("journal record must be a JSON object")
+                if parse is not None:
+                    record = parse(record)
+            except (json.JSONDecodeError, CheckpointError) as exc:
+                if last:
+                    # SIGKILL mid-append damages only the tail line; drop
+                    # it and let the caller recompute whatever it recorded.
+                    self.dropped_tail = 1
+                    continue
+                raise CheckpointError(
+                    f"{self.path}: corrupt record on line {i + 1} "
+                    f"(not the final line, so not crash truncation): {exc}"
+                ) from exc
+            yield i + 1, record

@@ -14,27 +14,22 @@ Record kinds::
     {"kind": "failure", "workload": ..., "method": ..., "scale": ...,
      "error": "...", "attempts": int, "traceback": "..."}
 
-Appends are a single ``write()`` on an ``O_APPEND`` descriptor followed
-by flush+fsync — concurrent appends interleave at line granularity and a
-crash can only truncate the *last* line.  :meth:`ResultsLedger.load`
-therefore treats an unparseable or hash-mismatched final line as
-"cell not recorded" rather than an error, while corruption anywhere
-earlier (which atomic appends cannot produce) raises
-:class:`~repro.errors.CheckpointError`.
+Durability mechanics (atomic single-write appends, tail-tolerant replay,
+verified payloads) live in the shared :class:`~repro.checkpoint.journal.
+JsonlJournal`; this module adds only the grid-cell record schema on top.
+A truncated or hash-mismatched *final* line reads as "cell not recorded"
+rather than an error, while corruption anywhere earlier (which atomic
+appends cannot produce) raises :class:`~repro.errors.CheckpointError`.
 """
 
 from __future__ import annotations
 
-import base64
-import hashlib
-import json
 import os
-import pickle
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError
+from .journal import JsonlJournal, decode_payload, encode_payload
 
 #: Bumped on any incompatible change to the record layout.
 LEDGER_VERSION = 1
@@ -56,25 +51,13 @@ class ResultsLedger:
     """Append-only JSONL ledger of grid-cell results."""
 
     def __init__(self, path: os.PathLike | str) -> None:
-        self.path = Path(path)
+        self._journal = JsonlJournal(path)
+
+    @property
+    def path(self):
+        return self._journal.path
 
     # --- writing -----------------------------------------------------------------
-    def _append(self, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True)
-        if "\n" in line:  # pragma: no cover - json.dumps never emits raw newlines
-            raise CheckpointError("ledger record would span multiple lines")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        # One write() on an O_APPEND fd is the atomicity unit: POSIX
-        # guarantees the offset update and the write are a single step,
-        # so parallel appenders cannot interleave within a line.
-        data = line.encode("utf-8") + b"\n"
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-
     def append_result(
         self,
         result: Any,
@@ -84,8 +67,7 @@ class ResultsLedger:
         seed: Optional[int] = None,
     ) -> None:
         """Durably record one completed cell (``result`` is a RunResult)."""
-        payload = pickle.dumps(result, protocol=4)
-        self._append({
+        record = {
             "kind": "cell",
             "version": LEDGER_VERSION,
             "workload": result.workload,
@@ -93,9 +75,9 @@ class ResultsLedger:
             "scale": scale,
             "telemetry": bool(telemetry),
             "seed": seed,
-            "payload_sha256": hashlib.sha256(payload).hexdigest(),
-            "payload": base64.b64encode(payload).decode("ascii"),
-        })
+        }
+        record.update(encode_payload(result))
+        self._journal.append(record)
 
     def append_failure(
         self,
@@ -109,7 +91,7 @@ class ResultsLedger:
     ) -> None:
         """Record a cell that exhausted its retries (kept for diagnosis;
         failed cells are re-dispatched on resume)."""
-        self._append({
+        self._journal.append({
             "kind": "failure",
             "version": LEDGER_VERSION,
             "workload": workload,
@@ -122,12 +104,11 @@ class ResultsLedger:
 
     def reset(self) -> None:
         """Truncate the ledger (fresh, non-resumed grid run)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("")
+        self._journal.reset()
 
     # --- reading -----------------------------------------------------------------
     def exists(self) -> bool:
-        return self.path.exists()
+        return self._journal.exists()
 
     def load(
         self,
@@ -144,26 +125,7 @@ class ResultsLedger:
         cells with only failures are re-dispatched.
         """
         view = LedgerView()
-        if not self.path.exists():
-            return view
-        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
-            lines = fh.read().splitlines()
-        for i, line in enumerate(lines):
-            if not line.strip():
-                continue
-            last = i == len(lines) - 1
-            try:
-                record = self._parse(line)
-            except CheckpointError:
-                if last:
-                    # A SIGKILL mid-append truncates only the tail line;
-                    # drop it and let the grid recompute that cell.
-                    view.dropped_tail = 1
-                    continue
-                raise CheckpointError(
-                    f"{self.path}: corrupt record on line {i + 1} "
-                    f"(not the final line, so not crash truncation)"
-                )
+        for _lineno, record in self._journal.replay(self._parse):
             if scale is not None and record.get("scale") != scale:
                 continue
             if record["kind"] == "cell":
@@ -173,16 +135,14 @@ class ResultsLedger:
                 view.results[(result.workload, result.method)] = result
             else:
                 view.failures.append(record)
+        view.dropped_tail = self._journal.dropped_tail
         return view
 
-    def _parse(self, line: str) -> Dict[str, Any]:
-        """One line → record dict with ``result`` unpickled; raises on damage."""
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise CheckpointError(f"not valid JSON: {exc}") from exc
-        if not isinstance(record, dict) or record.get("kind") not in ("cell", "failure"):
-            raise CheckpointError(f"unknown ledger record: {line[:80]!r}")
+    @staticmethod
+    def _parse(record: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw record → dict with ``result`` unpickled; raises on damage."""
+        if record.get("kind") not in ("cell", "failure"):
+            raise CheckpointError(f"unknown ledger record kind {record.get('kind')!r}")
         if record.get("version") != LEDGER_VERSION:
             raise CheckpointError(
                 f"ledger record version {record.get('version')!r}, "
@@ -190,14 +150,5 @@ class ResultsLedger:
             )
         if record["kind"] == "failure":
             return record
-        try:
-            payload = base64.b64decode(record["payload"], validate=True)
-        except (KeyError, ValueError, TypeError) as exc:
-            raise CheckpointError(f"undecodable cell payload: {exc}") from exc
-        if hashlib.sha256(payload).hexdigest() != record.get("payload_sha256"):
-            raise CheckpointError("cell payload SHA-256 mismatch")
-        try:
-            record["result"] = pickle.loads(payload)
-        except Exception as exc:
-            raise CheckpointError(f"cannot unpickle cell payload: {exc}") from exc
+        record["result"] = decode_payload(record)
         return record

@@ -32,6 +32,14 @@ reruns only its unfinished cells::
     bbsched grid --scale smoke --ledger grid.jsonl
     bbsched grid --scale smoke --ledger grid.jsonl --resume
 
+Service mode (see ``docs/service.md``): ``serve`` runs the crash-tolerant
+simulation service — a daemon on a Unix socket with admission control, a
+self-healing worker pool, and a durable request journal — and ``submit``
+sends it work::
+
+    bbsched serve --socket /tmp/bb.sock --journal /tmp/bb.jsonl --deadline 300
+    bbsched submit Theta-S4 BBSched --socket /tmp/bb.sock --scale smoke
+
 Observability (see ``docs/observability.md``): ``--trace PATH`` records a
 structured trace of the run (``--trace-format chrome`` produces a
 Perfetto/``chrome://tracing``-loadable file), ``--metrics-out PATH``
@@ -194,18 +202,26 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 @contextmanager
-def _sigterm_as_interrupt() -> Iterator[None]:
+def _sigterm_as_interrupt(fired: list) -> Iterator[None]:
     """Turn SIGTERM into KeyboardInterrupt so `finally` blocks run.
 
     Used for runs *without* a checkpoint config (which installs its own
     graceful handlers); without this a SIGTERM would skip the telemetry
     flush.  No-op off the main thread, where handlers cannot be set.
+
+    The signal number is also appended to ``fired`` before raising: a
+    KeyboardInterrupt that lands inside a C extension can be swallowed
+    and re-surfaced as an unrelated error (numpy's structured-array
+    comparisons mask a pending interrupt with their own TypeError), so
+    callers need an exception-independent way to recognize the
+    interrupt.
     """
     if threading.current_thread() is not threading.main_thread():
         yield
         return
 
     def _handler(signum: int, frame) -> None:
+        fired.append(signum)
         raise KeyboardInterrupt
 
     previous = signal.signal(signal.SIGTERM, _handler)
@@ -241,7 +257,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     trace = exp.get_workload(args.workload, scale)
     tracer = Tracer()
-    signal_scope = nullcontext() if checkpoint is not None else _sigterm_as_interrupt()
+    sigterm_fired: list = []
+    signal_scope = (nullcontext() if checkpoint is not None
+                    else _sigterm_as_interrupt(sigterm_fired))
     with use_tracer(tracer) if _exporting(args) else nullcontext():
         with tracer.span("simulate", workload=args.workload, method=args.method,
                          scale=scale.name) as sim_span:
@@ -267,6 +285,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             except KeyboardInterrupt:
                 # Un-checkpointed interrupt (or second signal): nothing to
                 # resume from, but the telemetry buffers still flush.
+                print("interrupted (no checkpoint written)", file=sys.stderr)
+                _flush_interrupted_telemetry(
+                    args, tracer, workload=args.workload, method=args.method)
+                return 130
+            except Exception:
+                if not sigterm_fired:
+                    raise
+                # The handler fired but its KeyboardInterrupt came back as
+                # something else — the interrupt landed inside a C
+                # extension that masked it (see _sigterm_as_interrupt).
+                # Same orderly exit as the unmasked path.
                 print("interrupted (no checkpoint written)", file=sys.stderr)
                 _flush_interrupted_telemetry(
                     args, tracer, workload=args.workload, method=args.method)
@@ -350,6 +379,94 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print(report.format_table(rows, ["workload"] + methods,
                                   title=f"{metric} (scale={scale.name})"))
         print()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfig, ServiceDaemon
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        journal_path=args.journal,
+        workers=args.workers,
+        high_water=args.high_water,
+        policy=args.policy,
+        deadline=args.deadline,
+        retries=args.retries,
+        quarantine_after=args.quarantine_after,
+        allow_chaos=args.allow_chaos,
+        degrade=not args.no_degrade,
+    )
+    daemon = ServiceDaemon(config)
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        # SIGTERM drains the backlog then exits; SIGINT abandons it
+        # (queued/in-flight work is still in the journal for next boot).
+        try:
+            loop.add_signal_handler(
+                signal.SIGTERM, daemon.request_shutdown, "graceful")
+            loop.add_signal_handler(
+                signal.SIGINT, daemon.request_shutdown, "now")
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+        ready = asyncio.Event()
+        task = loop.create_task(daemon.serve(ready))
+        await ready.wait()
+        print(f"serving on {args.socket} "
+              f"(journal: {args.journal or 'none'}, "
+              f"policy: {args.policy}, workers: {args.workers})",
+              flush=True)
+        if daemon.recovered:
+            print(f"recovered {daemon.recovered} unfinished request(s) "
+                  f"from the journal", flush=True)
+        await task
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.socket, timeout=args.connect_timeout)
+    params: dict = {"workload": args.workload, "method": args.method}
+    if args.scale:
+        params["scale"] = args.scale
+    if args.seed is not None:
+        params["seed"] = args.seed
+    if args.generations is not None:
+        params["generations"] = args.generations
+    if args.nodes_hint is not None:
+        params["nodes_hint"] = args.nodes_hint
+    if args.walltime_hint is not None:
+        params["walltime_hint"] = args.walltime_hint
+    if args.chaos:
+        params["chaos"] = json.loads(args.chaos)
+    accepted = client.submit(**params)
+    rid = accepted["id"]
+    print(f"accepted as {rid} (queue depth {accepted['depth']}, "
+          f"degrade level {accepted['degrade']})")
+    if args.no_wait:
+        return 0
+    status = client.wait(rid, timeout=args.timeout)
+    state = status["state"]
+    if state != "done":
+        print(f"{rid} {state}: {status.get('error')}", file=sys.stderr)
+        return 1
+    summary = status.get("summary") or {}
+    metrics = summary.get("metrics") or {}
+    print(f"{rid} done: {args.method} on {args.workload}")
+    for name in ("node_usage", "bb_usage", "avg_wait", "avg_slowdown"):
+        if name in metrics:
+            value = metrics[name]
+            shown = (f"{100 * value:.2f}%" if name.endswith("usage")
+                     else f"{value:.3f}")
+            print(f"  {name:<14} {shown}")
     return 0
 
 
@@ -461,6 +578,64 @@ def build_parser() -> argparse.ArgumentParser:
     durable.add_argument("--task-retries", type=int, default=0,
                          help="re-dispatches allowed per crashed/hung cell")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the crash-tolerant simulation service daemon "
+                      "(see docs/service.md)")
+    p_serve.add_argument("--socket", required=True, metavar="PATH",
+                         help="Unix socket to listen on")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="durable request journal (JSONL); with one, a "
+                              "killed daemon resumes its backlog on restart")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="simulation worker processes")
+    p_serve.add_argument("--high-water", type=int, default=16,
+                         help="queued requests beyond which submits are shed "
+                              "with a 429")
+    p_serve.add_argument("--policy", default="fcfs", choices=("fcfs", "wfp"),
+                         help="admission-queue ordering policy (the repo's "
+                              "own base-scheduler policies)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-request wall-clock deadline; a claimed "
+                              "request overdue by this much has its worker "
+                              "SIGKILLed and is retried")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="extra attempts for a failing/hung request")
+    p_serve.add_argument("--quarantine-after", type=int, default=2,
+                         help="isolated worker crashes before a request is "
+                              "quarantined as poison")
+    p_serve.add_argument("--no-degrade", action="store_true",
+                         help="disable the load-shedding degradation ladder")
+    p_serve.add_argument("--allow-chaos", action="store_true",
+                         help="honour chaos directives in requests "
+                              "(fault-injection testing only)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a simulation request to a running service")
+    p_submit.add_argument("workload", help="e.g. Theta-S4")
+    p_submit.add_argument("method", help="e.g. BBSched")
+    p_submit.add_argument("--socket", required=True, metavar="PATH",
+                          help="the daemon's Unix socket")
+    p_submit.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument("--generations", type=int, default=None,
+                          help="override the scale's GA generation count")
+    p_submit.add_argument("--nodes-hint", type=int, default=None,
+                          help="request size hint for the admission policy")
+    p_submit.add_argument("--walltime-hint", type=float, default=None,
+                          help="request duration hint for the admission policy")
+    p_submit.add_argument("--chaos", default=None, metavar="JSON",
+                          help="chaos directive, e.g. '{\"crash_attempts\": 1}' "
+                               "(daemon must run with --allow-chaos)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the request id and return immediately")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for the result")
+    p_submit.add_argument("--connect-timeout", type=float, default=10.0,
+                          help="per-call socket timeout")
+    p_submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -70,6 +70,33 @@ class SimulationInterrupted(ReproError, RuntimeError):
         self.signum = signum
 
 
+class ServiceError(ReproError, RuntimeError):
+    """A simulation-service request failed; carries an HTTP-style code.
+
+    Codes follow the familiar convention so clients can dispatch on
+    them: 400 malformed request, 404 unknown request id, 408 deadline
+    exceeded, 429 shed by admission control, 500 execution failure,
+    503 service unavailable (shutting down).
+    """
+
+    def __init__(self, message: str, *, code: int = 500) -> None:
+        super().__init__(message)
+        self.code = int(code)
+
+
+class PoisonRequestError(ServiceError):
+    """A request crashed its worker repeatedly and was quarantined.
+
+    Raised (and journaled as a terminal ``quarantined`` record) after a
+    request is convicted of ``quarantine_after`` isolated worker
+    crashes — re-dispatching it further would keep breaking the pool.
+    """
+
+    def __init__(self, message: str, *, crashes: int = 0) -> None:
+        super().__init__(message, code=500)
+        self.crashes = int(crashes)
+
+
 class TaskError(ReproError, RuntimeError):
     """A parallel-map task failed after exhausting its retry budget.
 

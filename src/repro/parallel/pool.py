@@ -17,11 +17,15 @@ The pool is *supervised*: a multi-hour grid must survive one wedged cell.
 * ``retries`` re-dispatches crashed, failed, or timed-out tasks with the
   shared :class:`~repro.resilience.BackoffPolicy` damping successive
   attempts.  A worker crash (``BrokenProcessPool``) fails *every* task in
-  flight on the broken pool, and the parent cannot tell the crasher from
-  its co-resident victims — so the first ``retries`` pool breaks are
-  free (nobody is charged an attempt) and only subsequent breaks charge
-  the broken tasks, which keeps a healthy victim from losing its budget
-  to a neighbour's crash while still bounding a crash-looping task.
+  flight on the broken pool, and at that instant the parent cannot tell
+  the crasher from its co-resident victims — so a pool break never
+  charges the retry budget directly.  Instead every task that was in
+  flight becomes a *suspect*, and suspects are re-dispatched in
+  isolation (at most one in flight at a time): a suspect that completes
+  is exonerated, while a suspect whose isolated attempt breaks the pool
+  again is the proven crasher and is charged a retry attempt.  Healthy
+  victims therefore always get a free requeue, and a crash-looping task
+  is still bounded by its own budget.
 * Exhausting the budget raises :class:`~repro.errors.TaskError` carrying
   the task index, its arguments, the attempt count, and the final
   traceback, so a failed grid names its cell instead of a bare
@@ -156,7 +160,9 @@ def _supervised_map(
     pending: deque = deque(range(n))
     waiting: List[Tuple[float, int]] = []   # (ready_at, index) retry queue
     inflight: Dict[Future, Tuple[int, Optional[float]]] = {}  # future → (index, deadline)
-    pool_breaks = 0
+    #: tasks that were in flight when a pool broke; dispatched in isolation
+    #: (at most one at a time) until they complete or break a pool alone.
+    suspects: set = set()
     pool = ProcessPoolExecutor(max_workers=workers)
 
     def submit(index: int) -> None:
@@ -175,13 +181,31 @@ def _supervised_map(
         attempts[index] -= 1
         pending.append(index)
 
-    def rebuild_pool() -> None:
+    def suspect_in_flight() -> bool:
+        return any(index in suspects for index, _ in inflight.values())
+
+    def dispatch() -> None:
+        # Fill free workers from the pending queue, but isolate suspects:
+        # at most one task that has ever broken a pool runs at a time, so
+        # the next break names its crasher instead of a crowd.
+        held: List[int] = []
+        while pending and len(inflight) < workers:
+            index = pending.popleft()
+            if index in suspects and suspect_in_flight():
+                held.append(index)
+                continue
+            submit(index)
+        pending.extendleft(reversed(held))
+
+    def rebuild_pool(mark_suspects: bool = False) -> None:
         # The wedged/dead pool's healthy in-flight tasks are victims,
         # not causes: requeue them immediately without charging attempts.
         nonlocal pool
         for future, (index, _) in inflight.items():
             future.cancel()
             requeue_free(index)
+            if mark_suspects:
+                suspects.add(index)
         inflight.clear()
         _shutdown(pool, terminate=True)
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -195,8 +219,7 @@ def _supervised_map(
                 if due:
                     waiting[:] = [w for w in waiting if w[0] > now]
                     pending.extend(due)
-            while pending and len(inflight) < workers:
-                submit(pending.popleft())
+            dispatch()
             if not inflight:
                 # Nothing running: sleep until the earliest retry matures.
                 time.sleep(max(0.0, min(r for r, _ in waiting) - time.monotonic()))
@@ -220,22 +243,25 @@ def _supervised_map(
                     retry_or_raise(index, exc=exc)
                 else:
                     results[index] = value
+                    suspects.discard(index)  # exonerated
                     if on_result is not None:
                         on_result(index, value)
             if broken:
-                # A dead worker fails every in-flight future, and the
-                # parent cannot tell the crasher from its victims: the
-                # first `retries` breaks charge nobody, later ones
-                # charge every broken task (bounding a crash loop).
-                charge = pool_breaks >= retries
-                pool_breaks += 1
+                # A dead worker fails every in-flight future.  A break
+                # while an *isolated suspect* was in flight convicts that
+                # suspect — it is charged a retry attempt.  Everyone else
+                # is a victim: requeued without losing budget, but marked
+                # suspect so future dispatch isolates them one at a time
+                # until each is exonerated by a clean completion.
                 for index, exc in broken:
-                    if charge:
+                    if index in suspects:
                         retry_or_raise(index, exc=exc,
-                                       reason="worker process died mid-task")
+                                       reason="worker process died mid-task "
+                                              "(isolated re-run)")
                     else:
                         requeue_free(index)
-                rebuild_pool()
+                        suspects.add(index)
+                rebuild_pool(mark_suspects=True)
                 continue
             now = time.monotonic()
             overdue = [
@@ -284,11 +310,15 @@ def parallel_map(
         pre-empt itself) and therefore ignored there.
     retries:
         Extra attempts after the first for a crashed, raising, or
-        timed-out task.  ``0`` preserves fail-fast semantics.  Worker
-        crashes fail every task in flight on the broken pool; the first
-        ``retries`` pool breaks charge no attempts (the crasher cannot
-        be told from its victims), later breaks charge every broken
-        task.
+        timed-out task.  ``0`` preserves fail-fast semantics for tasks
+        that *raise*.  Worker crashes fail every task in flight on the
+        broken pool; a pool break never charges the retry budget
+        directly (crash victims always requeue free).  The tasks that
+        were in flight are instead re-dispatched one at a time, and only
+        a task whose isolated re-run breaks the pool again — the proven
+        crasher — is charged an attempt, so even ``retries=0`` survives
+        a one-off worker crash while a deterministic crasher still fails
+        after ``retries + 1`` isolated convictions.
     backoff:
         Delay schedule between attempts of one task
         (:data:`DEFAULT_POOL_BACKOFF` when None).

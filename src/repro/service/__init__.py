@@ -1,0 +1,57 @@
+"""Crash-tolerant simulation service.
+
+A long-lived daemon (``repro serve``) accepts simulation requests over a
+local Unix socket speaking a JSON-lines protocol (:mod:`.protocol`), and
+runs them through a hardened execution core:
+
+* **admission control** (:mod:`.queue`) — a bounded queue ordered by the
+  repo's own base-scheduler priority policies (FCFS/WFP), shedding work
+  with a 429-style error past a high-water mark and degrading gracefully
+  (smaller GA budgets, tighter watchdogs) as pressure builds;
+* **a self-healing worker pool** (:mod:`.pool`) — per-request deadlines,
+  heartbeat-based hang detection, SIGKILL of wedged workers, pool
+  rebuilds that requeue crash victims for free, exponential backoff with
+  deterministic jitter, and quarantine of poison requests that keep
+  crashing their workers;
+* **a durable request lifecycle** (:mod:`.journal`) — every request is
+  journaled ``accepted → running → done/failed/quarantined`` on the
+  crash-safe JSONL substrate shared with the results ledger, so a
+  SIGKILL'd daemon restarts, replays the journal, and resumes exactly
+  the in-flight work, recording each result exactly once.
+
+``tools/chaos.py`` is the deterministic chaos harness that proves those
+properties; ``docs/service.md`` documents the protocol and the failure
+semantics table.
+"""
+
+from .client import ServiceClient
+from .daemon import ServiceConfig, ServiceDaemon
+from .journal import JOURNAL_VERSION, JournalView, RequestJournal
+from .pool import PoolConfig, ServicePool
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from .queue import AdmissionQueue
+
+__all__ = [
+    "AdmissionQueue",
+    "JOURNAL_VERSION",
+    "JournalView",
+    "PROTOCOL_VERSION",
+    "PoolConfig",
+    "RequestJournal",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServicePool",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "validate_request",
+]

@@ -1,0 +1,142 @@
+"""Blocking client for the simulation service.
+
+One connection per call, on purpose: the client's only state is the
+socket path, so it survives daemon restarts transparently — exactly what
+the chaos harness needs when it SIGKILLs the daemon between ``submit``
+and ``wait``.  :meth:`ServiceClient.wait` polls ``status`` rather than
+holding a server-side wait open for the same reason: a poll loop rides
+out a daemon that dies and comes back, while a held connection dies with
+the daemon.
+
+Error responses are raised as :class:`~repro.errors.ServiceError` with
+the server's code, so callers handle shed (429) or shutdown (503) the
+same way whether the condition was detected locally or remotely.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+from .protocol import MAX_LINE_BYTES, decode_message, encode_message
+
+
+class ServiceClient:
+    """Talks JSON-lines to a :class:`~repro.service.ServiceDaemon`."""
+
+    def __init__(self, socket_path: str, timeout: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # --- transport ---------------------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, return the raw response dict.
+
+        Raises :class:`ServiceError` (code 503) when the daemon is
+        unreachable — connection errors and service shutdown look the
+        same to a caller deciding whether to retry.
+        """
+        data = encode_message(message)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+                sock.sendall(data)
+                line = self._read_line(sock)
+        except (OSError, socket.timeout) as exc:
+            raise ServiceError(
+                f"service at {self.socket_path} unreachable: {exc}",
+                code=503) from exc
+        return decode_message(line)
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        chunks: List[bytes] = []
+        total = 0
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+            if chunk.endswith(b"\n") or total > MAX_LINE_BYTES:
+                break
+        return b"".join(chunks)
+
+    def _checked(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.request(message)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unknown service error"),
+                code=int(response.get("code", 500)))
+        return response
+
+    # --- operations --------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self._checked({"op": "ping"})
+
+    def alive(self) -> bool:
+        """True when the daemon answers a ping (no exception path)."""
+        try:
+            return bool(self.ping().get("pong"))
+        except ServiceError:
+            return False
+
+    def submit(self, **params: Any) -> Dict[str, Any]:
+        """Submit a simulation request; returns the acceptance response.
+
+        Keyword arguments are the protocol's submit params: ``workload``
+        and ``method`` (required), plus ``scale``, ``seed``,
+        ``generations``, ``watchdog_budget``, ``nodes_hint``,
+        ``walltime_hint``, and ``chaos``.
+        """
+        return self._checked({"op": "submit", "params": params})
+
+    def status(self, request_id: str) -> Dict[str, Any]:
+        return self._checked({"op": "status", "id": request_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked({"op": "stats"})
+
+    def shutdown(self, mode: str = "graceful") -> Dict[str, Any]:
+        return self._checked({"op": "shutdown", "mode": mode})
+
+    # --- polling helpers ---------------------------------------------------------
+    TERMINAL = frozenset({"done", "failed", "quarantined"})
+
+    def wait(self, request_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until ``request_id`` reaches a terminal state.
+
+        Daemon restarts mid-wait are survived: an unreachable daemon just
+        extends the poll loop (until ``timeout``), and a restarted daemon
+        answers from its recovered journal.
+        """
+        deadline = time.monotonic() + timeout
+        last: Optional[ServiceError] = None
+        while time.monotonic() < deadline:
+            try:
+                status = self.status(request_id)
+            except ServiceError as exc:
+                if exc.code == 404:
+                    raise  # the daemon is up and has never heard of it
+                last = exc  # unreachable: daemon may be restarting
+            else:
+                if status.get("state") in self.TERMINAL:
+                    return status
+            time.sleep(poll)
+        raise ServiceError(
+            f"request {request_id} not terminal within {timeout}s"
+            + (f" (last error: {last})" if last else ""), code=408)
+
+    def wait_all(self, request_ids: List[str], timeout: float = 300.0,
+                 poll: float = 0.1) -> Dict[str, Dict[str, Any]]:
+        """Wait for every id; returns ``{id: terminal status}``."""
+        deadline = time.monotonic() + timeout
+        done: Dict[str, Dict[str, Any]] = {}
+        for rid in request_ids:
+            remaining = max(deadline - time.monotonic(), 0.01)
+            done[rid] = self.wait(rid, timeout=remaining, poll=poll)
+        return done

@@ -1,0 +1,371 @@
+"""The simulation service daemon: socket server + dispatcher + recovery.
+
+:class:`ServiceDaemon` ties the pieces together around an asyncio event
+loop listening on a Unix socket:
+
+* connections speak the JSON-lines protocol (:mod:`.protocol`); every
+  request is validated, admitted through the :class:`.AdmissionQueue`
+  (shedding with 429 past high water), journaled, and dispatched to the
+  :class:`.ServicePool` when a worker slot frees up;
+* the **degradation ladder** engages at dispatch time: queue pressure
+  ≥ 50% halves the GA generation budget and arms a solver watchdog,
+  ≥ 85% quarters it and tightens the watchdog — the service keeps
+  answering under load, trading fidelity the way §3.2.2's window-size
+  knob trades solve quality for tractability.  Degradations are recorded
+  in the journal's ``running`` records and the response's ``degrade``
+  field, never silently;
+* **recovery**: on startup with an existing journal the daemon replays
+  it (:meth:`.RequestJournal.load` — which also audits exactly-once),
+  serves finished results from the journal, and re-enqueues every
+  accepted-but-unfinished request, exempt from admission control.  A
+  SIGKILL'd daemon therefore resumes its backlog with no client action,
+  and a result computed before the kill is never recomputed.
+
+The daemon is deliberately single-loop: all state mutation happens on
+the event loop thread, except the pool's ``on_dispatch`` journal append
+(crash-safe by the journal's atomic line writes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import PoisonRequestError, ServiceError
+from ..telemetry import MetricsRegistry
+from . import protocol
+from .journal import RequestJournal
+from .pool import PoolConfig, ServicePool
+from .queue import AdmissionQueue, make_policy
+from .tasks import result_summary
+
+#: (generations divisor, watchdog seconds) per degradation level.
+DEGRADE_LADDER = {1: (2, 5.0), 2: (4, 1.0)}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` needs to stand up a daemon."""
+
+    socket_path: str
+    journal_path: Optional[str] = None
+    workers: int = 2
+    high_water: int = 16
+    policy: str = "fcfs"
+    deadline: Optional[float] = None
+    retries: int = 2
+    quarantine_after: int = 2
+    allow_chaos: bool = False
+    degrade: bool = True
+    poll_interval: float = 0.02
+
+
+class ServiceDaemon:
+    """One long-lived simulation service instance."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.journal = (RequestJournal(config.journal_path)
+                        if config.journal_path else None)
+        self.queue = AdmissionQueue(
+            make_policy(config.policy), high_water=config.high_water)
+        self.pool = ServicePool(
+            PoolConfig(
+                workers=config.workers,
+                deadline=config.deadline,
+                retries=config.retries,
+                quarantine_after=config.quarantine_after,
+                allow_chaos=config.allow_chaos,
+                poll_interval=config.poll_interval,
+            ),
+            metrics=self.metrics,
+            on_dispatch=self._on_dispatch,
+        )
+        #: request id → {"state", "params", and terminal details}.
+        self._status: Dict[str, Dict[str, Any]] = {}
+        self._terminal_events: Dict[str, asyncio.Event] = {}
+        self._seq = 0
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._kick: Optional[asyncio.Event] = None
+        self._started_at = time.monotonic()
+        self.recovered = 0
+
+    # --- lifecycle ---------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: serve old results, re-enqueue unfinished work."""
+        if self.journal is None or not self.journal.exists():
+            return
+        view = self.journal.load()
+        self._seq = view.seq_max
+        for rid, record in view.requests.items():
+            terminal = view.terminal.get(rid)
+            if terminal is None:
+                self._status[rid] = {"state": "queued",
+                                     "params": record["params"],
+                                     "recovered": True}
+                self.queue.offer(rid, record["params"], exempt=True)
+                self.recovered += 1
+                self.metrics.inc("service.recovered")
+                continue
+            kind = terminal["kind"].replace("service-", "")
+            entry: Dict[str, Any] = {"state": kind,
+                                     "params": record["params"]}
+            if kind == "done":
+                entry["summary"] = terminal.get("summary")
+                entry["elapsed"] = terminal.get("elapsed")
+            else:
+                entry["error"] = terminal.get("error")
+                entry["code"] = terminal.get("code", 500)
+            self._status[rid] = entry
+        if view.dropped_tail:
+            # Replay skipped a torn final record; cut it off before we
+            # append again, or the damage would end up mid-file where
+            # later loads must treat it as real corruption.
+            self.journal.repair()
+            self.metrics.inc("service.journal_tail_dropped")
+
+    async def serve(self, ready: Optional[asyncio.Event] = None) -> None:
+        """Run the daemon until a shutdown request (or cancellation)."""
+        loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._kick = asyncio.Event()
+        self._recover()
+        self.pool.start()
+        if os.path.exists(self.config.socket_path):
+            os.unlink(self.config.socket_path)  # stale socket from a kill
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.config.socket_path)
+        dispatcher = loop.create_task(self._dispatch_loop())
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stopped.wait()
+        finally:
+            dispatcher.cancel()
+            server.close()
+            await server.wait_closed()
+            self.pool.shutdown(wait=False)
+            if os.path.exists(self.config.socket_path):
+                os.unlink(self.config.socket_path)
+
+    # --- dispatch ----------------------------------------------------------------
+    def _on_dispatch(self, request_id: str, attempt: int) -> None:
+        """Pool callback (supervisor thread): journal each dispatch."""
+        status = self._status.get(request_id, {})
+        if self.journal is not None:
+            self.journal.append_running(
+                request_id, attempt, degrade=status.get("degrade", 0),
+                overrides=status.get("overrides"))
+
+    def _degrade(self, params: Dict[str, Any]) -> tuple:
+        """Apply the pressure ladder; returns (params, level, overrides)."""
+        level = self.queue.degrade_level() if self.config.degrade else 0
+        if level == 0:
+            return params, 0, {}
+        divisor, watchdog = DEGRADE_LADDER[min(level, 2)]
+        overrides: Dict[str, Any] = {}
+        effective = dict(params)
+        from ..experiments.config import get_scale  # local: cheap, cycle-free
+        base = params.get("generations") or get_scale(params.get("scale")).generations
+        capped = max(1, base // divisor)
+        if capped < base:
+            effective["generations"] = overrides["generations"] = capped
+        if params.get("watchdog_budget") is None:
+            effective["watchdog_budget"] = overrides["watchdog_budget"] = watchdog
+        return effective, level, overrides
+
+    async def _dispatch_loop(self) -> None:
+        assert self._kick is not None
+        while True:
+            while self.queue and self.pool.active() < self.config.workers:
+                rid, params = self.queue.take()
+                effective, level, overrides = self._degrade(params)
+                status = self._status[rid]
+                status.update(state="running", degrade=level,
+                              overrides=overrides or None)
+                if level:
+                    self.metrics.inc("service.degraded")
+                future = self.pool.submit(rid, effective)
+                wrapped = asyncio.wrap_future(future)
+                asyncio.get_running_loop().create_task(
+                    self._finish(rid, wrapped))
+            self.metrics.set_gauge("service.queue_depth", self.queue.depth)
+            self._kick.clear()
+            try:
+                await asyncio.wait_for(self._kick.wait(), timeout=0.1)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _finish(self, rid: str, wrapped: "asyncio.Future") -> None:
+        """Await one request's outcome; journal its terminal record."""
+        status = self._status[rid]
+        started = time.monotonic()
+        try:
+            result = await wrapped
+        except PoisonRequestError as exc:
+            status.update(state="quarantined", error=str(exc), code=exc.code,
+                          crashes=exc.crashes)
+            if self.journal is not None:
+                self.journal.append_quarantined(rid, str(exc), exc.crashes)
+        except ServiceError as exc:
+            attempts = getattr(exc, "attempts", 0)
+            status.update(state="failed", error=str(exc), code=exc.code,
+                          attempts=attempts)
+            if self.journal is not None:
+                self.journal.append_failed(rid, str(exc), exc.code, attempts)
+        except Exception as exc:  # pragma: no cover - pool always wraps
+            status.update(state="failed", error=str(exc), code=500)
+            if self.journal is not None:
+                self.journal.append_failed(rid, str(exc), 500, 0)
+        else:
+            summary = result_summary(result)
+            elapsed = time.monotonic() - started
+            status.update(state="done", summary=summary, elapsed=elapsed)
+            if self.journal is not None:
+                self.journal.append_done(rid, result, summary, elapsed)
+        event = self._terminal_events.pop(rid, None)
+        if event is not None:
+            event.set()
+        assert self._kick is not None
+        self._kick.set()
+        if self._draining and not self._outstanding():
+            assert self._stopped is not None
+            self._stopped.set()
+
+    def _outstanding(self) -> bool:
+        return bool(self.queue) or self.pool.active() > 0
+
+    # --- protocol handlers -------------------------------------------------------
+    def _public_status(self, rid: str) -> Dict[str, Any]:
+        status = self._status[rid]
+        public = {k: v for k, v in status.items()
+                  if k not in {"params", "overrides"} and v is not None}
+        public["id"] = rid
+        return public
+
+    def _handle_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining:
+            raise ServiceError("service is shutting down", code=503)
+        params = message["params"]
+        self._seq += 1
+        rid = f"r{self._seq:06d}"
+        try:
+            self.queue.offer(rid, params)
+        except ServiceError:
+            self._seq -= 1
+            self.metrics.inc("service.shed")
+            raise
+        self.metrics.inc("service.accepted")
+        if self.journal is not None:
+            self.journal.append_request(rid, self._seq, params)
+        self._status[rid] = {"state": "queued", "params": params}
+        assert self._kick is not None
+        self._kick.set()
+        return protocol.ok_response(
+            id=rid, state="queued", depth=self.queue.depth,
+            degrade=self.queue.degrade_level())
+
+    async def _handle_wait(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        rid = message["id"]
+        if rid not in self._status:
+            raise ServiceError(f"unknown request id {rid!r}", code=404)
+        timeout = message.get("timeout")
+        if self._status[rid]["state"] in {"done", "failed", "quarantined"}:
+            return protocol.ok_response(**self._public_status(rid))
+        event = self._terminal_events.setdefault(rid, asyncio.Event())
+        try:
+            await asyncio.wait_for(event.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"request {rid} not finished within {timeout}s", code=408)
+        return protocol.ok_response(**self._public_status(rid))
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for status in self._status.values():
+            states[status["state"]] = states.get(status["state"], 0) + 1
+        return protocol.ok_response(
+            uptime=time.monotonic() - self._started_at,
+            queue_depth=self.queue.depth,
+            queue_order=self.queue.peek_order(),
+            inflight=self.pool.active(),
+            pressure=self.queue.pressure(),
+            degrade=self.queue.degrade_level(),
+            policy=self.queue.policy.name,
+            recovered=self.recovered,
+            states=states,
+            metrics=self.metrics.snapshot(),
+        )
+
+    def request_shutdown(self, mode: str = "graceful") -> None:
+        """Begin shutdown: stop admitting; ``now`` abandons the backlog.
+
+        Safe to call from a signal handler on the event-loop thread.
+        Graceful mode finishes everything queued and in flight first
+        (the last :meth:`_finish` sets the stop event).
+        """
+        self._draining = True
+        if self._stopped is not None and (
+                mode == "now" or not self._outstanding()):
+            self._stopped.set()
+
+    async def _handle_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        mode = message.get("mode", "graceful")
+        draining = self._outstanding() and mode != "now"
+        self.request_shutdown(mode)
+        return protocol.ok_response(
+            state="draining" if draining else "stopping")
+
+    async def _handle_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        message = protocol.validate_request(message)
+        op = message["op"]
+        if op == "ping":
+            return protocol.ok_response(
+                pong=True, version=protocol.PROTOCOL_VERSION,
+                pid=os.getpid())
+        if op == "submit":
+            return self._handle_submit(message)
+        if op == "status":
+            rid = message["id"]
+            if rid not in self._status:
+                raise ServiceError(f"unknown request id {rid!r}", code=404)
+            return protocol.ok_response(**self._public_status(rid))
+        if op == "wait":
+            return await self._handle_wait(message)
+        if op == "stats":
+            return self._handle_stats()
+        return await self._handle_shutdown(message)  # op == "shutdown"
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode_message(line)
+                    response = await self._handle_message(message)
+                except ServiceError as exc:
+                    response = protocol.error_response(exc)
+                except Exception as exc:  # defensive: never drop the line
+                    response = protocol.error_response(str(exc), code=500)
+                writer.write(protocol.encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except BaseException:  # incl. CancelledError at shutdown
+                pass

@@ -1,0 +1,200 @@
+"""Durable request lifecycle journal for the simulation service.
+
+Every request the daemon accepts is journaled through its whole life —
+``request`` (accepted) → ``running`` (dispatched, possibly several times)
+→ exactly one terminal record (``done``/``failed``/``quarantined``) —
+on the same crash-safe JSONL substrate as the grid results ledger
+(:class:`~repro.checkpoint.journal.JsonlJournal`): atomic line appends,
+fsync per record, tail-tolerant replay.
+
+That single file is the service's entire persistent state.  A daemon
+that is SIGKILL'd mid-flight restarts, calls :meth:`RequestJournal.load`,
+and gets back (a) every finished result, (b) every request that was
+accepted but has no terminal record — exactly the work to resume.  The
+load is also an audit: a request id appearing twice, or carrying two
+terminal records, violates exactly-once and raises
+:class:`~repro.errors.CheckpointError` rather than silently picking one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import CheckpointError
+from ..checkpoint.journal import JsonlJournal, decode_payload, encode_payload
+
+#: Journal format version, bumped on incompatible record changes.
+JOURNAL_VERSION = 1
+
+#: Record kinds, in lifecycle order.
+KIND_REQUEST = "service-request"
+KIND_RUNNING = "service-running"
+KIND_DONE = "service-done"
+KIND_FAILED = "service-failed"
+KIND_QUARANTINED = "service-quarantined"
+
+ALL_KINDS = (KIND_REQUEST, KIND_RUNNING, KIND_DONE, KIND_FAILED,
+             KIND_QUARANTINED)
+
+#: A request with one of these is finished; it is never re-run.
+TERMINAL_KINDS = frozenset({KIND_DONE, KIND_FAILED, KIND_QUARANTINED})
+
+
+@dataclass
+class JournalView:
+    """Parsed journal state: what happened, what is still owed."""
+
+    #: accepted requests by id, in acceptance order (dicts keep insertion
+    #: order, which is the admission order the daemon journaled).
+    requests: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: terminal record by id (``done``/``failed``/``quarantined``).
+    terminal: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: dispatch attempts observed per id.
+    attempts: Dict[str, int] = field(default_factory=dict)
+    #: highest request sequence number seen (daemon resumes ids after it).
+    seq_max: int = 0
+    #: 1 when replay dropped a SIGKILL-damaged final line.
+    dropped_tail: int = 0
+
+    def pending(self) -> List[Dict[str, Any]]:
+        """Accepted requests with no terminal record, in admission order."""
+        return [rec for rid, rec in self.requests.items()
+                if rid not in self.terminal]
+
+    def state(self, request_id: str) -> Optional[str]:
+        """Lifecycle state of ``request_id``: queued/running/terminal kind."""
+        if request_id in self.terminal:
+            return self.terminal[request_id]["kind"].replace("service-", "")
+        if request_id in self.requests:
+            return "running" if self.attempts.get(request_id) else "queued"
+        return None
+
+    def result(self, request_id: str) -> Any:
+        """Decode the stored result of a ``done`` request (verifying SHA)."""
+        record = self.terminal.get(request_id)
+        if record is None or record["kind"] != KIND_DONE:
+            raise CheckpointError(
+                f"request {request_id!r} has no completed result in the journal")
+        return decode_payload(record)
+
+
+class RequestJournal:
+    """Append-only lifecycle journal over :class:`JsonlJournal`."""
+
+    def __init__(self, path) -> None:
+        self._journal = JsonlJournal(path)
+
+    @property
+    def path(self):
+        return self._journal.path
+
+    def exists(self) -> bool:
+        return self._journal.exists()
+
+    def repair(self) -> int:
+        """Truncate a torn final record so future appends stay replayable.
+
+        Returns the bytes removed.  The daemon calls this during
+        recovery whenever :meth:`load` reported a dropped tail: replay
+        merely *skips* the damage, but appending after it would leave
+        corruption mid-file, which every later load would (correctly)
+        refuse as non-crash damage.
+        """
+        return self._journal.repair_tail(self._parse)
+
+    # --- writing -----------------------------------------------------------------
+    def _append(self, kind: str, request_id: str, **fields: Any) -> None:
+        record = {"kind": kind, "version": JOURNAL_VERSION, "id": request_id,
+                  "t": time.time()}
+        record.update(fields)
+        self._journal.append(record)
+
+    def append_request(self, request_id: str, seq: int,
+                       params: Dict[str, Any]) -> None:
+        """Journal admission; ``params`` must be replayable verbatim."""
+        self._append(KIND_REQUEST, request_id, seq=int(seq), params=params)
+
+    def append_running(self, request_id: str, attempt: int,
+                       degrade: int = 0,
+                       overrides: Optional[Dict[str, Any]] = None) -> None:
+        """Journal one dispatch to the pool (re-dispatches repeat this)."""
+        self._append(KIND_RUNNING, request_id, attempt=int(attempt),
+                     degrade=int(degrade), overrides=overrides or {})
+
+    def append_done(self, request_id: str, result: Any,
+                    summary: Dict[str, Any], elapsed: float) -> None:
+        """Journal the terminal success record with its verified payload."""
+        fields: Dict[str, Any] = {"summary": summary,
+                                  "elapsed": float(elapsed)}
+        fields.update(encode_payload(result))
+        self._append(KIND_DONE, request_id, **fields)
+
+    def append_failed(self, request_id: str, error: str, code: int,
+                      attempts: int) -> None:
+        self._append(KIND_FAILED, request_id, error=str(error),
+                     code=int(code), attempts=int(attempts))
+
+    def append_quarantined(self, request_id: str, error: str,
+                           crashes: int) -> None:
+        self._append(KIND_QUARANTINED, request_id, error=str(error),
+                     crashes=int(crashes))
+
+    # --- reading -----------------------------------------------------------------
+    @staticmethod
+    def _parse(record: Dict[str, Any]) -> Dict[str, Any]:
+        kind = record.get("kind")
+        if kind not in ALL_KINDS:
+            raise CheckpointError(f"unknown journal record kind {kind!r}")
+        if record.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"journal version {record.get('version')!r} unsupported "
+                f"(expected {JOURNAL_VERSION})")
+        if not isinstance(record.get("id"), str) or not record["id"]:
+            raise CheckpointError(f"{kind} record without a request id")
+        if kind == KIND_REQUEST and not isinstance(record.get("params"), dict):
+            raise CheckpointError(
+                f"request record {record['id']!r} has no params object")
+        return record
+
+    def load(self, verify_payloads: bool = False) -> JournalView:
+        """Replay the journal into a :class:`JournalView`, auditing it.
+
+        Raises :class:`~repro.errors.CheckpointError` on interior damage,
+        on a duplicated request id, on lifecycle records for an id never
+        accepted, and on a second terminal record for an id — the
+        exactly-once property the chaos harness pins.  With
+        ``verify_payloads`` every ``done`` payload is also decoded, which
+        checks its SHA-256 (``tools/validate_checkpoint.py`` mode).
+        """
+        view = JournalView()
+        for lineno, record in self._journal.replay(self._parse):
+            rid = record["id"]
+            kind = record["kind"]
+            if kind == KIND_REQUEST:
+                if rid in view.requests:
+                    raise CheckpointError(
+                        f"{self.path}: line {lineno}: request {rid!r} "
+                        "accepted twice")
+                view.requests[rid] = record
+                view.seq_max = max(view.seq_max, int(record.get("seq", 0)))
+                continue
+            if rid not in view.requests:
+                raise CheckpointError(
+                    f"{self.path}: line {lineno}: {kind} record for "
+                    f"{rid!r}, which was never accepted")
+            if kind == KIND_RUNNING:
+                view.attempts[rid] = max(
+                    view.attempts.get(rid, 0), int(record.get("attempt", 1)))
+                continue
+            if rid in view.terminal:
+                raise CheckpointError(
+                    f"{self.path}: line {lineno}: second terminal record "
+                    f"({kind}) for {rid!r} — exactly-once violated by "
+                    f"{view.terminal[rid]['kind']}")
+            if kind == KIND_DONE and verify_payloads:
+                decode_payload(record)
+            view.terminal[rid] = record
+        view.dropped_tail = self._journal.dropped_tail
+        return view

@@ -1,0 +1,150 @@
+"""Admission control: a bounded queue ordered by the repo's own policies.
+
+The service eats its own dog food: queued requests are wrapped in
+:class:`~repro.simulator.job.Job` proxies and ordered by the same
+:class:`~repro.policies.PriorityPolicy` objects the simulated schedulers
+use — FCFS for strict arrival order, WFP to favour "large" requests
+(``nodes_hint`` × normalised wait³) exactly as Theta's base scheduler
+favours capability jobs.  The proxy maps request hints onto job fields:
+``nodes_hint`` → ``nodes``, ``walltime_hint`` → ``walltime``, admission
+instant → ``submit_time`` (seconds since the queue's epoch, so FCFS ties
+break on the daemon's own admission sequence).
+
+Past ``high_water`` queued requests the queue *sheds*: `offer` raises a
+429-style :class:`~repro.errors.ServiceError` and the client is told to
+back off — bounded memory beats unbounded latency.  Below that, rising
+occupancy maps onto a degradation ladder (:meth:`AdmissionQueue.degrade_level`)
+the daemon uses to trade result quality for throughput: smaller GA
+budgets and tighter solver watchdogs as pressure builds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..policies import FCFS, WFP, PriorityPolicy
+from ..simulator.job import Job
+
+#: Queue-occupancy fractions at which degradation levels engage.
+DEGRADE_THRESHOLDS = (0.5, 0.85)
+
+
+def make_policy(name: str) -> PriorityPolicy:
+    """Resolve an admission policy by its base-scheduler name."""
+    if name == "fcfs":
+        return FCFS()
+    if name == "wfp":
+        return WFP()
+    raise ServiceError(
+        f"unknown admission policy {name!r}; known: ['fcfs', 'wfp']", code=400)
+
+
+@dataclass
+class _Entry:
+    request_id: str
+    params: Dict[str, Any]
+    job: Job  #: priority proxy fed to the policy
+
+
+class AdmissionQueue:
+    """Bounded, policy-ordered request queue with load shedding."""
+
+    def __init__(
+        self,
+        policy: PriorityPolicy,
+        high_water: int = 16,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if high_water < 1:
+            raise ServiceError(
+                f"high_water must be >= 1, got {high_water}", code=400)
+        self.policy = policy
+        self.high_water = int(high_water)
+        self._clock = clock
+        self._epoch = clock()
+        self._serial = itertools.count(1)
+        self._entries: List[_Entry] = []
+        #: requests shed so far (mirrors the ``service.shed`` counter).
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    def pressure(self) -> float:
+        """Queue occupancy in [0, ∞): depth over the high-water mark."""
+        return len(self._entries) / self.high_water
+
+    def degrade_level(self) -> int:
+        """0 = full fidelity, 1 = reduced GA budget, 2 = survival mode."""
+        pressure = self.pressure()
+        level = 0
+        for threshold in DEGRADE_THRESHOLDS:
+            if pressure >= threshold:
+                level += 1
+        return level
+
+    def offer(self, request_id: str, params: Dict[str, Any],
+              *, exempt: bool = False) -> None:
+        """Admit a request, or shed it with a 429 when at high water.
+
+        ``exempt`` bypasses the bound — used for journal-recovered
+        requests, which were already admitted in a previous life and
+        must not be lost to a full queue on restart.
+        """
+        if not exempt and len(self._entries) >= self.high_water:
+            self.shed += 1
+            raise ServiceError(
+                f"queue full ({self.high_water} requests queued); "
+                "retry with backoff", code=429)
+        job = Job(
+            jid=next(self._serial),
+            submit_time=max(self._clock() - self._epoch, 0.0),
+            runtime=0.0,
+            walltime=float(params.get("walltime_hint", 3600.0)),
+            nodes=int(params.get("nodes_hint", 1)),
+        )
+        self._entries.append(_Entry(request_id, params, job))
+
+    def take(self) -> Tuple[str, Dict[str, Any]]:
+        """Pop the highest-priority request per the admission policy."""
+        if not self._entries:
+            raise ServiceError("queue is empty", code=404)
+        now = self._clock() - self._epoch
+        ordered = self.policy.order([e.job for e in self._entries], now)
+        by_jid = {e.job.jid: i for i, e in enumerate(self._entries)}
+        entry = self._entries.pop(by_jid[ordered[0].jid])
+        return entry.request_id, entry.params
+
+    def drain(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Remove and return everything still queued (shutdown path)."""
+        drained = [(e.request_id, e.params) for e in self._entries]
+        self._entries.clear()
+        return drained
+
+    def queued_ids(self) -> List[str]:
+        return [e.request_id for e in self._entries]
+
+    def peek_order(self) -> List[str]:
+        """Current dispatch order without mutating the queue (stats op)."""
+        now = self._clock() - self._epoch
+        ordered = self.policy.order([e.job for e in self._entries], now)
+        by_jid = {e.job.jid: e.request_id for e in self._entries}
+        return [by_jid[j.jid] for j in ordered]
+
+    def remove(self, request_id: str) -> Optional[Dict[str, Any]]:
+        """Withdraw a queued request by id (None when not queued)."""
+        for i, entry in enumerate(self._entries):
+            if entry.request_id == request_id:
+                return self._entries.pop(i).params
+        return None

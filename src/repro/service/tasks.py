@@ -1,0 +1,133 @@
+"""Worker-side execution of service requests.
+
+These functions run inside the pool's worker processes.  The module is
+deliberately tiny and import-safe: it is pickled by name into workers,
+so it must not drag the daemon's asyncio machinery along.
+
+Two responsibilities live here:
+
+* **heartbeat claims** — the pool passes its heartbeat queue through the
+  executor's initializer; the very first thing a request does on a
+  worker is put a ``(request_id, pid, monotonic_time)`` claim on it.
+  That claim is what arms the supervisor's per-request deadline: a
+  claimed request that neither finishes nor fails within its deadline
+  has a wedged worker, and the supervisor SIGKILLs that exact pid.
+* **deterministic chaos** — a request may carry a chaos directive
+  (``crash_attempts``/``hang_attempts``/``hang_seconds``).  It is only
+  honoured when the daemon was started with ``allow_chaos`` (the flag is
+  baked into the worker dispatch, not read from the environment), and it
+  keys off the *attempt number*, so "crash the worker on attempt 1, then
+  succeed" replays identically every run — the property the chaos
+  harness's exactly-once assertions rest on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Dict, Optional
+
+from ..experiments.config import get_scale
+from ..experiments.grid import cell_seed
+from ..experiments.runner import RunResult, run_one
+from ..experiments.workloads import get_workload
+
+#: Heartbeat queue installed by the pool's initializer (worker side).
+_HEARTBEAT = None
+
+
+def pool_initializer(heartbeat) -> None:
+    """Executor initializer: stash the claim queue for this worker.
+
+    Also undoes the daemon's signal plumbing.  Fork-context workers
+    inherit asyncio's ``add_signal_handler`` state — a Python-level
+    handler *and* the wakeup fd, which is the parent loop's own
+    socketpair.  Left in place, a SIGTERM delivered to a worker (e.g.
+    the pool terminating a survivor during a rebuild) would be written
+    into the shared wakeup fd and dispatched as a shutdown request *in
+    the daemon*, while the worker itself shrugged it off.  Workers must
+    therefore drop the wakeup fd and restore default dispositions
+    before doing anything else.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    global _HEARTBEAT
+    _HEARTBEAT = heartbeat
+
+
+def _claim(request_id: str) -> None:
+    """Tell the supervisor this pid now owns ``request_id``."""
+    if _HEARTBEAT is not None:
+        _HEARTBEAT.put((request_id, os.getpid(), time.monotonic()))
+
+
+def apply_chaos(chaos: Optional[Dict[str, Any]], attempt: int) -> None:
+    """Inject the directive's fault for this attempt (deterministic).
+
+    ``crash_attempts=K`` SIGKILLs the worker on attempts 1..K (−1 means
+    every attempt — a poison request the pool must quarantine);
+    ``hang_attempts=K`` sleeps ``hang_seconds`` on attempts 1..K, which
+    the supervisor's deadline treats as a wedged worker.
+    """
+    if not chaos:
+        return
+    crash_k = chaos.get("crash_attempts", 0)
+    if crash_k == -1 or attempt <= crash_k:
+        # A real crash, not an exception: the worker dies mid-task the
+        # way an OOM kill or segfault would, breaking the whole pool.
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang_k = chaos.get("hang_attempts", 0)
+    if hang_k == -1 or attempt <= hang_k:
+        time.sleep(float(chaos.get("hang_seconds", 3600.0)))
+
+
+def execute_request(
+    request_id: str,
+    params: Dict[str, Any],
+    attempt: int,
+    allow_chaos: bool = False,
+) -> RunResult:
+    """Run one simulation request to completion on this worker."""
+    _claim(request_id)
+    if allow_chaos:
+        apply_chaos(params.get("chaos"), attempt)
+    scale = get_scale(params.get("scale"))
+    workload = params["workload"]
+    method = params["method"]
+    trace = get_workload(workload, scale)
+    seed = params.get("seed")
+    if seed is None:
+        seed = cell_seed(workload, method)
+    return run_one(
+        trace,
+        method,
+        scale,
+        seed=seed,
+        generations=params.get("generations"),
+        watchdog_budget=params.get("watchdog_budget"),
+        collect_telemetry=bool(params.get("telemetry", False)),
+    )
+
+
+def result_summary(result: RunResult) -> Dict[str, Any]:
+    """The small JSON-safe digest of a result the daemon journals inline.
+
+    The full :class:`RunResult` rides in the journal record's verified
+    payload; this digest is what ``status``/``wait`` responses carry.
+    """
+    summary = {k: float(v) for k, v in result.summary.as_dict().items()}
+    return {
+        "workload": result.workload,
+        "method": result.method,
+        "makespan": float(result.makespan),
+        "selector_calls": int(result.selector_calls),
+        "metrics": summary,
+    }

@@ -279,9 +279,14 @@ class SchedulingEngine:
     # is the active tracer — it holds thread-local nesting state and a lock
     # — so it is dropped on save and rebound from the process's active
     # tracer when the restored engine continues.
+    # The priority-order cache is likewise dropped: it is a pure function
+    # of (_queue, _queue_rev) and the first pass after a resume rebuilds
+    # it bit-identically, so pickling it only bloats every periodic save.
     def __getstate__(self) -> Dict:
         state = self.__dict__.copy()
         state["_tracer"] = None
+        state["_order_cache"] = None
+        state["_order_rev"] = -1
         return state
 
     def __setstate__(self, state: Dict) -> None:

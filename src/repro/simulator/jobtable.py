@@ -110,10 +110,17 @@ class JobTable:
             count=len(self.jobs),
         )
 
-    # --- pickling: row_of is derivable, columns are plain arrays -------------
-    def __getstate__(self) -> dict:
-        return {slot: getattr(self, slot) for slot in self.__slots__}
+    # --- pickling: the jobs ARE the table ------------------------------------
+    # Every column (including the dynamic ``state`` mirror) and ``row_of``
+    # is a pure function of the job list, and the jobs themselves are
+    # already in the pickle via the engine's ``_jobs`` (shared through the
+    # memo).  Serialising only the list keeps the eight numpy columns and
+    # the jid→row dict out of every periodic checkpoint, and the rebuild
+    # in ``__setstate__`` is bit-identical by construction.
+    # (Wrapped in a 1-tuple: a bare empty list is falsy, and pickle skips
+    # ``__setstate__`` entirely for falsy state.)
+    def __getstate__(self) -> tuple:
+        return (self.jobs,)
 
-    def __setstate__(self, state: dict) -> None:
-        for slot, value in state.items():
-            setattr(self, slot, value)
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(state[0])

@@ -157,6 +157,30 @@ class TestRetries:
                          backoff=FAST)
         assert "died" in str(excinfo.value)
 
+    def test_crash_does_not_consume_retry_budget(self, tmp_path):
+        # PR 3's contract, pinned: a pool break is a *free* requeue — the
+        # crash-once task and its co-resident victim both succeed with
+        # retries=0, because no task is charged an attempt for a crash
+        # it merely witnessed (and a one-off crasher is exonerated by its
+        # clean isolated re-run).
+        results = parallel_map(
+            crash_once, [(str(tmp_path), 3), (str(tmp_path), 0)],
+            workers=2, retries=0, backoff=FAST)
+        assert results == [9, 0]
+
+    def test_healthy_victim_survives_crash_looper(self, tmp_path):
+        # A deterministic crasher must fail alone: its co-resident victim
+        # keeps its full budget and completes despite repeated pool
+        # breaks it had no part in (suspect isolation names the crasher).
+        tasks = [("crash-loop",), (str(tmp_path),)]
+        with pytest.raises(TaskError) as excinfo:
+            parallel_map(crash_or_slow, tasks, workers=2, retries=1,
+                         backoff=FAST)
+        assert excinfo.value.index == 0
+        # The victim completed (its worker wrote the marker) even though
+        # the crasher next door broke the pool on every one of its runs.
+        assert (tmp_path / "victim_done").exists()
+
 
 def crash_once(path, x):
     """Crashes the worker on first invocation, then returns x*x."""
@@ -166,6 +190,17 @@ def crash_once(path, x):
             fh.write("1")
         os._exit(17)
     return x * x
+
+
+def crash_or_slow(tag):
+    """Crash-loop task, or a slow victim that records its completion."""
+    if tag == "crash-loop":
+        time.sleep(0.2)  # let the victim get airborne before the kill
+        os._exit(17)
+    time.sleep(1.0)
+    with open(f"{tag}/victim_done", "w") as fh:
+        fh.write("1")
+    return tag
 
 
 class TestTimeouts:

@@ -1,0 +1,410 @@
+"""Simulation service: protocol, admission, journal, pool self-healing."""
+
+import asyncio
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import CheckpointError, ServiceError
+from repro.service import (
+    AdmissionQueue,
+    RequestJournal,
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    decode_message,
+    encode_message,
+    validate_request,
+)
+from repro.service.journal import KIND_DONE
+from repro.service.pool import deterministic_jitter
+from repro.service.queue import make_policy
+
+SMOKE = {"workload": "Cori-S1", "method": "Baseline", "scale": "smoke"}
+
+
+# --- protocol ------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip(self):
+        msg = {"op": "ping", "n": 1}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_malformed_json_is_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_message(b"{nope\n")
+        assert excinfo.value.code == 400
+
+    def test_non_object_is_400(self):
+        with pytest.raises(ServiceError):
+            decode_message(b"[1, 2]\n")
+
+    def test_unknown_op(self):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_request({"op": "launch_missiles"})
+        assert excinfo.value.code == 400
+
+    def test_submit_requires_known_workload(self):
+        with pytest.raises(ServiceError) as excinfo:
+            validate_request({"op": "submit",
+                              "params": {"workload": "nope", "method": "Baseline"}})
+        assert "workload" in str(excinfo.value)
+
+    def test_submit_requires_known_method(self):
+        with pytest.raises(ServiceError):
+            validate_request({"op": "submit",
+                              "params": {"workload": "Cori-S1", "method": "nope"}})
+
+    def test_submit_normalizes_hints(self):
+        out = validate_request({"op": "submit", "params": dict(SMOKE)})
+        assert out["params"]["nodes_hint"] == 1
+        assert out["params"]["walltime_hint"] == 3600.0
+
+    def test_submit_rejects_bad_chaos(self):
+        with pytest.raises(ServiceError):
+            validate_request({"op": "submit",
+                              "params": {**SMOKE, "chaos": {"explode": True}}})
+
+    def test_submit_accepts_chaos(self):
+        out = validate_request({"op": "submit",
+                                "params": {**SMOKE,
+                                           "chaos": {"crash_attempts": 1}}})
+        assert out["params"]["chaos"] == {"crash_attempts": 1}
+
+    def test_status_requires_id(self):
+        with pytest.raises(ServiceError):
+            validate_request({"op": "status"})
+
+
+# --- admission queue -----------------------------------------------------------
+class TestAdmissionQueue:
+    def test_fcfs_order(self):
+        q = AdmissionQueue(make_policy("fcfs"), high_water=8)
+        for i in range(3):
+            q.offer(f"r{i}", {"nodes_hint": 1, "walltime_hint": 60.0})
+        assert [q.take()[0] for _ in range(3)] == ["r0", "r1", "r2"]
+
+    def test_wfp_prefers_large_requests(self):
+        clock = [0.0]
+        q = AdmissionQueue(make_policy("wfp"), high_water=8,
+                           clock=lambda: clock[0])
+        q.offer("small", {"nodes_hint": 1, "walltime_hint": 60.0})
+        q.offer("big", {"nodes_hint": 64, "walltime_hint": 60.0})
+        clock[0] = 30.0  # both waited; WFP's nodes factor dominates
+        assert q.take()[0] == "big"
+
+    def test_shed_past_high_water(self):
+        q = AdmissionQueue(make_policy("fcfs"), high_water=2)
+        q.offer("a", {})
+        q.offer("b", {})
+        with pytest.raises(ServiceError) as excinfo:
+            q.offer("c", {})
+        assert excinfo.value.code == 429
+        assert q.shed == 1
+
+    def test_exempt_bypasses_high_water(self):
+        q = AdmissionQueue(make_policy("fcfs"), high_water=1)
+        q.offer("a", {})
+        q.offer("recovered", {}, exempt=True)  # no raise
+        assert q.depth == 2
+
+    def test_degrade_ladder(self):
+        q = AdmissionQueue(make_policy("fcfs"), high_water=10)
+        assert q.degrade_level() == 0
+        for i in range(5):
+            q.offer(f"r{i}", {})
+        assert q.degrade_level() == 1
+        for i in range(4):
+            q.offer(f"s{i}", {})
+        assert q.degrade_level() == 2
+
+    def test_take_empty_raises(self):
+        q = AdmissionQueue(make_policy("fcfs"), high_water=2)
+        with pytest.raises(ServiceError):
+            q.take()
+
+
+# --- request journal -----------------------------------------------------------
+class TestRequestJournal:
+    def test_lifecycle_replay(self, tmp_path):
+        j = RequestJournal(tmp_path / "svc.jsonl")
+        j.append_request("r1", 1, dict(SMOKE))
+        j.append_request("r2", 2, dict(SMOKE))
+        j.append_running("r1", 1)
+        j.append_done("r1", {"fake": "result"}, {"makespan": 1.0}, 0.5)
+        view = j.load(verify_payloads=True)
+        assert view.state("r1") == "done"
+        assert view.state("r2") == "queued"
+        assert [r["id"] for r in view.pending()] == ["r2"]
+        assert view.seq_max == 2
+        assert view.result("r1") == {"fake": "result"}
+
+    def test_duplicate_terminal_is_exactly_once_violation(self, tmp_path):
+        j = RequestJournal(tmp_path / "svc.jsonl")
+        j.append_request("r1", 1, {})
+        j.append_done("r1", 1, {}, 0.1)
+        j.append_failed("r1", "late loser", 500, 3)
+        with pytest.raises(CheckpointError, match="exactly-once"):
+            j.load()
+
+    def test_duplicate_accept_raises(self, tmp_path):
+        j = RequestJournal(tmp_path / "svc.jsonl")
+        j.append_request("r1", 1, {})
+        j.append_request("r1", 2, {})
+        with pytest.raises(CheckpointError, match="accepted twice"):
+            j.load()
+
+    def test_orphan_lifecycle_record_raises(self, tmp_path):
+        j = RequestJournal(tmp_path / "svc.jsonl")
+        j.append_running("ghost", 1)
+        j.append_request("r1", 1, {})  # ghost is now an interior record
+        with pytest.raises(CheckpointError, match="never accepted"):
+            j.load()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        j = RequestJournal(path)
+        j.append_request("r1", 1, {})
+        j.append_done("r1", 42, {}, 0.1)
+        data = path.read_bytes()
+        path.write_bytes(data[:-25])  # SIGKILL mid-append
+        view = j.load()
+        assert view.dropped_tail == 1
+        assert view.state("r1") == "queued"  # the done record was torn
+
+    def test_attempts_tracked(self, tmp_path):
+        j = RequestJournal(tmp_path / "svc.jsonl")
+        j.append_request("r1", 1, {})
+        j.append_running("r1", 1)
+        j.append_running("r1", 2)
+        view = j.load()
+        assert view.attempts["r1"] == 2
+        assert view.state("r1") == "running"
+
+    def test_quarantine_is_terminal(self, tmp_path):
+        j = RequestJournal(tmp_path / "svc.jsonl")
+        j.append_request("r1", 1, {})
+        j.append_quarantined("r1", "poison", 2)
+        view = j.load()
+        assert view.state("r1") == "quarantined"
+        assert view.pending() == []
+
+
+class TestDeterministicJitter:
+    def test_stable_and_bounded(self):
+        a = deterministic_jitter("r000001", 1)
+        assert a == deterministic_jitter("r000001", 1)
+        assert 0.0 <= a < 1.0
+        assert a != deterministic_jitter("r000001", 2)
+
+
+# --- daemon end-to-end ---------------------------------------------------------
+class DaemonHarness:
+    """Runs a ServiceDaemon on a background thread for one test."""
+
+    def __init__(self, tmp_path, **overrides):
+        self.socket_path = str(tmp_path / "svc.sock")
+        self.journal_path = str(tmp_path / "svc.jsonl")
+        kwargs = dict(socket_path=self.socket_path,
+                      journal_path=self.journal_path,
+                      workers=1, high_water=8, retries=2,
+                      quarantine_after=2)
+        kwargs.update(overrides)
+        self.daemon = ServiceDaemon(ServiceConfig(**kwargs))
+        self.client = ServiceClient(self.socket_path, timeout=10.0)
+        self._thread = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.serve()), daemon=True)
+        self._thread.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(self.socket_path) and self.client.alive():
+                return self
+            time.sleep(0.02)
+        raise RuntimeError("daemon did not come up")
+
+    def __exit__(self, *exc):
+        try:
+            self.client.shutdown(mode="now")
+        except ServiceError:
+            pass
+        self._thread.join(15.0)
+
+
+@pytest.fixture(autouse=True)
+def _smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+class TestDaemonEndToEnd:
+    def test_submit_wait_done(self, tmp_path):
+        with DaemonHarness(tmp_path) as h:
+            accepted = h.client.submit(**SMOKE)
+            assert accepted["state"] == "queued"
+            status = h.client.wait(accepted["id"], timeout=120.0)
+            assert status["state"] == "done"
+            assert status["summary"]["metrics"]["node_usage"] > 0
+            # The journal recorded exactly one terminal record, payload intact.
+            view = RequestJournal(h.journal_path).load(verify_payloads=True)
+            assert view.terminal[accepted["id"]]["kind"] == KIND_DONE
+
+    def test_unknown_id_is_404(self, tmp_path):
+        with DaemonHarness(tmp_path) as h:
+            with pytest.raises(ServiceError) as excinfo:
+                h.client.status("r999999")
+            assert excinfo.value.code == 404
+
+    def test_stats_reports_states(self, tmp_path):
+        with DaemonHarness(tmp_path) as h:
+            accepted = h.client.submit(**SMOKE)
+            h.client.wait(accepted["id"], timeout=120.0)
+            stats = h.client.stats()
+            assert stats["states"].get("done") == 1
+            assert stats["policy"] == "fcfs"
+            assert "service.accepted" in stats["metrics"]["counters"]
+
+    def test_malformed_line_gets_400_not_disconnect(self, tmp_path):
+        import socket as socketlib
+        with DaemonHarness(tmp_path) as h:
+            with socketlib.socket(socketlib.AF_UNIX,
+                                  socketlib.SOCK_STREAM) as sock:
+                sock.settimeout(5.0)
+                sock.connect(h.socket_path)
+                sock.sendall(b"not json\n")
+                first = sock.makefile("rb").readline()
+                assert b'"code": 400' in first or b'"code":400' in first
+
+    def test_crash_once_recovers_and_completes(self, tmp_path):
+        # A worker SIGKILL mid-task breaks the pool; the request is
+        # requeued for free, re-run, and completes — with the crash
+        # visible in the metrics, not in the outcome.
+        with DaemonHarness(tmp_path, allow_chaos=True) as h:
+            accepted = h.client.submit(chaos={"crash_attempts": 1}, **SMOKE)
+            status = h.client.wait(accepted["id"], timeout=120.0)
+            assert status["state"] == "done"
+            counters = h.client.stats()["metrics"]["counters"]
+            assert counters.get("service.pool_rebuilds", 0) >= 1
+
+    def test_poison_request_is_quarantined(self, tmp_path):
+        # A request that crashes its worker on *every* attempt must be
+        # quarantined after `quarantine_after` isolated convictions, and
+        # must not poison a healthy request sharing the service.
+        with DaemonHarness(tmp_path, allow_chaos=True, workers=2,
+                           quarantine_after=2) as h:
+            poison = h.client.submit(chaos={"crash_attempts": -1}, **SMOKE)
+            healthy = h.client.submit(**SMOKE)
+            outcomes = h.client.wait_all(
+                [poison["id"], healthy["id"]], timeout=180.0)
+            assert outcomes[poison["id"]]["state"] == "quarantined"
+            assert outcomes[healthy["id"]]["state"] == "done"
+            view = RequestJournal(h.journal_path).load()
+            assert view.state(poison["id"]) == "quarantined"
+
+    def test_hung_worker_is_killed_and_retried(self, tmp_path):
+        # The request hangs (sleeps far past the deadline) on attempt 1;
+        # the supervisor SIGKILLs the claimed worker and the retry
+        # completes clean.
+        with DaemonHarness(tmp_path, allow_chaos=True,
+                           deadline=2.0, retries=2) as h:
+            accepted = h.client.submit(
+                chaos={"hang_attempts": 1, "hang_seconds": 120.0}, **SMOKE)
+            status = h.client.wait(accepted["id"], timeout=120.0)
+            assert status["state"] == "done"
+            counters = h.client.stats()["metrics"]["counters"]
+            assert counters.get("service.hangs", 0) >= 1
+
+    def test_shed_past_high_water(self, tmp_path):
+        # One worker wedged on a hang + high_water=2 → the third submit
+        # is shed with a 429 while the queue is full.
+        with DaemonHarness(tmp_path, allow_chaos=True, workers=1,
+                           high_water=2, deadline=None) as h:
+            h.client.submit(
+                chaos={"hang_attempts": -1, "hang_seconds": 600.0}, **SMOKE)
+            time.sleep(0.3)  # let the hang occupy the only worker
+            h.client.submit(**SMOKE)
+            h.client.submit(**SMOKE)
+            with pytest.raises(ServiceError) as excinfo:
+                h.client.submit(**SMOKE)
+            assert excinfo.value.code == 429
+            assert h.client.stats()["metrics"]["counters"]["service.shed"] == 1
+
+    def test_draining_daemon_rejects_submits(self, tmp_path):
+        with DaemonHarness(tmp_path) as h:
+            accepted = h.client.submit(**SMOKE)
+            h.client.wait(accepted["id"], timeout=120.0)
+            h.client.shutdown(mode="graceful")
+            with pytest.raises(ServiceError) as excinfo:
+                h.client.submit(**SMOKE)
+            assert excinfo.value.code == 503
+
+
+class TestRecovery:
+    def test_unfinished_requests_resume_on_restart(self, tmp_path):
+        # Simulate a daemon that accepted work and was SIGKILL'd before
+        # running it: the journal holds accepted records with no terminal
+        # records.  A fresh daemon must replay and finish them unasked.
+        journal = RequestJournal(tmp_path / "svc.jsonl")
+        journal.append_request("r000001", 1, dict(SMOKE))
+        journal.append_request("r000002", 2, dict(SMOKE))
+        with DaemonHarness(tmp_path, workers=2) as h:
+            assert h.daemon.recovered == 2
+            outcomes = h.client.wait_all(["r000001", "r000002"], timeout=180.0)
+            assert {s["state"] for s in outcomes.values()} == {"done"}
+        view = journal.load(verify_payloads=True)
+        assert set(view.terminal) == {"r000001", "r000002"}
+        assert view.pending() == []
+
+    def test_finished_requests_are_not_recomputed(self, tmp_path):
+        # A result journaled before the kill is served from the journal;
+        # restart must not produce a second terminal record for it.
+        journal = RequestJournal(tmp_path / "svc.jsonl")
+        journal.append_request("r000001", 1, dict(SMOKE))
+        journal.append_done("r000001", {"sentinel": 7}, {"metrics": {}}, 0.1)
+        with DaemonHarness(tmp_path) as h:
+            assert h.daemon.recovered == 0
+            status = h.client.status("r000001")
+            assert status["state"] == "done"
+        view = journal.load()
+        assert view.terminal["r000001"]["kind"] == KIND_DONE
+        assert view.result("r000001") == {"sentinel": 7}
+
+    def test_new_ids_continue_after_recovered_sequence(self, tmp_path):
+        journal = RequestJournal(tmp_path / "svc.jsonl")
+        journal.append_request("r000007", 7, dict(SMOKE))
+        journal.append_failed("r000007", "old failure", 500, 3)
+        with DaemonHarness(tmp_path) as h:
+            accepted = h.client.submit(**SMOKE)
+            assert accepted["id"] == "r000008"
+            h.client.wait(accepted["id"], timeout=120.0)
+
+
+class TestDegradation:
+    def test_pressure_caps_generations(self, tmp_path):
+        daemon = ServiceDaemon(ServiceConfig(
+            socket_path=str(tmp_path / "s.sock"), high_water=4))
+        for i in range(4):
+            daemon.queue.offer(f"r{i}", {})
+        assert daemon.queue.degrade_level() == 2
+        effective, level, overrides = daemon._degrade(dict(SMOKE))
+        assert level == 2
+        assert effective["generations"] == overrides["generations"]
+        assert effective["generations"] >= 1
+        assert effective["watchdog_budget"] == 1.0
+
+    def test_no_pressure_no_overrides(self, tmp_path):
+        daemon = ServiceDaemon(ServiceConfig(
+            socket_path=str(tmp_path / "s.sock"), high_water=4))
+        effective, level, overrides = daemon._degrade(dict(SMOKE))
+        assert (effective, level, overrides) == (dict(SMOKE), 0, {})
+
+    def test_degrade_disabled(self, tmp_path):
+        daemon = ServiceDaemon(ServiceConfig(
+            socket_path=str(tmp_path / "s.sock"), high_water=4,
+            degrade=False))
+        for i in range(4):
+            daemon.queue.offer(f"r{i}", {})
+        _, level, _ = daemon._degrade(dict(SMOKE))
+        assert level == 0

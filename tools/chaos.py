@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Deterministic chaos harness for the simulation service.
+
+Drives a real ``repro serve`` daemon (subprocess, own process group)
+through a *seeded* chaos plan and asserts the service's crash-tolerance
+contract end to end:
+
+* worker SIGKILLs mid-task (via per-request chaos directives, keyed to
+  the attempt ordinal so every run replays identically);
+* artificial hangs that the supervisor's deadline must convert into a
+  worker kill + clean retry;
+* daemon SIGKILLs (``kill -9`` of the whole process group, workers
+  included) at seeded points mid-backlog, followed by a restart that
+  must recover the journal and finish every outstanding request;
+* torn journal tails (the file truncated mid-record before a restart),
+  which recovery must tolerate exactly like a SIGKILL mid-append.
+
+After the plan runs, the harness audits the journal with
+``RequestJournal.load(verify_payloads=True)`` — which itself raises on
+any exactly-once violation — and cross-checks that every submitted
+request has exactly one terminal record.  The report (JSON) carries the
+outcome histogram and per-restart recovery times, and is what
+``benchmarks/test_bench_service.py`` distils into ``BENCH_service.json``.
+
+Usage::
+
+    python tools/chaos.py --seed 0 --requests 6 --daemon-kills 1 \
+        --scale smoke --report chaos_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(REPO_SRC))
+
+from repro.errors import CheckpointError, ServiceError  # noqa: E402
+from repro.service import RequestJournal, ServiceClient  # noqa: E402
+
+TERMINAL = frozenset({"done", "failed", "quarantined"})
+
+
+@dataclass
+class ChaosPlan:
+    """One reproducible chaos scenario (everything derives from seed)."""
+
+    seed: int = 0
+    requests: int = 6
+    #: fraction of requests that SIGKILL their worker on attempt 1.
+    crash_fraction: float = 0.34
+    #: fraction of requests that hang past the deadline on attempt 1.
+    hang_fraction: float = 0.17
+    #: requests that crash on *every* attempt (must end quarantined).
+    poison_requests: int = 0
+    #: times the daemon itself is SIGKILL'd mid-backlog and restarted.
+    daemon_kills: int = 1
+    #: tear the journal's final line before each restart.
+    truncate_tail: bool = False
+    scale: str = "smoke"
+    workers: int = 2
+    deadline: float = 20.0
+    retries: int = 3
+    quarantine_after: int = 2
+    high_water: int = 64
+    workloads: tuple = ("Cori-S1", "Theta-S1")
+    methods: tuple = ("Baseline",)
+    #: overall wall-clock budget for the whole plan.
+    timeout: float = 600.0
+
+
+class ChaosHarness:
+    """Runs one :class:`ChaosPlan` against a live daemon subprocess."""
+
+    def __init__(self, plan: ChaosPlan, workdir: str) -> None:
+        self.plan = plan
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.socket_path = str(self.workdir / "chaos.sock")
+        self.journal_path = str(self.workdir / "chaos.jsonl")
+        self.log_path = self.workdir / "daemon.log"
+        self.client = ServiceClient(self.socket_path, timeout=10.0)
+        self.rng = random.Random(plan.seed)
+        self.proc: Optional[subprocess.Popen] = None
+        self.recoveries: List[Dict[str, float]] = []
+        self.kills_done = 0
+        self.tails_torn = 0
+
+    # --- daemon lifecycle --------------------------------------------------------
+    def start_daemon(self) -> float:
+        """Launch (or relaunch) the daemon; returns seconds until ready."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        env["REPRO_SCALE"] = self.plan.scale
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--socket", self.socket_path,
+            "--journal", self.journal_path,
+            "--workers", str(self.plan.workers),
+            "--deadline", str(self.plan.deadline),
+            "--retries", str(self.plan.retries),
+            "--quarantine-after", str(self.plan.quarantine_after),
+            "--high-water", str(self.plan.high_water),
+            "--allow-chaos",
+        ]
+        t0 = time.monotonic()
+        with open(self.log_path, "a") as log:
+            # Own process group, so SIGKILLing the daemon takes its
+            # forked workers down too — a whole-node crash, not a tidy one.
+            self.proc = subprocess.Popen(
+                argv, stdout=log, stderr=subprocess.STDOUT, env=env,
+                start_new_session=True)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited during startup (rc={self.proc.returncode}); "
+                    f"see {self.log_path}")
+            if self.client.alive():
+                return time.monotonic() - t0
+            time.sleep(0.05)
+        raise RuntimeError(f"daemon not ready within 60s; see {self.log_path}")
+
+    def kill_daemon(self) -> None:
+        """SIGKILL the daemon's whole process group (workers included)."""
+        assert self.proc is not None
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - already gone
+            pass
+        self.proc.wait(30)
+        self.kills_done += 1
+
+    def tear_journal_tail(self) -> None:
+        """Truncate the journal mid-final-record (torn append)."""
+        path = Path(self.journal_path)
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        if len(data) < 40:
+            return
+        # Cut inside the final line: recovery must drop exactly that line.
+        cut = self.rng.randrange(10, 30)
+        path.write_bytes(data[:-cut])
+        self.tails_torn += 1
+
+    def shutdown_daemon(self) -> None:
+        try:
+            self.client.shutdown(mode="now")
+            if self.proc is not None:
+                self.proc.wait(30)
+        except (ServiceError, subprocess.TimeoutExpired):
+            if self.proc is not None and self.proc.poll() is None:
+                self.kill_daemon()
+
+    # --- the plan ----------------------------------------------------------------
+    def build_requests(self) -> List[Dict[str, Any]]:
+        """The seeded request list: params + intended chaos per request."""
+        plan = self.plan
+        specs: List[Dict[str, Any]] = []
+        for i in range(plan.requests):
+            spec: Dict[str, Any] = {
+                "workload": self.rng.choice(plan.workloads),
+                "method": self.rng.choice(plan.methods),
+                "scale": plan.scale,
+                "seed": 1000 + i,
+            }
+            roll = self.rng.random()
+            if i < plan.poison_requests:
+                spec["chaos"] = {"crash_attempts": -1}
+                spec["expect"] = "quarantined"
+            elif roll < plan.crash_fraction:
+                spec["chaos"] = {"crash_attempts": 1}
+                spec["expect"] = "done"
+            elif roll < plan.crash_fraction + plan.hang_fraction:
+                spec["chaos"] = {"hang_attempts": 1,
+                                 "hang_seconds": plan.deadline * 10}
+                spec["expect"] = "done"
+            else:
+                spec["expect"] = "done"
+            specs.append(spec)
+        return specs
+
+    def submit_all(self, specs: List[Dict[str, Any]]) -> Dict[str, Dict]:
+        """Submit every spec (retrying 429 shed); returns id → spec."""
+        by_id: Dict[str, Dict] = {}
+        for spec in specs:
+            params = {k: v for k, v in spec.items() if k != "expect"}
+            while True:
+                try:
+                    accepted = self.client.submit(**params)
+                    break
+                except ServiceError as exc:
+                    if exc.code != 429:
+                        raise
+                    time.sleep(0.2)  # shed: back off and retry
+            by_id[accepted["id"]] = spec
+        return by_id
+
+    def run(self) -> Dict[str, Any]:
+        plan = self.plan
+        t_start = time.monotonic()
+        ready = self.start_daemon()
+        self.recoveries.append({"ready_s": ready, "drain_s": 0.0})
+        specs = self.build_requests()
+        by_id = self.submit_all(specs)
+        pending = set(by_id)
+        outcomes: Dict[str, str] = {}
+
+        # Seeded kill points: after the k-th terminal outcome is observed.
+        kill_points = sorted(
+            self.rng.sample(range(1, max(plan.requests, 2)),
+                            min(plan.daemon_kills, plan.requests - 1)))
+        deadline = time.monotonic() + plan.timeout
+        while pending:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"chaos plan not finished within {plan.timeout}s; "
+                    f"pending: {sorted(pending)}")
+            for rid in sorted(pending):
+                try:
+                    status = self.client.status(rid)
+                except ServiceError:
+                    break  # daemon unreachable (restarting) — re-poll
+                if status["state"] in TERMINAL:
+                    outcomes[rid] = status["state"]
+                    pending.discard(rid)
+            if kill_points and len(outcomes) >= kill_points[0] and pending:
+                kill_points.pop(0)
+                self.kill_daemon()
+                if plan.truncate_tail:
+                    self.tear_journal_tail()
+                t_restart = time.monotonic()
+                ready = self.start_daemon()
+                # The restarted daemon's journal view is the truth now: a
+                # torn tail may have reverted a result we already counted
+                # (the daemon recomputes it), so re-track those too.
+                backlog = set()
+                for rid in by_id:
+                    if self.client.status(rid)["state"] not in TERMINAL:
+                        backlog.add(rid)
+                        outcomes.pop(rid, None)
+                pending |= backlog
+                # Recovery drain: the whole recovered backlog terminal.
+                drained = dict(self._drain(backlog, deadline))
+                outcomes.update(drained)
+                pending.difference_update(drained)
+                self.recoveries.append({
+                    "ready_s": ready,
+                    "drain_s": time.monotonic() - t_restart - ready,
+                })
+                continue
+            time.sleep(0.1)
+        self.shutdown_daemon()
+        return self.report(by_id, outcomes, time.monotonic() - t_start)
+
+    def _drain(self, pending: set, deadline: float):
+        for rid in sorted(pending):
+            remaining = max(deadline - time.monotonic(), 1.0)
+            status = self.client.wait(rid, timeout=remaining, poll=0.1)
+            yield rid, status["state"]
+
+    # --- audit + report ----------------------------------------------------------
+    def audit(self, by_id: Dict[str, Dict]) -> Dict[str, Any]:
+        """Exactly-once audit over the journal (raises on violations)."""
+        journal = RequestJournal(self.journal_path)
+        view = journal.load(verify_payloads=True)  # raises on duplicates
+        missing = sorted(set(by_id) - set(view.terminal))
+        extra = sorted(set(view.terminal) - set(by_id))
+        if missing:
+            raise CheckpointError(
+                f"requests lost (no terminal record): {missing}")
+        if extra:
+            raise CheckpointError(
+                f"terminal records for never-submitted ids: {extra}")
+        mismatches = {
+            rid: (spec["expect"], view.state(rid))
+            for rid, spec in by_id.items()
+            if view.state(rid) != spec["expect"]
+        }
+        return {
+            "exactly_once": True,
+            "records_audited": len(view.terminal),
+            "dropped_tail": view.dropped_tail,
+            "expectation_mismatches": mismatches,
+        }
+
+    def report(self, by_id: Dict[str, Dict], outcomes: Dict[str, str],
+               elapsed: float) -> Dict[str, Any]:
+        histogram: Dict[str, int] = {}
+        for state in outcomes.values():
+            histogram[state] = histogram.get(state, 0) + 1
+        return {
+            "plan": asdict(self.plan),
+            "outcomes": histogram,
+            "per_request": {rid: {"outcome": outcomes[rid],
+                                  "expected": by_id[rid]["expect"],
+                                  "chaos": by_id[rid].get("chaos")}
+                            for rid in sorted(by_id)},
+            "daemon_kills": self.kills_done,
+            "tails_torn": self.tails_torn,
+            "recoveries": self.recoveries,
+            "audit": self.audit(by_id),
+            "elapsed_s": elapsed,
+        }
+
+
+def run_chaos(plan: ChaosPlan, workdir: Optional[str] = None) -> Dict[str, Any]:
+    """Run one plan end to end; returns the report dict."""
+    if workdir is not None:
+        return ChaosHarness(plan, workdir).run()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        harness = ChaosHarness(plan, tmp)
+        try:
+            return harness.run()
+        finally:
+            if harness.proc is not None and harness.proc.poll() is None:
+                harness.kill_daemon()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Deterministic chaos harness for the simulation service")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=6)
+    parser.add_argument("--crash-fraction", type=float, default=0.34)
+    parser.add_argument("--hang-fraction", type=float, default=0.17)
+    parser.add_argument("--poison-requests", type=int, default=0)
+    parser.add_argument("--daemon-kills", type=int, default=1)
+    parser.add_argument("--truncate-tail", action="store_true")
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--deadline", type=float, default=20.0)
+    parser.add_argument("--retries", type=int, default=3)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--workdir", default=None,
+                        help="keep artifacts here instead of a temp dir")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the JSON report to PATH")
+    args = parser.parse_args(argv)
+    plan = ChaosPlan(
+        seed=args.seed, requests=args.requests,
+        crash_fraction=args.crash_fraction, hang_fraction=args.hang_fraction,
+        poison_requests=args.poison_requests, daemon_kills=args.daemon_kills,
+        truncate_tail=args.truncate_tail, scale=args.scale,
+        workers=args.workers, deadline=args.deadline, retries=args.retries,
+        timeout=args.timeout,
+    )
+    report = run_chaos(plan, workdir=args.workdir)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        Path(args.report).write_text(text + "\n")
+        print(f"wrote chaos report to {args.report}")
+    summary = report["outcomes"]
+    audit = report["audit"]
+    print(f"chaos seed={plan.seed}: {report['daemon_kills']} daemon kill(s), "
+          f"outcomes {summary}, exactly_once={audit['exactly_once']}, "
+          f"mismatches={len(audit['expectation_mismatches'])}")
+    return 0 if not audit["expectation_mismatches"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,10 @@ prints a diagnostic and exits 1.
 
 Usage::
 
-    python tools/validate_checkpoint.py FILE [--kind auto|checkpoint|ledger]
-                                             [--expect-workload NAME]
-                                             [--expect-method NAME]
-                                             [--min-cells N]
+    python tools/validate_checkpoint.py FILE
+        [--kind auto|checkpoint|ledger|journal]
+        [--expect-workload NAME] [--expect-method NAME]
+        [--min-cells N] [--require-complete]
 
 A *checkpoint* is one JSON header line (magic, format version, payload
 length, payload SHA-256, run manifest) followed by a binary payload; the
@@ -18,6 +18,13 @@ validator re-hashes the payload, so truncation and corruption both fail.
 A *ledger* is JSONL of completed grid cells whose base64 payloads are
 individually hashed; a truncated final line (SIGKILL mid-append) is
 reported but tolerated, matching the loader's semantics.
+A *journal* is the simulation service's request lifecycle JSONL
+(``service-request`` → ``service-running``* → one terminal record); the
+validator audits the exactly-once property — no id accepted twice, no
+lifecycle record for an unaccepted id, at most one terminal record per
+id — and re-hashes every ``done`` payload.  Structural damage on the
+final line (torn append) is tolerated; exactly-once violations are not,
+anywhere.
 """
 
 from __future__ import annotations
@@ -32,8 +39,12 @@ from typing import Any, Dict, List, Tuple
 MAGIC = "repro-ckpt"
 FORMAT_VERSION = 1
 LEDGER_VERSION = 1
+JOURNAL_VERSION = 1
 MANIFEST_FIELDS = ("sim_time", "jobs_total", "jobs_terminal",
                    "events_pending", "created_unix", "meta")
+SERVICE_KINDS = ("service-request", "service-running", "service-done",
+                 "service-failed", "service-quarantined")
+TERMINAL_SERVICE_KINDS = frozenset(SERVICE_KINDS[2:])
 
 
 class ValidationFailure(Exception):
@@ -135,6 +146,86 @@ def validate_ledger(path: str) -> Tuple[int, int, int]:
     return cells, failures, dropped
 
 
+# --- service request journals ------------------------------------------------
+def validate_journal(path: str) -> Dict[str, Any]:
+    """Audit a service request journal; returns summary counts.
+
+    Mirrors ``RequestJournal.load``: structural damage on the final line
+    only (torn append) is tolerated and counted as ``dropped_tail``;
+    exactly-once violations raise wherever they appear.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+    accepted: Dict[str, int] = {}
+    terminal: Dict[str, str] = {}
+    running = dropped = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        where = f"line {i + 1}"
+        last = i == len(lines) - 1
+        try:
+            record = json.loads(line)
+            _require(isinstance(record, dict), f"{where}: record must be an object")
+            kind = record.get("kind")
+            _require(kind in SERVICE_KINDS,
+                     f"{where}: unknown journal record kind {kind!r}")
+            _require(record.get("version") == JOURNAL_VERSION,
+                     f"{where}: journal version {record.get('version')!r}")
+            rid = record.get("id")
+            _require(isinstance(rid, str) and rid,
+                     f"{where}: {kind} record without a request id")
+            if kind == "service-request":
+                _require(isinstance(record.get("params"), dict),
+                         f"{where}: request {rid!r} has no params object")
+            elif kind == "service-running":
+                attempt = record.get("attempt")
+                _require(isinstance(attempt, int) and attempt >= 1,
+                         f"{where}: running record needs integer attempt >= 1")
+        except (ValidationFailure, ValueError) as exc:
+            if last:
+                dropped = 1  # torn append: only the tail can be damaged
+                continue
+            if isinstance(exc, ValidationFailure):
+                raise
+            raise ValidationFailure(f"{where}: {exc}") from None
+        # Exactly-once audit — strict everywhere, including the tail: a
+        # *parseable* record that violates it is real corruption, not a
+        # torn write.
+        if kind == "service-request":
+            _require(rid not in accepted,
+                     f"{where}: request {rid!r} accepted twice "
+                     "(exactly-once violated)")
+            accepted[rid] = i + 1
+            continue
+        _require(rid in accepted,
+                 f"{where}: {kind} record for {rid!r}, which was never accepted")
+        if kind == "service-running":
+            running += 1
+            continue
+        prior = terminal.get(rid)
+        _require(prior is None,
+                 f"{where}: second terminal record ({kind}) for {rid!r} — "
+                 f"exactly-once violated (already {prior})")
+        if kind == "service-done":
+            payload = base64.b64decode(record.get("payload", ""), validate=True)
+            _require(
+                hashlib.sha256(payload).hexdigest() == record.get("payload_sha256"),
+                f"{where}: done payload SHA-256 mismatch for {rid!r}")
+        terminal[rid] = kind
+    _require(bool(accepted) or dropped, "empty journal")
+    outcomes = {k.replace("service-", ""): 0 for k in TERMINAL_SERVICE_KINDS}
+    for kind in terminal.values():
+        outcomes[kind.replace("service-", "")] += 1
+    return {
+        "accepted": len(accepted),
+        "running_records": running,
+        "outcomes": outcomes,
+        "pending": sorted(r for r in accepted if r not in terminal),
+        "dropped_tail": dropped,
+    }
+
+
 def detect_kind(path: str) -> str:
     with open(path, "rb") as fh:
         first = fh.readline(1 << 20)
@@ -144,6 +235,9 @@ def detect_kind(path: str) -> str:
         return "checkpoint"  # binary tail ⇒ let the checkpoint path diagnose
     if isinstance(record, dict) and record.get("magic") == MAGIC:
         return "checkpoint"
+    if isinstance(record, dict) and str(record.get("kind", "")).startswith(
+            "service-"):
+        return "journal"
     return "ledger"
 
 
@@ -151,13 +245,16 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("file", help="checkpoint or ledger file to validate")
     parser.add_argument("--kind", default="auto",
-                        choices=("auto", "checkpoint", "ledger"))
+                        choices=("auto", "checkpoint", "ledger", "journal"))
     parser.add_argument("--expect-workload", default=None, metavar="NAME",
                         help="require the checkpoint manifest to name this workload")
     parser.add_argument("--expect-method", default=None, metavar="NAME",
                         help="require the checkpoint manifest to name this method")
     parser.add_argument("--min-cells", type=int, default=0, metavar="N",
                         help="require at least N valid cell records in a ledger")
+    parser.add_argument("--require-complete", action="store_true",
+                        help="fail a journal when any accepted request "
+                             "lacks a terminal record")
     args = parser.parse_args(argv)
     try:
         kind = args.kind if args.kind != "auto" else detect_kind(args.file)
@@ -177,6 +274,21 @@ def main(argv: List[str] | None = None) -> int:
                   f"terminal, {manifest['events_pending']} events pending")
             if meta:
                 print("  meta: " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+        elif kind == "journal":
+            summary = validate_journal(args.file)
+            if args.require_complete and summary["pending"]:
+                raise ValidationFailure(
+                    f"{len(summary['pending'])} accepted request(s) without "
+                    f"a terminal record: {', '.join(summary['pending'][:5])}"
+                    + ("..." if len(summary["pending"]) > 5 else ""))
+            outcomes = ", ".join(
+                f"{count} {name}"
+                for name, count in sorted(summary["outcomes"].items())
+                if count)
+            tail = ", torn tail dropped" if summary["dropped_tail"] else ""
+            print(f"OK {args.file} (journal): {summary['accepted']} accepted, "
+                  f"{outcomes or 'no outcomes'}, "
+                  f"{len(summary['pending'])} pending{tail}")
         else:
             cells, failures, dropped = validate_ledger(args.file)
             if cells < args.min_cells:
