@@ -66,6 +66,7 @@ from .errors import ReproError, SimulationInterrupted, TaskError
 from .experiments import report
 from .methods import METHODS_SECTION4
 from .resilience import SCENARIOS, FaultScenario, RetryPolicy, get_scenario
+from .solvers import available_window_solvers, solver_matrix
 from .telemetry import (
     Tracer,
     render_report,
@@ -269,7 +270,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                          retry=retry, checkpoint=checkpoint,
                                          resume_from=args.resume_from,
                                          eval_cache=not args.no_eval_cache,
-                                         fast_engine=not args.no_fast_engine)
+                                         fast_engine=not args.no_fast_engine,
+                                         solver=args.solver,
+                                         yardstick=args.yardstick)
             except SimulationInterrupted as exc:
                 # Orderly signal path: the final checkpoint is already on
                 # disk; flush exporters and exit with the signal's code.
@@ -310,6 +313,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  jobs measured     {s.n_jobs}")
     print(f"  selector calls    {result.selector_calls} "
           f"({1e3 * result.mean_selector_time:.1f}ms each)")
+    g = result.optimality_gap
+    if g is not None:
+        print("  --- optimality gap (method vs exact) ---")
+        print(f"  measured passes   {g['count']:.0f} "
+              f"(skipped {g['skipped']:.0f})")
+        print(f"  mean / p95 / max  {100 * g['mean']:.4f}% / "
+              f"{100 * g['p95']:.4f}% / {100 * g['max']:.4f}%")
     r = result.resilience
     if r is not None:
         print("  --- resilience ---")
@@ -334,6 +344,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             meta={"command": "simulate", "workload": args.workload,
                   "method": args.method, "scale": scale.name, "seed": args.seed},
         )
+    return 0
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    rows = [
+        [row["name"], "exact" if row["exact"] else "heuristic", row["description"]]
+        for row in solver_matrix()
+    ]
+    print(report.format_table(
+        rows, ["solver", "kind", "description"],
+        title="window solvers (--solver NAME; see docs/solvers.md)",
+    ))
     return 0
 
 
@@ -511,6 +533,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("method", help="e.g. BBSched")
     p_sim.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--solver", default=None,
+                       choices=available_window_solvers(),
+                       help="window solver for the optimization-backed "
+                            "methods (default: the paper's GA); see "
+                            "'bbsched solvers'")
+    p_sim.add_argument("--yardstick", action="store_true",
+                       help="re-solve every selection pass exactly (MILP) "
+                            "and report the method-vs-exact optimality gap")
     p_sim.add_argument("--no-eval-cache", action="store_true",
                        help="disable the GA evaluation memo (slower reference "
                             "path; results are byte-identical either way)")
@@ -551,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument("--resume-from", default=None, metavar="PATH",
                       help="restore a checkpoint and continue it to completion")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_solvers = sub.add_parser(
+        "solvers", help="list the window solvers --solver accepts")
+    p_solvers.set_defaults(func=_cmd_solvers)
 
     p_grid = sub.add_parser(
         "grid", help="run the §4 evaluation grid (resumable via a ledger)")

@@ -3,14 +3,16 @@
 ``BBSchedSelector`` is the plug-in that sits on top of a base scheduler:
 at each invocation it formulates the window-selection MOO problem
 (§3.2.1 — two objectives for node+burst-buffer systems, §5 — four
-objectives when the cluster has heterogeneous local SSD tiers), solves it
-with the multi-objective GA (§3.2.2), and applies the site decision rule
+objectives when the cluster has heterogeneous local SSD tiers), hands it
+to a pluggable :class:`~repro.solvers.base.WindowSolver` (the paper's
+multi-objective GA by default, §3.2.2 — or the exact MILP / exhaustive
+solvers from :mod:`repro.solvers`), and applies the site decision rule
 (§3.2.4) to pick the dispatched solution.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,31 +20,46 @@ from ..methods.base import Selector
 from ..rng import SeedLike, make_rng
 from ..simulator.cluster import Available
 from ..simulator.job import Job
+from ..solvers.base import WindowSolver
+from ..solvers.ga import GAWindowSolver
+from ..solvers.gap import OptimalityYardstick
 from ..telemetry import get_tracer
 from .decision import DecisionRule, four_resource_rule, two_resource_rule
-from .ga import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION, MOGASolver
+from .ga import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION
 from .problem import MOOProblem, SelectionProblem, SSDSelectionProblem
 
 
 class BBSchedSelector(Selector):
-    """Window job selection via MOO + genetic algorithm + decision rule.
+    """Window job selection via MOO + pluggable solver + decision rule.
 
     Parameters
     ----------
     generations, population, mutation:
         GA parameters ``G``, ``P``, ``p_m`` (§4.3 defaults: 500, 20, 0.05%).
+        Consumed by GA-backed solvers; exact solvers ignore them.
     selection:
         GA survival scheme — ``"age"`` (paper) or ``"crowding"`` (ablation).
     decision:
         Decision rule; defaults to the 2× rule, or the 4× rule automatically
         when the cluster exposes SSD tiers.  Pass explicitly to override.
     seed:
-        Seed for the GA's random stream (one stream across invocations).
+        Seed for the solver's random stream (one stream across
+        invocations; deterministic solvers never consume it, so swapping
+        them in and out does not perturb GA-seeded runs).
     eval_cache:
         Memoize GA objective evaluations (byte-identical results, see
         :mod:`repro.core.evalcache`); ``False`` is the reference path.
     fast_repair:
         Opt into the vectorized (RNG-order-changing) repair mode.
+    solver:
+        A :class:`WindowSolver` instance, a registry name
+        (``"ga"``, ``"scalar"``, ``"milp"``, ``"exhaustive"``), or ``None``
+        for the paper's GA built from the knobs above.
+    yardstick:
+        Optional :class:`OptimalityYardstick`: each pass's selection
+        problem is re-solved exactly under the equal-utilization
+        scalarization and the GA-vs-exact gap recorded (never perturbs
+        the run itself).
     """
 
     name = "BBSched"
@@ -57,18 +74,34 @@ class BBSchedSelector(Selector):
         seed: SeedLike = None,
         eval_cache: bool = True,
         fast_repair: bool = False,
+        solver: Union[WindowSolver, str, None] = None,
+        yardstick: Optional[OptimalityYardstick] = None,
     ) -> None:
         super().__init__()
-        self.solver = MOGASolver(
-            generations=generations,
-            population=population,
-            mutation=mutation,
-            selection=selection,
-            seed=None,
-            eval_cache=eval_cache,
-            fast_repair=fast_repair,
-        )
+        if solver is None:
+            solver = GAWindowSolver(
+                generations=generations,
+                population=population,
+                mutation=mutation,
+                selection=selection,
+                eval_cache=eval_cache,
+                fast_repair=fast_repair,
+            )
+        elif isinstance(solver, str):
+            from ..solvers.registry import make_window_solver
+
+            solver = make_window_solver(
+                solver,
+                generations=generations,
+                population=population,
+                mutation=mutation,
+                selection=selection,
+                eval_cache=eval_cache,
+                fast_repair=fast_repair,
+            )
+        self.solver: WindowSolver = solver
         self.decision = decision
+        self.yardstick = yardstick
         self._rng = make_rng(seed)
 
     @property
@@ -105,6 +138,12 @@ class BBSchedSelector(Selector):
         else:
             rule = self.decision or two_resource_rule()
             scales = system.scales2()
+        if self.yardstick is not None:
+            # Equal-utilization scalarization: each objective weighted by
+            # the inverse of its capacity, mirroring the decision rule's
+            # normalisation.  Deterministic and RNG-free.
+            coeffs = 1.0 / np.asarray(scales, dtype=float)
+            self.yardstick.measure_front(problem, coeffs, pareto)
         with get_tracer().span(
             "decision_rule", front=len(pareto), objectives=problem.n_objectives
         ) as span:

@@ -49,6 +49,9 @@ class RunResult:
     makespan: float
     selector_calls: int
     mean_selector_time: float
+    #: summary of the per-pass method-vs-exact optimality gap (count /
+    #: mean / max / p95 / skipped); None unless ``yardstick=True``.
+    optimality_gap: Optional[Dict[str, float]] = None
     #: fault-run metrics; None when neither faults nor a watchdog were active
     resilience: Optional[ResilienceSummary] = None
     #: per-run telemetry (span summary + metrics registry); populated when
@@ -81,6 +84,8 @@ def run_one(
     retry: Optional[RetryPolicy] = None,
     watchdog_budget: Optional[float] = None,
     eval_cache: bool = True,
+    solver: Optional[str] = None,
+    yardstick: bool = False,
     fast_engine: bool = True,
     collect_telemetry: bool = False,
     checkpoint: Optional[CheckpointConfig] = None,
@@ -99,6 +104,13 @@ def run_one(
     produces byte-identical results, used by the differential tests and
     the performance benchmark.  Like the other selector knobs it is baked
     into checkpoints and therefore ignored on resume.
+
+    ``solver`` names a window solver from :mod:`repro.solvers.registry`
+    (``"ga"``, ``"scalar"``, ``"milp"``, ``"exhaustive"``) for the
+    solver-backed methods; ``yardstick=True`` re-solves every selection
+    pass exactly and attaches the GA-vs-exact optimality-gap summary to
+    the result (see ``docs/solvers.md``).  Both are baked into
+    checkpoints, like the other selector knobs.
 
     ``fast_engine=False`` likewise disables the engine's array-backed fast
     path (vectorized queue ordering, the FCFS order cache, incremental
@@ -142,6 +154,8 @@ def run_one(
             mutation=sc.mutation,
             seed=seed if seed is not None else BASE_SEED ^ stable_hash(method) & 0xFFFF,
             eval_cache=eval_cache,
+            solver=solver,
+            yardstick=yardstick,
         )
         if budget is not None:
             selector = SolverWatchdog(selector, budget)
@@ -208,6 +222,19 @@ def run_one(
             interval,
             total_nodes=result.total_nodes,
         )
+    # The engine folded any yardstick measurements into its telemetry
+    # registry at end of run; summarise them for the result.
+    gap_hist = engine.metrics.histograms.get("ga.optimality_gap")
+    optimality_gap = None
+    if gap_hist is not None and gap_hist.count:
+        skipped = engine.metrics.counters.get("ga.yardstick.skipped")
+        optimality_gap = {
+            "count": float(gap_hist.count),
+            "mean": gap_hist.mean,
+            "max": gap_hist.max,
+            "p95": gap_hist.percentile(95),
+            "skipped": float(skipped.value) if skipped is not None else 0.0,
+        }
     return RunResult(
         workload=trace.name,
         method=method,
@@ -218,6 +245,7 @@ def run_one(
         makespan=result.makespan,
         selector_calls=result.stats.selector_calls,
         mean_selector_time=result.stats.mean_selector_time,
+        optimality_gap=optimality_gap,
         resilience=resilience,
         telemetry=telemetry,
     )

@@ -53,9 +53,26 @@ class Selector(abc.ABC):
 
     #: Identifier used in result tables (matches §4.3 naming).
     name: str = "selector"
+    #: True when select() needs the engine to project planned resource
+    #: releases into ``Available`` (the plan-based scheduler); the default
+    #: keeps the snapshot construction byte-identical for everyone else.
+    needs_releases: bool = False
+    #: Optional OptimalityYardstick attached by subclasses; the engine
+    #: harvests its gaps/skip counter through the properties below.
+    yardstick = None
 
     def __init__(self) -> None:
         self.system: Optional[SystemCapacity] = None
+
+    @property
+    def optimality_gaps(self) -> List[float]:
+        """Per-pass method-vs-exact gaps (empty without a yardstick)."""
+        return list(self.yardstick.gaps) if self.yardstick is not None else []
+
+    @property
+    def yardstick_skipped(self) -> int:
+        """Passes the yardstick could not measure (0 without one)."""
+        return self.yardstick.skipped if self.yardstick is not None else 0
 
     def bind(self, system: SystemCapacity) -> None:
         """Attach system totals; called by the engine before the run."""

@@ -4,24 +4,26 @@
 (and SSD tiers) purely as feasibility constraints; ``Constrained_BB``
 maximizes burst-buffer utilization; ``Constrained_SSD`` (§5) maximizes
 local-SSD utilization.  Each is a single-objective optimization solved
-with the same GA budget as BBSched (:mod:`repro.core.scalar`), which is
-the strongest honest implementation of the constrained approach the paper
-compares against.
+with the same GA budget as BBSched (:mod:`repro.core.scalar`) — or
+exactly, with ``solver="milp"`` — which is the strongest honest
+implementation of the constrained approach the paper compares against.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.params import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION
 from ..core.problem import SelectionProblem, SSDSelectionProblem
-from ..core.scalar import ScalarGASolver
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from ..simulator.cluster import Available
 from ..simulator.job import Job
+from ..solvers.base import WindowSolver
+from ..solvers.ga import GAWindowSolver
+from ..solvers.gap import OptimalityYardstick
 from .base import Selector
 
 #: Objective index per optimization target (column of the MOO objective
@@ -40,6 +42,12 @@ class ConstrainedSelector(Selector):
     eval_cache:
         Memoize GA objective evaluations (byte-identical results, see
         :mod:`repro.core.evalcache`); ``False`` is the reference path.
+    solver:
+        A :class:`WindowSolver`, a registry name, or ``None`` for the
+        scalar GA built from the knobs above.
+    yardstick:
+        Optional :class:`OptimalityYardstick` recording the per-pass gap
+        between this method's scalarized value and the exact optimum.
     """
 
     def __init__(
@@ -51,6 +59,8 @@ class ConstrainedSelector(Selector):
         mutation: float = DEFAULT_MUTATION,
         seed: SeedLike = None,
         eval_cache: bool = True,
+        solver: Union[WindowSolver, str, None] = None,
+        yardstick: Optional[OptimalityYardstick] = None,
     ) -> None:
         super().__init__()
         if target not in _TARGETS:
@@ -59,22 +69,31 @@ class ConstrainedSelector(Selector):
             )
         self.target = target
         self.name = f"Constrained_{target.upper()}"
-        self._ga = dict(
-            generations=generations,
-            population=population,
-            mutation=mutation,
-            eval_cache=eval_cache,
-        )
+        if solver is None:
+            solver = GAWindowSolver(
+                generations=generations,
+                population=population,
+                mutation=mutation,
+                eval_cache=eval_cache,
+            )
+        elif isinstance(solver, str):
+            from ..solvers.registry import make_window_solver
+
+            solver = make_window_solver(
+                solver,
+                generations=generations,
+                population=population,
+                mutation=mutation,
+                eval_cache=eval_cache,
+            )
+        self.solver: WindowSolver = solver
+        self.yardstick = yardstick
         self._rng = make_rng(seed)
-        # Per-call ScalarGASolvers are throwaway; counters accumulate here.
-        self._cache_stats = {"hits": 0, "misses": 0, "deduped": 0, "evictions": 0}
 
     @property
     def eval_cache_stats(self):
         """Cumulative cache counters across all select() calls, or None."""
-        if not self._ga["eval_cache"]:
-            return None
-        return dict(self._cache_stats)
+        return self.solver.eval_cache_stats
 
     def select(self, window: Sequence[Job], avail: Available) -> List[int]:
         self._require_system()
@@ -91,12 +110,9 @@ class ConstrainedSelector(Selector):
             problem = SelectionProblem.from_window(window, avail.nodes, avail.bb)
         coeffs = np.zeros(problem.n_objectives)
         coeffs[_TARGETS[self.target]] = 1.0
-        solver = ScalarGASolver(coeffs, seed=None, **self._ga)
-        best = solver.best(problem, seed=self._rng)
-        stats = solver.eval_cache_stats
-        if stats:
-            for key in self._cache_stats:
-                self._cache_stats[key] += stats[key]
+        best = self.solver.solve_scalar(problem, coeffs, seed=self._rng)
+        if self.yardstick is not None:
+            self.yardstick.measure(problem, coeffs, best.fitness)
         return [int(i) for i in np.flatnonzero(best.genes)]
 
 

@@ -2,12 +2,16 @@
 
 Experiments refer to methods by the paper's names; :func:`make_selector`
 builds a fresh, independently seeded selector per simulation run so
-parallel sweeps never share mutable state.
+parallel sweeps never share mutable state.  The optimization-backed
+methods additionally accept a *window solver* name — the paper's GA, the
+exact MILP, exhaustive enumeration — routed through
+:mod:`repro.solvers.registry`, so ``--solver`` composes with every
+method.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Union
 
 from ..core.params import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION
 from ..errors import ConfigurationError
@@ -16,6 +20,7 @@ from .base import Selector
 from .binpacking import BinPackingSelector
 from .constrained import constrained_bb, constrained_cpu, constrained_ssd
 from .naive import NaiveSelector
+from .planbased import plan_based
 from .weighted import weighted_bb, weighted_cpu, weighted_equal
 
 #: The eight methods of the §4 evaluation, in the paper's presentation order.
@@ -41,6 +46,23 @@ METHODS_SECTION5: tuple[str, ...] = (
     "BBSched",
 )
 
+#: Comparison methods beyond the paper's own table: the plan-based
+#: scheduler (docs/solvers.md).  Not part of METHODS_SECTION4, so the
+#: paper-faithful grids and figures are unchanged.
+METHODS_EXTENDED: tuple[str, ...] = ("Plan_Based",)
+
+#: Methods whose selection is a solver run (and can therefore take
+#: ``solver=``/``yardstick=``); the greedy/plan methods ignore both.
+SOLVER_BACKED: tuple[str, ...] = (
+    "Weighted",
+    "Weighted_CPU",
+    "Weighted_BB",
+    "Constrained_CPU",
+    "Constrained_BB",
+    "Constrained_SSD",
+    "BBSched",
+)
+
 
 def make_selector(
     name: str,
@@ -50,6 +72,8 @@ def make_selector(
     mutation: float = DEFAULT_MUTATION,
     seed: SeedLike = None,
     eval_cache: bool = True,
+    solver: Optional[str] = None,
+    yardstick: Union[bool, object] = False,
 ) -> Selector:
     """Build a selector by its §4.3 name.
 
@@ -58,27 +82,47 @@ def make_selector(
     the greedy methods (Baseline, Bin_Packing) ignore them, as they do
     ``eval_cache`` (the GA evaluation memo, byte-identical either way —
     ``False`` is the reference path the differential tests compare against).
+
+    ``solver`` names a window solver from :mod:`repro.solvers.registry`
+    (``"ga"``, ``"scalar"``, ``"milp"``, ``"exhaustive"``); ``None`` keeps
+    each method's stock GA.  ``yardstick=True`` attaches a fresh
+    :class:`~repro.solvers.gap.OptimalityYardstick` (or pass an instance
+    to share one), recording the per-pass method-vs-exact optimality gap
+    into the run's telemetry.  Both only apply to the solver-backed
+    methods; the greedy and plan-based methods ignore them.
     """
     # Imported here, not at module scope: BBSchedSelector lives in repro.core,
     # which itself imports repro.methods.base — a top-level import would cycle.
     from ..core.bbsched import BBSchedSelector
 
+    yd = None
+    if yardstick:
+        from ..solvers.gap import OptimalityYardstick
+
+        yd = yardstick if isinstance(yardstick, OptimalityYardstick) else None
+        if yd is None:
+            yd = OptimalityYardstick()
+    # "ga" names each method's stock configuration, so the selectors build
+    # their own GA from the knobs (byte-identical to solver=None).
+    solver_name = None if solver in (None, "ga") else solver
     ga = dict(
         generations=generations,
         population=population,
         mutation=mutation,
         eval_cache=eval_cache,
     )
+    solved = dict(ga, solver=solver_name, yardstick=yd)
     factories: Dict[str, Callable[[], Selector]] = {
         "Baseline": NaiveSelector,
-        "Weighted": lambda: weighted_equal(seed=seed, **ga),
-        "Weighted_CPU": lambda: weighted_cpu(seed=seed, **ga),
-        "Weighted_BB": lambda: weighted_bb(seed=seed, **ga),
-        "Constrained_CPU": lambda: constrained_cpu(seed=seed, **ga),
-        "Constrained_BB": lambda: constrained_bb(seed=seed, **ga),
-        "Constrained_SSD": lambda: constrained_ssd(seed=seed, **ga),
+        "Weighted": lambda: weighted_equal(seed=seed, **solved),
+        "Weighted_CPU": lambda: weighted_cpu(seed=seed, **solved),
+        "Weighted_BB": lambda: weighted_bb(seed=seed, **solved),
+        "Constrained_CPU": lambda: constrained_cpu(seed=seed, **solved),
+        "Constrained_BB": lambda: constrained_bb(seed=seed, **solved),
+        "Constrained_SSD": lambda: constrained_ssd(seed=seed, **solved),
         "Bin_Packing": BinPackingSelector,
-        "BBSched": lambda: BBSchedSelector(seed=seed, **ga),
+        "BBSched": lambda: BBSchedSelector(seed=seed, **solved),
+        "Plan_Based": plan_based,
     }
     try:
         return factories[name]()
@@ -90,4 +134,6 @@ def make_selector(
 
 def available_methods() -> List[str]:
     """All method names :func:`make_selector` accepts."""
-    return sorted(set(METHODS_SECTION4) | set(METHODS_SECTION5))
+    return sorted(
+        set(METHODS_SECTION4) | set(METHODS_SECTION5) | set(METHODS_EXTENDED)
+    )

@@ -2,7 +2,8 @@
 
 The weighted method maximizes ``Σ_r weight_r × utilization_r`` — a single
 objective — using the same GA budget as BBSched (see
-:mod:`repro.core.scalar`).  Three §4.3 configurations:
+:mod:`repro.core.scalar`) or, with ``solver="milp"``, the exact 0/1
+integer program.  Three §4.3 configurations:
 
 * ``Weighted``      — 50/50 node/BB weights (resources equally important);
 * ``Weighted_CPU``  — 80/20 (CPU more important);
@@ -12,24 +13,26 @@ For the §5 four-objective case ``Weighted`` becomes the equally weighted
 sum of node, BB, SSD utilizations and the *negated* wasted-SSD percentage
 (objective ``f4`` is already negated, so its coefficient stays positive).
 
-Because the GA's objectives are raw sums (nodes, GB), the utilization
+Because the solvers' objectives are raw sums (nodes, GB), the utilization
 weights are divided by the per-resource capacity scales before being
 handed to the scalar solver.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.problem import SelectionProblem, SSDSelectionProblem
-from ..core.scalar import ScalarGASolver
 from ..core.params import DEFAULT_GENERATIONS, DEFAULT_MUTATION, DEFAULT_POPULATION
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
 from ..simulator.cluster import Available
 from ..simulator.job import Job
+from ..solvers.base import WindowSolver
+from ..solvers.ga import GAWindowSolver
+from ..solvers.gap import OptimalityYardstick
 from .base import Selector
 
 
@@ -48,6 +51,12 @@ class WeightedSelector(Selector):
     eval_cache:
         Memoize GA objective evaluations (byte-identical results, see
         :mod:`repro.core.evalcache`); ``False`` is the reference path.
+    solver:
+        A :class:`WindowSolver`, a registry name, or ``None`` for the
+        scalar GA built from the knobs above.
+    yardstick:
+        Optional :class:`OptimalityYardstick` recording the per-pass gap
+        between this method's scalarized value and the exact optimum.
     """
 
     def __init__(
@@ -63,6 +72,8 @@ class WeightedSelector(Selector):
         mutation: float = DEFAULT_MUTATION,
         seed: SeedLike = None,
         eval_cache: bool = True,
+        solver: Union[WindowSolver, str, None] = None,
+        yardstick: Optional[OptimalityYardstick] = None,
     ) -> None:
         super().__init__()
         for label, wgt in (
@@ -80,29 +91,31 @@ class WeightedSelector(Selector):
         self.ssd_weight = ssd_weight
         self.waste_weight = waste_weight
         self.name = name or "Weighted"
-        self._ga = dict(
-            generations=generations,
-            population=population,
-            mutation=mutation,
-            eval_cache=eval_cache,
-        )
+        if solver is None:
+            solver = GAWindowSolver(
+                generations=generations,
+                population=population,
+                mutation=mutation,
+                eval_cache=eval_cache,
+            )
+        elif isinstance(solver, str):
+            from ..solvers.registry import make_window_solver
+
+            solver = make_window_solver(
+                solver,
+                generations=generations,
+                population=population,
+                mutation=mutation,
+                eval_cache=eval_cache,
+            )
+        self.solver: WindowSolver = solver
+        self.yardstick = yardstick
         self._rng = make_rng(seed)
-        # A fresh ScalarGASolver is built per select() call, so cumulative
-        # cache counters live here and absorb each solver's totals.
-        self._cache_stats = {"hits": 0, "misses": 0, "deduped": 0, "evictions": 0}
 
     @property
     def eval_cache_stats(self):
         """Cumulative cache counters across all select() calls, or None."""
-        if not self._ga["eval_cache"]:
-            return None
-        return dict(self._cache_stats)
-
-    def _absorb_cache_stats(self, solver: ScalarGASolver) -> None:
-        stats = solver.eval_cache_stats
-        if stats:
-            for key in self._cache_stats:
-                self._cache_stats[key] += stats[key]
+        return self.solver.eval_cache_stats
 
     def select(self, window: Sequence[Job], avail: Available) -> List[int]:
         system = self._require_system()
@@ -123,9 +136,9 @@ class WeightedSelector(Selector):
             scales = system.scales2()
             weights = (self.node_weight, self.bb_weight)
         coeffs = np.asarray(weights) / np.asarray(scales)
-        solver = ScalarGASolver(coeffs, seed=None, **self._ga)
-        best = solver.best(problem, seed=self._rng)
-        self._absorb_cache_stats(solver)
+        best = self.solver.solve_scalar(problem, coeffs, seed=self._rng)
+        if self.yardstick is not None:
+            self.yardstick.measure(problem, coeffs, best.fitness)
         return [int(i) for i in np.flatnonzero(best.genes)]
 
 

@@ -139,6 +139,21 @@ class SolverWatchdog(Selector):
         return self.stats.fallback_calls
 
     @property
+    def needs_releases(self) -> bool:  # type: ignore[override]
+        """Forwarded from the inner selector, so the engine projects
+        planned releases into the snapshot for a guarded plan-based run."""
+        return bool(getattr(self.inner, "needs_releases", False))
+
+    @property
+    def yardstick(self):  # type: ignore[override]
+        """Inner selector's optimality yardstick (engine-facing).
+
+        Forwarding the yardstick itself lets the base class's
+        ``optimality_gaps``/``yardstick_skipped`` views work unchanged.
+        """
+        return getattr(self.inner, "yardstick", None)
+
+    @property
     def eval_cache_stats(self):
         """Inner selector's GA eval-cache counters (engine-facing).
 

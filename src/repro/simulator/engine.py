@@ -22,7 +22,7 @@ its resources free up.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..backfill import EasyBackfill, PlannedRelease
@@ -195,6 +195,9 @@ class SchedulingEngine:
         self.cluster = cluster
         self.policy = policy
         self.selector = selector
+        # Plan-based selectors need the free-capacity snapshot extended
+        # with the running jobs' planned releases (see Available.releases).
+        self._needs_releases = bool(getattr(selector, "needs_releases", False))
         self.window = window or WindowPolicy()
         self.backfill = backfill
         ssd_total = sum(
@@ -421,6 +424,16 @@ class SchedulingEngine:
         if cache_stats:
             for key, value in cache_stats.items():
                 metrics.inc(f"ga.eval_cache.{key}", value)
+        # Optimality-gap telemetry (empty unless a yardstick-equipped
+        # selector measured its passes against the exact optimum).
+        gaps = getattr(self.selector, "optimality_gaps", None)
+        if gaps:
+            gap_hist = metrics.histogram("ga.optimality_gap")
+            for gap in gaps:
+                gap_hist.observe(gap)
+        skipped = getattr(self.selector, "yardstick_skipped", 0)
+        if skipped:
+            metrics.inc("ga.yardstick.skipped", skipped)
         # Derived views: EngineStats timing fields come from the telemetry
         # histogram, the run's single timing source.
         selector_hist = metrics.histograms.get("engine.selector_seconds")
@@ -782,6 +795,10 @@ class SchedulingEngine:
                 # selector (nothing allocates in between, so it is exactly
                 # the per-job can_fit() this replaces).
                 avail = self.cluster.available()
+                if self._needs_releases:
+                    avail = replace(
+                        avail, releases=tuple(self._planned_releases()), now=now
+                    )
                 if reduced:
                     table = self._table
                     if table is not None:

@@ -1,0 +1,228 @@
+"""Forward execution planning: simulated start times for window jobs.
+
+The greedy selection methods decide "who runs *now*"; the plan-based
+scheduler instead builds a forward **execution plan** — a simulated start
+time for every window job against the cluster's projected free capacity —
+and starts exactly the jobs whose planned start is the current instant.
+
+The projection is a :class:`ResourceProfile`: free burst buffer and free
+nodes per SSD tier as piecewise-constant step functions of time, seeded
+from the free capacity *now* plus the running jobs' planned releases
+(:class:`~repro.backfill.easy.PlannedRelease`, the same walltime-estimate
+model EASY backfilling reserves against).  :func:`build_plan` inserts the
+window jobs in priority order at the earliest instant that can host each
+one for its whole walltime — so a reservation never delays any
+higher-priority job's reservation, the conservative-backfilling insertion
+rule applied to *selection* instead of backfill.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .job import Job
+
+#: Far-future sentinel for the profile's final segment.
+_INF = float("inf")
+
+#: A release whose estimate already passed is assumed imminent — shifted
+#: this far past ``now`` — rather than in the past (mirrors EASY).
+_OVERRUN_EPSILON = 1e-6
+
+#: Slack below which a planned start counts as "now".  Strictly tighter
+#: than the overrun shift, so a job planned against an overdue release's
+#: capacity is never mistaken for an immediate start.
+_START_EPSILON = 1e-9
+
+
+class ResourceProfile:
+    """Piecewise-constant free capacity over time.
+
+    Segments are parallel lists ``(start_time, bb_free, {tier: free})``;
+    the last segment extends to infinity.  All mutation keeps the lists in
+    ascending time order.  This is the planning structure behind both the
+    conservative backfiller and the plan-based selector.
+    """
+
+    def __init__(self, bb: float, tiers: Mapping[float, int], now: float) -> None:
+        self._times: List[float] = [now]
+        self._bb: List[float] = [bb]
+        self._tiers: List[Dict[float, int]] = [
+            {float(c): int(n) for c, n in tiers.items()}
+        ]
+
+    # --- segment bookkeeping ----------------------------------------------------
+    def _split(self, t: float) -> int:
+        """Ensure a segment boundary at ``t``; return its segment index."""
+        i = bisect_right(self._times, t) - 1
+        if self._times[i] == t:
+            return i
+        self._times.insert(i + 1, t)
+        self._bb.insert(i + 1, self._bb[i])
+        self._tiers.insert(i + 1, dict(self._tiers[i]))
+        return i + 1
+
+    def add_release(self, release) -> None:
+        """Capacity a running job returns at its estimated end.
+
+        ``release`` is :class:`~repro.backfill.easy.PlannedRelease`-shaped:
+        ``est_end``, ``bb``, ``nodes_by_tier``.  Estimates already in the
+        past (the job overran its walltime) are treated as imminent.
+        """
+        i = self._split(max(release.est_end, self._times[0] + _OVERRUN_EPSILON))
+        for j in range(i, len(self._times)):
+            self._bb[j] += release.bb
+            tiers = self._tiers[j]
+            for cap, n in release.nodes_by_tier.items():
+                tiers[cap] = tiers.get(cap, 0) + n
+
+    # --- queries ----------------------------------------------------------------
+    @property
+    def boundaries(self) -> Tuple[float, ...]:
+        """Every segment start time, ascending (first entry is ``now``)."""
+        return tuple(self._times)
+
+    def free_at(self, t: float) -> Tuple[float, Dict[float, int]]:
+        """``(bb_free, {tier: free nodes})`` in the segment containing ``t``."""
+        i = max(bisect_right(self._times, t) - 1, 0)
+        return self._bb[i], dict(self._tiers[i])
+
+    def _fits_segment(self, i: int, job: Job) -> bool:
+        if self._bb[i] < job.bb - 1e-9:
+            return False
+        qualifying = sum(n for cap, n in self._tiers[i].items() if cap >= job.ssd)
+        return qualifying >= job.nodes
+
+    def fits_interval(self, job: Job, t0: float, t1: float) -> bool:
+        """Does the job fit in every segment overlapping ``[t0, t1)``?"""
+        i = max(bisect_right(self._times, t0) - 1, 0)
+        while i < len(self._times):
+            seg_start = self._times[i]
+            seg_end = self._times[i + 1] if i + 1 < len(self._times) else _INF
+            if seg_start >= t1:
+                break
+            if seg_end > t0 and not self._fits_segment(i, job):
+                return False
+            i += 1
+        return True
+
+    def earliest_start(self, job: Job, now: float) -> Optional[float]:
+        """Earliest ``t >= now`` hosting the job for its full walltime.
+
+        Only segment boundaries are candidates (capacity is constant in
+        between, so an interior start never beats the boundary before it).
+        ``None`` when no boundary works — the job outlasts every hole,
+        e.g. it exceeds total capacity.
+        """
+        duration = max(job.walltime, _START_EPSILON)
+        candidates = [t for t in self._times if t >= now]
+        if not candidates or candidates[0] > now:
+            candidates.insert(0, now)
+        for t in candidates:
+            if self.fits_interval(job, t, t + duration):
+                return t
+        return None
+
+    # --- mutation ---------------------------------------------------------------
+    def occupy(self, job: Job, t0: float) -> None:
+        """Subtract the job's demand over ``[t0, t0 + walltime)``.
+
+        Node demand is drawn smallest-qualifying-tier-first per segment —
+        the same preference the cluster's allocator and the feasibility
+        verifier apply, so a plan's "now" slice is exactly the allocation
+        the engine will perform.
+        """
+        t1 = t0 + max(job.walltime, _START_EPSILON)
+        i0 = self._split(t0)
+        self._split(t1)
+        j = i0
+        while j < len(self._times) and self._times[j] < t1:
+            self._bb[j] -= job.bb
+            remaining = job.nodes
+            tiers = self._tiers[j]
+            for cap in sorted(tiers):
+                if cap < job.ssd or remaining == 0:
+                    continue
+                grab = min(tiers[cap], remaining)
+                tiers[cap] -= grab
+                remaining -= grab
+            j += 1
+
+
+@dataclass(frozen=True)
+class PlannedStart:
+    """One window job's reservation in the execution plan."""
+
+    job: Job
+    start: float
+
+    @property
+    def end(self) -> float:
+        """Planned release instant (start + walltime estimate)."""
+        return self.start + self.job.walltime
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A forward plan over one scheduling window.
+
+    ``entries`` holds one reservation per plannable window job, in window
+    (priority) order; ``unplannable`` collects jobs no profile hole can
+    ever host (they exceed projected total capacity).
+    """
+
+    now: float
+    entries: Tuple[PlannedStart, ...]
+    unplannable: Tuple[Job, ...] = ()
+
+    def immediate(self) -> List[Job]:
+        """Jobs planned to start at the current instant, in plan order."""
+        return [e.job for e in self.entries if e.start <= self.now + _START_EPSILON]
+
+    @property
+    def horizon(self) -> float:
+        """Latest planned release (``now`` for an empty plan)."""
+        return max((e.end for e in self.entries), default=self.now)
+
+    def start_of(self, jid: int) -> Optional[float]:
+        """Planned start time of job ``jid``, or None when unplanned."""
+        for e in self.entries:
+            if e.job.jid == jid:
+                return e.start
+        return None
+
+
+def build_plan(
+    jobs: Sequence[Job],
+    free_bb: float,
+    free_tiers: Mapping[float, int],
+    releases: Sequence,
+    now: float,
+) -> ExecutionPlan:
+    """Plan simulated start times for ``jobs`` in priority order.
+
+    Parameters mirror :meth:`repro.backfill.easy.EasyBackfill.plan`:
+    current free burst buffer and per-tier free node counts, plus the
+    running jobs' :class:`~repro.backfill.easy.PlannedRelease`-shaped
+    releases.  Each job is reserved at the earliest instant the profile
+    can host it for its entire walltime; the reservation then shapes the
+    profile every later (lower-priority) job plans against, so no
+    reservation ever delays one made before it.
+    """
+    profile = ResourceProfile(free_bb, free_tiers, now)
+    for release in releases:
+        profile.add_release(release)
+    entries: List[PlannedStart] = []
+    unplannable: List[Job] = []
+    for job in jobs:
+        t = profile.earliest_start(job, now)
+        if t is None:
+            unplannable.append(job)
+            continue
+        profile.occupy(job, t)
+        entries.append(PlannedStart(job=job, start=t))
+    return ExecutionPlan(
+        now=now, entries=tuple(entries), unplannable=tuple(unplannable)
+    )

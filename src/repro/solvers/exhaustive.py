@@ -1,0 +1,89 @@
+"""Exhaustive enumeration behind the :class:`WindowSolver` protocol.
+
+Adapts :class:`repro.core.exhaustive.ExhaustiveSolver` — the chunked
+2^w enumeration — to the plugin interface.  It is the gold standard for
+tiny windows (every feasible selection is evaluated), but hits a hard
+wall at ``max_w`` (default 26); the MILP solver extends exact answers
+far past that for linear formulations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exhaustive import MAX_EXHAUSTIVE_W, ExhaustiveSolver
+from ..core.ga import ParetoSet
+from ..core.scalar import ScalarSolution
+from ..errors import SolverError
+from ..rng import SeedLike
+from .base import WindowSolver
+
+
+class ExhaustiveWindowSolver(WindowSolver):
+    """True Pareto set / scalar optimum by enumerating all 2^w selections.
+
+    Deterministic: ``seed`` is accepted for interface parity and ignored
+    (the RNG stream is never touched, so swapping this solver in and out
+    of a run does not perturb GA-seeded methods).
+    """
+
+    name = "exhaustive"
+    exact = True
+
+    def __init__(self, max_w: int = MAX_EXHAUSTIVE_W) -> None:
+        self._solver = ExhaustiveSolver(max_w=max_w)
+
+    @property
+    def max_w(self) -> int:
+        return self._solver.max_w
+
+    def solve(self, problem, seed: SeedLike = None) -> ParetoSet:
+        return self._solver.solve(problem)
+
+    def solve_scalar(
+        self, problem, coeffs: Sequence[float], seed: SeedLike = None
+    ) -> ScalarSolution:
+        """Scalar optimum read off the exhaustive Pareto front.
+
+        For non-negative coefficients the scalarized optimum is always
+        attained on the Pareto front (any dominated point has a
+        componentwise-≥ competitor with no smaller scalar value), so the
+        argmax over the front is the global optimum.  Negative
+        coefficients would break that argument, so they are rejected.
+        """
+        coeffs = np.asarray(coeffs, dtype=float)
+        if coeffs.ndim != 1 or coeffs.size != problem.n_objectives:
+            raise SolverError(
+                f"coeffs must have length {problem.n_objectives}, got {coeffs.shape}"
+            )
+        if (coeffs < 0).any():
+            raise SolverError(
+                "exhaustive scalar solve requires non-negative coefficients "
+                f"(the front argmax is only globally optimal then), got {coeffs}"
+            )
+        try:
+            front = self._solver.solve(problem)
+        except SolverError:
+            if problem.w > self.max_w:
+                raise
+            # Nothing feasible: mirror ScalarGASolver.best's empty answer.
+            return ScalarSolution(
+                genes=np.zeros(problem.w, dtype=np.uint8),
+                objectives=np.zeros(problem.n_objectives),
+                fitness=0.0,
+            )
+        if len(front) == 0:
+            return ScalarSolution(
+                genes=np.zeros(problem.w, dtype=np.uint8),
+                objectives=np.zeros(problem.n_objectives),
+                fitness=0.0,
+            )
+        fitness = front.objectives @ coeffs
+        i = int(np.argmax(fitness))
+        return ScalarSolution(
+            genes=front.genes[i].astype(np.uint8),
+            objectives=front.objectives[i],
+            fitness=float(fitness[i]),
+        )

@@ -1,0 +1,297 @@
+"""Plan-based scheduling: resource profiles, execution plans, the selector.
+
+The safety property is capacity: a plan reserves every job against a
+piecewise-constant profile of *future* free capacity (initial free +
+planned releases), so at no planned instant may the active jobs exceed
+free nodes, burst buffer, or any SSD-tier prefix (Hall's condition).
+The hypothesis test checks exactly that, at every profile boundary.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backfill.easy import PlannedRelease
+from repro.experiments.config import get_scale
+from repro.experiments.runner import run_one
+from repro.methods import PlanBasedSelector, make_selector
+from repro.methods.base import SystemCapacity
+from repro.resilience import SolverWatchdog
+from repro.simulator.cluster import Available
+from repro.simulator.job import Job, JobState
+from repro.simulator.plan import ResourceProfile, build_plan
+from repro.experiments.workloads import get_workload
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Must match plan.py's overdue-release clamp.
+OVERRUN_EPS = 1e-6
+
+
+def make_job(jid, nodes, bb=0.0, ssd=0.0, walltime=100.0):
+    return Job(jid=jid, submit_time=0.0, runtime=walltime, walltime=walltime,
+               nodes=nodes, bb=bb, ssd=ssd)
+
+
+def release(est_end, bb, nodes_by_tier):
+    return PlannedRelease(est_end=est_end, bb=bb, nodes_by_tier=dict(nodes_by_tier))
+
+
+# ---------------------------------------------------------------------------
+# Direct build_plan scenarios
+# ---------------------------------------------------------------------------
+
+
+class TestBuildPlan:
+    def test_everything_fits_now(self):
+        jobs = [make_job(1, 2, 10.0), make_job(2, 2, 10.0)]
+        plan = build_plan(jobs, 100.0, {0.0: 8}, [], now=0.0)
+        assert {j.jid for j in plan.immediate()} == {1, 2}
+        assert plan.unplannable == ()
+        assert plan.horizon == pytest.approx(100.0)
+
+    def test_blocked_job_waits_for_release(self):
+        # 4 free nodes, job 1 takes them all; job 2 (also 4 nodes) must
+        # wait for the running job's release at t=50.
+        jobs = [make_job(1, 4), make_job(2, 4)]
+        rel = release(50.0, 0.0, {0.0: 4})
+        plan = build_plan(jobs, 0.0, {0.0: 4}, [rel], now=0.0)
+        assert plan.start_of(1) == pytest.approx(0.0)
+        assert plan.start_of(2) == pytest.approx(50.0)
+        assert {j.jid for j in plan.immediate()} == {1}
+
+    def test_priority_order_is_respected(self):
+        # Window order is priority order: the first job gets the earliest
+        # feasible slot even if a later, smaller job could start sooner.
+        jobs = [make_job(1, 4), make_job(2, 1)]
+        rel = release(30.0, 0.0, {0.0: 3})
+        plan = build_plan(jobs, 0.0, {0.0: 1}, [rel], now=0.0)
+        assert plan.start_of(1) == pytest.approx(30.0)
+        # During [30, 130) job 1 holds all four projected nodes, so job 2
+        # (walltime 100) cannot fit any earlier interval and queues behind.
+        assert plan.start_of(2) == pytest.approx(130.0)
+
+    def test_oversize_job_unplannable(self):
+        jobs = [make_job(1, 64)]
+        plan = build_plan(jobs, 0.0, {0.0: 8}, [], now=0.0)
+        assert [j.jid for j in plan.unplannable] == [1]
+        assert plan.entries == ()
+
+    def test_bb_constrains_start(self):
+        jobs = [make_job(1, 1, 80.0)]
+        rel = release(25.0, 60.0, {0.0: 0})
+        plan = build_plan(jobs, 40.0, {0.0: 4}, [rel], now=0.0)
+        assert plan.start_of(1) == pytest.approx(25.0)
+        assert plan.immediate() == []
+
+    def test_ssd_tier_qualification(self):
+        # Job needs 2 nodes with >= 256 GB local SSD; only one qualifies
+        # now, the second frees at t=10.
+        jobs = [make_job(1, 2, 0.0, 256.0)]
+        rel = release(10.0, 0.0, {256.0: 1})
+        plan = build_plan(jobs, 0.0, {128.0: 4, 256.0: 1}, [rel], now=0.0)
+        assert plan.start_of(1) == pytest.approx(10.0)
+
+    def test_overdue_release_is_not_free_now(self):
+        # A running job past its walltime estimate releases "immediately",
+        # but the capacity must never count as free *now*: the planned
+        # start lands strictly after now and the job is not immediate.
+        jobs = [make_job(1, 4)]
+        rel = release(-5.0, 0.0, {0.0: 4})  # overdue
+        plan = build_plan(jobs, 0.0, {0.0: 0}, [rel], now=0.0)
+        start = plan.start_of(1)
+        assert start is not None and start > 0.0
+        assert plan.immediate() == []
+
+    def test_zero_walltime_job_still_occupies(self):
+        jobs = [make_job(1, 4, walltime=1.0), make_job(2, 4, walltime=1.0)]
+        plan = build_plan(jobs, 0.0, {0.0: 4}, [], now=0.0)
+        assert plan.start_of(1) == pytest.approx(0.0)
+        assert plan.start_of(2) == pytest.approx(1.0)
+
+
+class TestResourceProfile:
+    def test_free_at_reflects_releases(self):
+        prof = ResourceProfile(10.0, {0.0: 2}, now=0.0)
+        prof.add_release(release(5.0, 4.0, {0.0: 3}))
+        bb0, tiers0 = prof.free_at(0.0)
+        assert bb0 == pytest.approx(10.0) and tiers0[0.0] == 2
+        bb1, tiers1 = prof.free_at(5.0)
+        assert bb1 == pytest.approx(14.0) and tiers1[0.0] == 5
+
+    def test_occupy_consumes_interval(self):
+        prof = ResourceProfile(10.0, {0.0: 4}, now=0.0)
+        job = make_job(1, 3, 6.0, walltime=20.0)
+        assert prof.earliest_start(job, 0.0) == pytest.approx(0.0)
+        prof.occupy(job, 0.0)
+        bb, tiers = prof.free_at(10.0)
+        assert bb == pytest.approx(4.0) and tiers[0.0] == 1
+        bb_after, tiers_after = prof.free_at(20.0)
+        assert bb_after == pytest.approx(10.0) and tiers_after[0.0] == 4
+
+    def test_smallest_qualifying_tier_first(self):
+        # A 128-GB job must consume the 128 tier before touching 256,
+        # mirroring the cluster's greedy assignment.
+        prof = ResourceProfile(0.0, {128.0: 2, 256.0: 2}, now=0.0)
+        job = make_job(1, 2, 0.0, 128.0, walltime=10.0)
+        prof.occupy(job, 0.0)
+        _, tiers = prof.free_at(0.0)
+        assert tiers[128.0] == 0 and tiers[256.0] == 2
+
+
+# ---------------------------------------------------------------------------
+# Capacity safety (hypothesis)
+# ---------------------------------------------------------------------------
+
+TIER_CAPS = (0.0, 128.0, 256.0)
+
+
+@st.composite
+def plan_instances(draw):
+    n_jobs = draw(st.integers(1, 10))
+    jobs = []
+    for i in range(n_jobs):
+        ssd = draw(st.sampled_from((0.0, 0.0, 128.0, 256.0)))
+        jobs.append(Job(
+            jid=i + 1,
+            submit_time=0.0,
+            runtime=draw(st.floats(1.0, 300.0, allow_nan=False)),
+            walltime=draw(st.floats(1.0, 300.0, allow_nan=False)),
+            nodes=draw(st.integers(1, 6)),
+            bb=float(draw(st.integers(0, 30))),
+            ssd=ssd,
+        ))
+    free_bb = float(draw(st.integers(0, 60)))
+    free_tiers = {cap: draw(st.integers(0, 4)) for cap in TIER_CAPS}
+    n_rel = draw(st.integers(0, 4))
+    releases = []
+    for _ in range(n_rel):
+        releases.append(release(
+            est_end=draw(st.floats(-10.0, 400.0, allow_nan=False)),
+            bb=float(draw(st.integers(0, 30))),
+            nodes_by_tier={cap: draw(st.integers(0, 3)) for cap in TIER_CAPS},
+        ))
+    return jobs, free_bb, free_tiers, releases
+
+
+class TestPlanCapacitySafety:
+    @given(plan_instances())
+    @settings(**COMMON, max_examples=120)
+    def test_no_planned_instant_overcommits(self, instance):
+        jobs, free_bb, free_tiers, releases = instance
+        now = 0.0
+        plan = build_plan(jobs, free_bb, free_tiers, releases, now)
+
+        planned = {e.job.jid for e in plan.entries}
+        assert planned | {j.jid for j in plan.unplannable} == {j.jid for j in jobs}
+
+        # Instants to audit: every planned start/end and release time.
+        instants = {now}
+        for e in plan.entries:
+            instants.add(e.start)
+            instants.add(e.end)
+        for r in releases:
+            instants.add(max(r.est_end, now + OVERRUN_EPS))
+
+        for t in sorted(instants):
+            avail_bb = free_bb + sum(
+                r.bb for r in releases if max(r.est_end, now + OVERRUN_EPS) <= t + 1e-9
+            )
+            avail_tiers = dict(free_tiers)
+            for r in releases:
+                if max(r.est_end, now + OVERRUN_EPS) <= t + 1e-9:
+                    for cap, cnt in r.nodes_by_tier.items():
+                        avail_tiers[cap] = avail_tiers.get(cap, 0) + cnt
+            active = [
+                e.job for e in plan.entries
+                if e.start <= t + 1e-9 and t < e.end - 1e-9
+            ]
+            assert sum(j.bb for j in active) <= avail_bb + 1e-6
+            # Hall's condition per SSD threshold.
+            for s in sorted({j.ssd for j in active}):
+                demand = sum(j.nodes for j in active if j.ssd >= s)
+                supply = sum(c for cap, c in avail_tiers.items() if cap >= s)
+                assert demand <= supply, (t, s, demand, supply)
+
+    @given(plan_instances())
+    @settings(**COMMON, max_examples=60)
+    def test_immediate_jobs_fit_the_present_snapshot(self, instance):
+        # The engine starts plan.immediate() against the *current* free
+        # capacity; planned-now jobs must jointly fit it with no help
+        # from any release.
+        jobs, free_bb, free_tiers, releases = instance
+        plan = build_plan(jobs, free_bb, free_tiers, releases, 0.0)
+        now_jobs = plan.immediate()
+        assert sum(j.bb for j in now_jobs) <= free_bb + 1e-6
+        for s in sorted({j.ssd for j in now_jobs}):
+            demand = sum(j.nodes for j in now_jobs if j.ssd >= s)
+            supply = sum(c for cap, c in free_tiers.items() if cap >= s)
+            assert demand <= supply
+
+
+# ---------------------------------------------------------------------------
+# Selector and engine integration
+# ---------------------------------------------------------------------------
+
+
+class TestPlanBasedSelector:
+    def _avail(self, **kw):
+        base = dict(nodes=8, bb=100.0, ssd_free={0.0: 8}, releases=(), now=0.0)
+        base.update(kw)
+        return Available(**base)
+
+    def test_selects_immediate_jobs_only(self):
+        sel = PlanBasedSelector()
+        sel.bind(SystemCapacity(8, 100.0))
+        window = [make_job(1, 4), make_job(2, 4), make_job(3, 4)]
+        picks = sel.select(window, self._avail())
+        # Jobs 1+2 fill the machine now; job 3 is planned later, not picked.
+        assert picks == [0, 1]
+
+    def test_needs_releases_flag(self):
+        assert PlanBasedSelector.needs_releases is True
+        assert make_selector("Plan_Based").needs_releases is True
+
+    def test_watchdog_forwards_needs_releases(self):
+        wrapped = SolverWatchdog(PlanBasedSelector(), budget=10.0)
+        assert wrapped.needs_releases is True
+
+    def test_releases_change_the_plan(self):
+        sel = PlanBasedSelector()
+        sel.bind(SystemCapacity(8, 100.0))
+        window = [make_job(1, 8, walltime=50.0)]
+        # All nodes busy; with no releases the job is unplannable, with a
+        # release it is planned at the release boundary.
+        blocked = self._avail(nodes=0, ssd_free={0.0: 0})
+        assert sel.select(window, blocked) == []
+        plan = sel.plan(window, self._avail(
+            nodes=0, ssd_free={0.0: 0},
+            releases=(release(40.0, 0.0, {0.0: 8}),),
+        ))
+        assert plan.start_of(1) == pytest.approx(40.0)
+
+    def test_end_to_end_smoke_cori_and_theta(self):
+        scale = get_scale("smoke")
+        for workload in ("Cori-S1", "Theta-S4"):
+            trace = get_workload(workload, scale)
+            result = run_one(trace, "Plan_Based", scale, seed=11)
+            assert result.makespan > 0
+            assert result.metric("node_usage") > 0
+            assert result.method == "Plan_Based"
+
+    def test_engine_terminates_all_jobs(self):
+        scale = get_scale("smoke")
+        trace = get_workload("Cori-S1", scale)
+        jobs = trace.fresh_jobs()
+        from repro.backfill import EasyBackfill
+        from repro.policies import FCFS
+        from repro.simulator.engine import SchedulingEngine
+        from repro.windows import WindowPolicy
+
+        engine = SchedulingEngine(
+            trace.machine.make_cluster(), FCFS(), PlanBasedSelector(),
+            WindowPolicy(size=scale.window, starvation_bound=scale.starvation_bound),
+            backfill=EasyBackfill(),
+        )
+        result = engine.run(jobs)
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)
