@@ -420,6 +420,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quarantine_after=args.quarantine_after,
         allow_chaos=args.allow_chaos,
         degrade=not args.no_degrade,
+        tcp=args.tcp,
+        max_connections=args.max_connections,
+        io_deadline=args.io_deadline,
+        shard=args.shard,
+        shm_traces=args.shm_traces,
     )
     daemon = ServiceDaemon(config)
 
@@ -437,9 +442,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ready = asyncio.Event()
         task = loop.create_task(daemon.serve(ready))
         await ready.wait()
-        print(f"serving on {args.socket} "
+        listeners = args.socket
+        if daemon.tcp_address is not None:
+            listeners += f" + tcp {daemon.tcp_address[0]}:{daemon.tcp_address[1]}"
+        shard = f", shard: {args.shard}" if args.shard else ""
+        print(f"serving on {listeners} "
               f"(journal: {args.journal or 'none'}, "
-              f"policy: {args.policy}, workers: {args.workers})",
+              f"policy: {args.policy}, workers: {args.workers}{shard})",
               flush=True)
         if daemon.recovered:
             print(f"recovered {daemon.recovered} unfinished request(s) "
@@ -453,9 +462,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     import json
 
-    from .service import ServiceClient
+    from .service import ClientRetryPolicy, ServiceClient
+    from .service.shards import ShardRouter
 
-    client = ServiceClient(args.socket, timeout=args.connect_timeout)
+    if not args.socket and not args.shards:
+        print("error: submit needs --socket or --shards", file=sys.stderr)
+        return 2
+    retry = (ClientRetryPolicy(attempts=max(args.client_retries, 1))
+             if args.client_retries is not None else None)
     params: dict = {"workload": args.workload, "method": args.method}
     if args.scale:
         params["scale"] = args.scale
@@ -469,13 +483,37 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         params["walltime_hint"] = args.walltime_hint
     if args.chaos:
         params["chaos"] = json.loads(args.chaos)
-    accepted = client.submit(**params)
-    rid = accepted["id"]
-    print(f"accepted as {rid} (queue depth {accepted['depth']}, "
-          f"degrade level {accepted['degrade']})")
-    if args.no_wait:
-        return 0
-    status = client.wait(rid, timeout=args.timeout)
+    if args.key:
+        params["idempotency_key"] = args.key
+    if args.shards:
+        router = ShardRouter(
+            [e for e in args.shards.split(",") if e],
+            timeout=args.connect_timeout, retry=retry,
+            hedge_delay=args.hedge)
+        routed = router.submit(**params)
+        extra = ("deduped" if routed.deduped else
+                 "adopted" if routed.adopted else
+                 "failover" if routed.failover else "primary")
+        print(f"accepted as {routed.request_id} on {routed.endpoint} "
+              f"({extra}, key {routed.key})")
+        if args.no_wait:
+            return 0
+        status = router.wait(routed, timeout=args.timeout)
+        rid = routed.request_id
+    else:
+        client = ServiceClient(args.socket, timeout=args.connect_timeout,
+                               retry=retry, hedge_delay=args.hedge)
+        accepted = client.submit(**params)
+        rid = accepted["id"]
+        if accepted.get("deduped"):
+            print(f"deduped to existing request {rid} "
+                  f"(state {accepted.get('state')})")
+        else:
+            print(f"accepted as {rid} (queue depth {accepted['depth']}, "
+                  f"degrade level {accepted['degrade']})")
+        if args.no_wait:
+            return 0
+        status = client.wait(rid, timeout=args.timeout)
     state = status["state"]
     if state != "done":
         print(f"{rid} {state}: {status.get('error')}", file=sys.stderr)
@@ -489,6 +527,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             shown = (f"{100 * value:.2f}%" if name.endswith("usage")
                      else f"{value:.3f}")
             print(f"  {name:<14} {shown}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .service.shards import ShardRouter
+
+    endpoints = [e for e in args.shards.split(",") if e]
+    router = ShardRouter(endpoints, seed=args.seed)
+    if args.check:
+        health = router.check()
+        for endpoint, up in sorted(health.items()):
+            print(f"{endpoint:<40} {'up' if up else 'DOWN'}")
+        return 0 if all(health.values()) else 1
+    keys = args.key if args.key else [router.new_key()
+                                      for _ in range(args.sample)]
+    for key in keys:
+        info = router.route(key)
+        print(f"{key} -> {info['target']}  "
+              f"(preference: {' > '.join(info['preference'])})")
     return 0
 
 
@@ -644,14 +701,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--allow-chaos", action="store_true",
                          help="honour chaos directives in requests "
                               "(fault-injection testing only)")
+    p_serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                         help="also listen on TCP (port 0 picks a free "
+                              "port); the listener sniffs and answers "
+                              "HTTP/1.1 too")
+    p_serve.add_argument("--max-connections", type=int, default=128,
+                         help="concurrent-connection ceiling across both "
+                              "listeners (excess sheds with 503)")
+    p_serve.add_argument("--io-deadline", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-read/per-write deadline on every "
+                              "connection (slow-loris guard)")
+    p_serve.add_argument("--shard", default=None, metavar="I/N",
+                         help="shard identity echoed by ping/stats, e.g. 0/4")
+    p_serve.add_argument("--shm-traces", action="store_true",
+                         help="publish trace columns to checksummed shared "
+                              "memory; workers attach zero-copy instead of "
+                              "regenerating")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
         "submit", help="submit a simulation request to a running service")
     p_submit.add_argument("workload", help="e.g. Theta-S4")
     p_submit.add_argument("method", help="e.g. BBSched")
-    p_submit.add_argument("--socket", required=True, metavar="PATH",
-                          help="the daemon's Unix socket")
+    p_submit.add_argument("--socket", default=None, metavar="ENDPOINT",
+                          help="the daemon's Unix socket path or host:port")
+    p_submit.add_argument("--shards", default=None, metavar="EP1,EP2,...",
+                          help="route across shard endpoints via consistent "
+                               "hashing instead of a single --socket")
+    p_submit.add_argument("--key", default=None, metavar="KEY",
+                          help="idempotency key: makes the submit safely "
+                               "retryable (resends dedup on the daemon)")
+    p_submit.add_argument("--client-retries", type=int, default=None,
+                          metavar="N",
+                          help="total client attempts for transient "
+                               "transport failures (default 4)")
+    p_submit.add_argument("--hedge", type=float, default=None,
+                          metavar="SECONDS",
+                          help="hedge idempotent reads: duplicate a status/"
+                               "wait that is slower than this, first answer "
+                               "wins")
     p_submit.add_argument("--scale", default=None, choices=sorted(exp.SCALES))
     p_submit.add_argument("--seed", type=int, default=None)
     p_submit.add_argument("--generations", type=int, default=None,
@@ -670,6 +759,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--connect-timeout", type=float, default=10.0,
                           help="per-call socket timeout")
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_route = sub.add_parser(
+        "route", help="inspect shard routing: where keys hash, which "
+                      "shards are alive")
+    p_route.add_argument("--shards", required=True, metavar="EP1,EP2,...",
+                         help="shard endpoints (socket paths or host:port)")
+    p_route.add_argument("--key", action="append", default=None,
+                         help="key(s) to route (repeatable); default "
+                              "samples random keys")
+    p_route.add_argument("--sample", type=int, default=8,
+                         help="random keys to sample without --key")
+    p_route.add_argument("--seed", type=int, default=None,
+                         help="seed for sampled keys")
+    p_route.add_argument("--check", action="store_true",
+                         help="ping every shard and report health "
+                              "(exit 1 if any is down)")
+    p_route.set_defaults(func=_cmd_route)
     return parser
 
 

@@ -84,6 +84,46 @@ class ServiceError(ReproError, RuntimeError):
         self.code = int(code)
 
 
+class ShmCorruptionError(ReproError, RuntimeError):
+    """A shared-memory trace segment failed its integrity check.
+
+    Attaching readers treat this as "the segment does not exist": they
+    fall back to regenerating the trace, and the publisher unlinks and
+    republishes the segment, counting the event in telemetry.
+    """
+
+
+class TransientServiceError(ServiceError):
+    """The service endpoint is briefly unreachable; safe to retry.
+
+    Raised by the client for connect-time failures (``ECONNREFUSED``,
+    a missing socket file, a reset before any response byte) — exactly
+    the window a restarting daemon occupies.  Protocol violations
+    (undecodable responses, oversized frames) stay plain
+    :class:`ServiceError` and are *not* retried: the daemon answered,
+    just not in a language we share, so retrying cannot help.
+    """
+
+    def __init__(self, message: str, *, code: int = 503) -> None:
+        super().__init__(message, code=code)
+        self.retryable = True
+
+
+class ServiceTimeout(ServiceError, TimeoutError):
+    """A wait exceeded its budget; names the still-pending request ids."""
+
+    def __init__(self, message: str, *, pending: tuple = ()) -> None:
+        super().__init__(message, code=408)
+        self.pending = tuple(pending)
+
+
+class ShardError(ServiceError):
+    """A sharded-service routing failure (no live shard for a key)."""
+
+    def __init__(self, message: str, *, code: int = 503) -> None:
+        super().__init__(message, code=code)
+
+
 class PoisonRequestError(ServiceError):
     """A request crashed its worker repeatedly and was quarantined.
 

@@ -14,17 +14,38 @@ runs them through a hardened execution core:
   deterministic jitter, and quarantine of poison requests that keep
   crashing their workers;
 * **a durable request lifecycle** (:mod:`.journal`) — every request is
-  journaled ``accepted → running → done/failed/quarantined`` on the
-  crash-safe JSONL substrate shared with the results ledger, so a
+  journaled ``accepted → running → done/failed/quarantined/cancelled``
+  on the crash-safe JSONL substrate shared with the results ledger, so a
   SIGKILL'd daemon restarts, replays the journal, and resumes exactly
   the in-flight work, recording each result exactly once.
+
+Beyond the single socket, the service scales out:
+
+* the daemon also listens on **TCP** (with a minimal HTTP/1.1 adapter)
+  behind per-connection deadlines and inflight limits;
+* the **client** (:mod:`.client`) retries transient transport failures
+  with full-jitter backoff behind a per-endpoint circuit breaker, and
+  optionally hedges idempotent reads;
+* a **shard router** (:mod:`.shards`) consistent-hashes idempotency
+  keys across N daemons, down-marks dead shards, fails over provably
+  unsent work, and reconciles ambiguous work on recovery — exactly
+  once, end to end;
+* immutable trace columns are published **zero-copy** to checksummed
+  shared-memory segments (:mod:`.shm`) that workers attach instead of
+  regenerating.
 
 ``tools/chaos.py`` is the deterministic chaos harness that proves those
 properties; ``docs/service.md`` documents the protocol and the failure
 semantics table.
 """
 
-from .client import ServiceClient
+from .client import (
+    CircuitBreaker,
+    ClientRetryPolicy,
+    NO_RETRY,
+    ServiceClient,
+    parse_endpoint,
+)
 from .daemon import ServiceConfig, ServiceDaemon
 from .journal import JOURNAL_VERSION, JournalView, RequestJournal
 from .pool import PoolConfig, ServicePool
@@ -37,21 +58,34 @@ from .protocol import (
     validate_request,
 )
 from .queue import AdmissionQueue
+from .shards import HashRing, Routed, ShardRouter
+from .shm import TracePublisher, attach_trace, publish_trace, unlink_segment
 
 __all__ = [
     "AdmissionQueue",
+    "CircuitBreaker",
+    "ClientRetryPolicy",
+    "HashRing",
     "JOURNAL_VERSION",
     "JournalView",
+    "NO_RETRY",
     "PROTOCOL_VERSION",
     "PoolConfig",
     "RequestJournal",
+    "Routed",
     "ServiceClient",
     "ServiceConfig",
     "ServiceDaemon",
     "ServicePool",
+    "ShardRouter",
+    "TracePublisher",
+    "attach_trace",
     "decode_message",
     "encode_message",
     "error_response",
     "ok_response",
+    "parse_endpoint",
+    "publish_trace",
+    "unlink_segment",
     "validate_request",
 ]

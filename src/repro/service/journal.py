@@ -34,12 +34,14 @@ KIND_RUNNING = "service-running"
 KIND_DONE = "service-done"
 KIND_FAILED = "service-failed"
 KIND_QUARANTINED = "service-quarantined"
+KIND_CANCELLED = "service-cancelled"
 
 ALL_KINDS = (KIND_REQUEST, KIND_RUNNING, KIND_DONE, KIND_FAILED,
-             KIND_QUARANTINED)
+             KIND_QUARANTINED, KIND_CANCELLED)
 
 #: A request with one of these is finished; it is never re-run.
-TERMINAL_KINDS = frozenset({KIND_DONE, KIND_FAILED, KIND_QUARANTINED})
+TERMINAL_KINDS = frozenset({KIND_DONE, KIND_FAILED, KIND_QUARANTINED,
+                            KIND_CANCELLED})
 
 
 @dataclass
@@ -140,6 +142,15 @@ class RequestJournal:
                            crashes: int) -> None:
         self._append(KIND_QUARANTINED, request_id, error=str(error),
                      crashes=int(crashes))
+
+    def append_cancelled(self, request_id: str, reason: str) -> None:
+        """Journal a withdrawal (client cancel or shard reconciliation).
+
+        Cancellation is terminal: a cancelled request is never re-run,
+        which is what lets a recovered shard drop work that was failed
+        over to a peer while it was down.
+        """
+        self._append(KIND_CANCELLED, request_id, error=str(reason), code=409)
 
     # --- reading -----------------------------------------------------------------
     @staticmethod

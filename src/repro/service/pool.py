@@ -82,6 +82,40 @@ def deterministic_jitter(request_id: str, attempt: int) -> float:
     return int.from_bytes(digest[:8], "big") / 2.0 ** 64
 
 
+def _worker_context():
+    """A multiprocessing context whose workers inherit no daemon fds.
+
+    A plain ``fork()``-ed worker inherits every open file descriptor,
+    including *accepted client connections*: the daemon closing its
+    copy of a socket then never delivers EOF, because the worker's
+    inherited copy keeps the connection established — a client the io
+    deadline "disconnected" observes a connection held open for the
+    worker's lifetime.  Workers are (re)spawned lazily and after
+    crash-replacement, so this races with whatever connections happen
+    to be open at that moment.
+
+    The *forkserver* start method forks workers from a clean server
+    process instead, started (see :meth:`ServicePool.start`) before the
+    daemon opens any listener.  Preloading the task module keeps a
+    respawn near ``fork()`` cost.
+    """
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return multiprocessing.get_context()
+    ctx.set_forkserver_preload(["repro.service.tasks"])
+    return ctx
+
+
+def _ensure_forkserver_running(ctx) -> None:
+    """Start the fork server now, while no connections exist yet."""
+    if ctx.get_start_method() != "forkserver":  # pragma: no cover
+        return
+    from multiprocessing import forkserver
+
+    forkserver.ensure_running()
+
+
 @dataclass
 class _RequestState:
     request_id: str
@@ -95,6 +129,7 @@ class _RequestState:
     crashes: int = 0             #: isolated-crash convictions (quarantine budget)
     suspect: bool = False        #: was in flight during an unattributed break
     hung: bool = False           #: its worker was SIGKILLed by the deadline
+    cancelled: bool = False      #: withdrawal requested; resolve 409, not retry
     ready_at: float = 0.0        #: earliest next dispatch (monotonic)
     inner: Optional[Future] = None
     claim_pid: Optional[int] = None
@@ -116,7 +151,7 @@ class ServicePool:
         #: called (request_id, attempt) from the supervisor thread right
         #: before each dispatch — the daemon journals ``running`` here.
         self.on_dispatch = on_dispatch
-        self._ctx = multiprocessing.get_context()
+        self._ctx = _worker_context()
         self._heartbeat = self._ctx.SimpleQueue()
         self._intake: deque = deque()
         self._lock = threading.Lock()
@@ -129,11 +164,13 @@ class ServicePool:
         self._waiting: List[_RequestState] = []
         self._inflight: Dict[str, _RequestState] = {}
         self._active = 0  #: lock-protected mirror for active()
+        self._cancels: set = set()  #: lock-protected cancel requests
 
     # --- public API (any thread) -------------------------------------------------
     def start(self) -> None:
         if self._thread is not None:
             return
+        _ensure_forkserver_running(self._ctx)
         self._executor = self._make_executor()
         self._thread = threading.Thread(
             target=self._supervise, name="service-pool-supervisor", daemon=True)
@@ -155,6 +192,19 @@ class ServicePool:
         with self._lock:
             return self._active
 
+    def cancel(self, request_id: str) -> None:
+        """Withdraw a request from the pool (any thread; best-effort).
+
+        Waiting/backing-off requests resolve with a 409
+        :class:`ServiceError` at the next supervisor tick; an in-flight
+        request has its claimed worker SIGKILLed and resolves 409 from
+        the break handler instead of being requeued.  A request that
+        completes before the tick keeps its result — cancellation can
+        lose to the race, never corrupt it.
+        """
+        with self._lock:
+            self._cancels.add(request_id)
+
     def shutdown(self, wait: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the pool; ``wait`` drains outstanding work first."""
         if self._thread is None:
@@ -169,6 +219,7 @@ class ServicePool:
     def _make_executor(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=self.config.workers,
+            mp_context=self._ctx,
             initializer=pool_initializer,
             initargs=(self._heartbeat,),
         )
@@ -247,6 +298,46 @@ class ServicePool:
         self._decrement_active()
         state.future.set_exception(error)
 
+    def _cancel_now(self, state: _RequestState) -> None:
+        """Resolve a withdrawn request with 409, charging no budgets."""
+        self.metrics.inc("service.cancelled")
+        self._decrement_active()
+        state.future.set_exception(ServiceError(
+            f"request {state.request_id} cancelled", code=409))
+
+    def _process_cancels(self) -> None:
+        """Apply cancel() requests (after intake has been merged)."""
+        with self._lock:
+            if not self._cancels:
+                return
+            cancels, self._cancels = self._cancels, set()
+        for request_id in cancels:
+            state = next((s for s in self._waiting
+                          if s.request_id == request_id), None)
+            if state is not None:
+                self._waiting.remove(state)
+                self._cancel_now(state)
+                continue
+            state = self._inflight.get(request_id)
+            if state is not None:
+                # Killed via its heartbeat claim; resolved 409 by the
+                # break handler.  Unknown ids are dropped: the request
+                # either never reached the pool or already finished.
+                state.cancelled = True
+
+    def _kill_cancelled(self) -> None:
+        """SIGKILL claimed workers of cancelled in-flight requests.
+
+        Runs every tick, so a cancel that arrived before the worker's
+        heartbeat claim still lands once the claim does.
+        """
+        for state in self._inflight.values():
+            if state.cancelled and state.claim_pid is not None:
+                try:
+                    os.kill(state.claim_pid, signal.SIGKILL)
+                except (ProcessLookupError, TypeError):  # pragma: no cover
+                    pass
+
     def _requeue(self, state: _RequestState, delay: float) -> None:
         state.inner = None
         state.claim_pid = state.claim_t = None
@@ -271,7 +362,11 @@ class ServicePool:
             del self._inflight[state.request_id]
             if state.inner is not None:
                 state.inner.cancel()
-            if state.hung:
+            if state.cancelled:
+                # We killed its worker on request; the withdrawal wins
+                # over every other classification and charges nothing.
+                self._cancel_now(state)
+            elif state.hung:
                 # We killed its worker at the deadline: a charged timeout.
                 self.metrics.inc("service.hangs")
                 self._charge_failure(
@@ -326,9 +421,11 @@ class ServicePool:
             if (self._drain.is_set() and not self._waiting
                     and not self._inflight):
                 break
+            self._process_cancels()
             now = time.monotonic()
             self._dispatch(now)
             self._drain_heartbeats()
+            self._kill_cancelled()
             broke = False
             for state in list(self._inflight.values()):
                 inner = state.inner

@@ -30,7 +30,14 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 1 << 20
 
 #: Operations the daemon understands.
-OPS = frozenset({"ping", "submit", "status", "wait", "stats", "shutdown"})
+OPS = frozenset({"ping", "submit", "status", "wait", "cancel", "stats",
+                 "shutdown"})
+
+#: Ceiling on one HTTP request head (request line + headers).
+MAX_HTTP_HEAD_BYTES = 8192
+
+#: Upper bound on a client-supplied idempotency key.
+MAX_KEY_LENGTH = 128
 
 #: Chaos directive keys a submit may carry (honoured only when the daemon
 #: runs with ``allow_chaos``; silently ignored otherwise).
@@ -154,7 +161,70 @@ def validate_submit(params: Dict[str, Any]) -> Dict[str, Any]:
         positive=True))
     if params.get("chaos") is not None:
         out["chaos"] = validate_chaos(params["chaos"])
+    if params.get("idempotency_key") is not None:
+        key = _require(params["idempotency_key"], "idempotency_key", str)
+        if not key or len(key) > MAX_KEY_LENGTH:
+            raise ServiceError(
+                f"idempotency_key must be 1..{MAX_KEY_LENGTH} chars", code=400)
+        out["idempotency_key"] = key
     return out
+
+
+# --- HTTP/1.1 adapter ----------------------------------------------------------
+# The TCP listener also speaks just enough HTTP/1.1 that ``curl`` (or any
+# HTTP client) can drive the service: the daemon sniffs the first line of
+# a connection, and when it is an HTTP request line the JSON-lines message
+# is carried as the request body (``POST /``) or derived from the path
+# (``GET /ping``, ``GET /stats``, ``GET /status/<id>``).  Parsing is pure
+# and lives here; the async framing stays in the daemon.
+
+#: HTTP methods whose request line identifies a connection as HTTP.
+HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"HEAD ", b"DELETE ", b"OPTIONS ")
+
+#: HTTP status text for the ServiceError codes the daemon emits.
+HTTP_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 408: "Request Timeout",
+    409: "Conflict", 429: "Too Many Requests", 500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable",
+}
+
+
+def looks_like_http(first_line: bytes) -> bool:
+    """True when a connection's first line is an HTTP request line."""
+    return first_line.startswith(HTTP_METHODS)
+
+
+def http_request_to_message(method: str, target: str,
+                            body: bytes) -> Dict[str, Any]:
+    """Map one parsed HTTP request onto a protocol message (400 on abuse)."""
+    if method == "POST":
+        if not body:
+            raise ServiceError("POST requires a JSON message body", code=400)
+        return decode_message(body)
+    if method != "GET":
+        raise ServiceError(f"unsupported HTTP method {method}", code=400)
+    path, _, query = target.partition("?")
+    if path in {"/", "/ping"}:
+        return {"op": "ping"}
+    if path == "/stats":
+        return {"op": "stats"}
+    if path.startswith("/status/"):
+        return {"op": "status", "id": path[len("/status/"):]}
+    raise ServiceError(
+        f"unknown HTTP path {path!r}; use POST / with a JSON body, or "
+        "GET /ping | /stats | /status/<id>", code=404)
+
+
+def encode_http_response(response: Dict[str, Any]) -> bytes:
+    """Serialize a protocol response as one HTTP/1.1 response."""
+    status = 200 if response.get("ok") else int(response.get("code", 500))
+    text = HTTP_STATUS_TEXT.get(status, "Error")
+    body = json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+    head = (f"HTTP/1.1 {status} {text}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
 
 
 def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
@@ -166,7 +236,14 @@ def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
     if op == "submit":
         message = dict(message)
         message["params"] = validate_submit(message.get("params") or {})
-    if op in {"status", "wait"}:
+    if op == "status" and message.get("key") is not None:
+        # Status by idempotency key: how a router rediscovers a request
+        # it is no longer sure it submitted (ambiguous send + failover).
+        key = _require(message["key"], "key", str)
+        if not key or len(key) > MAX_KEY_LENGTH:
+            raise ServiceError(
+                f"key must be 1..{MAX_KEY_LENGTH} chars", code=400)
+    elif op in {"status", "wait", "cancel"}:
         _require(message.get("id"), "id", str)
     if op == "wait" and message.get("timeout") is not None:
         _require(message["timeout"], "timeout", (int, float), positive=True)

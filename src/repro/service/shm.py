@@ -1,0 +1,363 @@
+"""Checksummed zero-copy trace sharing over POSIX shared memory.
+
+Every worker the service dispatches to needs the request's trace — and
+regenerating a trace per worker process repeats the most expensive part
+of a request's cold path (synthetic generation plus Darshan enhancement).
+This module publishes a trace's immutable :data:`~repro.simulator.jobtable.TRACE_COLUMNS`
+**once**, into one ``multiprocessing.shared_memory`` segment, so every
+worker on the host attaches the same physical pages and reads the columns
+zero-copy (``np.frombuffer`` over the segment buffer — no serialization,
+no per-worker copy of the data region).
+
+Because shared memory outlives processes, every attach must assume the
+segment may be damaged (a crashed writer, a stray ``write(2)``, chaos).
+The layout is therefore self-verifying::
+
+    [8 bytes]  magic  b"REPROSHM"
+    [8 bytes]  header length H (big-endian)
+    [H bytes]  JSON header: version, trace name, machine spec, column
+               dtypes/offsets/lengths, sparse deps/users, and the
+               SHA-256 of the data region
+    [D bytes]  data region: the packed trace columns
+
+:func:`attach_trace` re-hashes the data region and compares against the
+header before handing out a single value; any mismatch (or undecodable
+header) raises :class:`~repro.errors.ShmCorruptionError`, which callers
+treat as "segment absent" — regenerate the trace, republish, count the
+event in telemetry (``service.shm_corrupt``).
+
+Lifecycle: the daemon owns its segments.  Names are deterministic
+(:func:`segment_name` hashes the daemon's socket path), so a restarted
+daemon finds its previous segments, verifies them, and either reuses or
+unlinks-and-republishes — a SIGKILL therefore cannot leak a segment past
+the next boot.  Clean shutdowns (including the signal paths, which funnel
+through ``ServiceDaemon.serve``'s ``finally``) unlink eagerly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ShmCorruptionError
+from ..simulator.jobtable import TRACE_COLUMNS, JobTable, jobs_from_columns
+from ..workloads.spec import MachineSpec
+from ..workloads.trace import Trace
+
+#: First bytes of every trace segment.
+MAGIC = b"REPROSHM"
+
+#: Bumped on incompatible layout changes (checked on attach).
+SEGMENT_VERSION = 1
+
+#: Prefix of every segment name this module creates (leak audits key on it).
+NAME_PREFIX = "repro-trace-"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach segment ``name`` without resource-tracker registration.
+
+    On Python < 3.13 ``SharedMemory.__init__`` registers *every* init —
+    attaches included — with the per-process resource tracker, which then
+    "cleans up" (unlinks!) the publisher's segment when any attaching
+    process exits, and prints spurious leak warnings.  Post-init
+    ``unregister`` calls race across processes sharing one tracker, so
+    instead registration is suppressed for the duration of the attach.
+    The publisher's own create-time registration stays in place: it is
+    the backstop that unlinks segments if the whole process tree dies
+    without running :meth:`TracePublisher.close`.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original  # type: ignore[assignment]
+    except ImportError:  # pragma: no cover - tracker absent on this platform
+        return shared_memory.SharedMemory(name=name, create=False)
+
+
+def segment_name(socket_path: str, workload: str, scale: str) -> str:
+    """Deterministic segment name for one daemon's (workload, scale) trace.
+
+    Hashing the socket path keeps two daemons on one host from fighting
+    over a name while letting a restarted daemon find its own segments.
+    """
+    digest = hashlib.sha256(
+        f"{socket_path}:{workload}:{scale}".encode()).hexdigest()[:16]
+    return f"{NAME_PREFIX}{digest}"
+
+
+def _machine_fields(machine: MachineSpec) -> Dict[str, Any]:
+    return {
+        "name": machine.name,
+        "nodes": machine.nodes,
+        "bb_capacity": machine.bb_capacity,
+        "base_policy": machine.base_policy,
+        "bb_reserved_fraction": machine.bb_reserved_fraction,
+        "ssd_tiers": ([list(t) for t in machine.ssd_tiers]
+                      if machine.ssd_tiers is not None else None),
+    }
+
+
+def _machine_from_fields(fields: Dict[str, Any]) -> MachineSpec:
+    tiers = fields.get("ssd_tiers")
+    return MachineSpec(
+        name=fields["name"],
+        nodes=int(fields["nodes"]),
+        bb_capacity=float(fields["bb_capacity"]),
+        base_policy=fields.get("base_policy", "fcfs"),
+        bb_reserved_fraction=float(fields.get("bb_reserved_fraction", 0.0)),
+        ssd_tiers=(tuple((float(cap), int(n)) for cap, n in tiers)
+                   if tiers is not None else None),
+    )
+
+
+def publish_trace(trace: Trace, name: str) -> str:
+    """Publish ``trace``'s columns into segment ``name``; returns the name.
+
+    An existing segment under ``name`` is unlinked first (the caller has
+    already decided it is stale or corrupt).  The single data copy
+    happens here, from the trace's columns into the shared pages.
+    """
+    unlink_segment(name)
+    columns = JobTable(trace.fresh_jobs()).column_arrays()
+    blobs = {col: np.ascontiguousarray(arr).tobytes()
+             for col, arr in columns.items()}
+    layout: List[Dict[str, Any]] = []
+    offset = 0
+    for col in TRACE_COLUMNS:
+        blob = blobs[col]
+        layout.append({"name": col, "dtype": str(columns[col].dtype),
+                       "offset": offset, "nbytes": len(blob)})
+        offset += len(blob)
+    data = b"".join(blobs[col] for col in TRACE_COLUMNS)
+    deps = {int(j.jid): sorted(j.deps) for j in trace.jobs if j.deps}
+    users = {int(j.jid): j.user for j in trace.jobs if j.user}
+    header = json.dumps({
+        "version": SEGMENT_VERSION,
+        "trace": trace.name,
+        "machine": _machine_fields(trace.machine),
+        "n_jobs": len(trace),
+        "columns": layout,
+        "deps": deps,
+        "users": users,
+        "data_sha256": hashlib.sha256(data).hexdigest(),
+        "data_length": len(data),
+    }, sort_keys=True).encode("utf-8")
+    total = len(MAGIC) + 8 + len(header) + len(data)
+    shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    try:
+        buf = shm.buf
+        pos = 0
+        for chunk in (MAGIC, len(header).to_bytes(8, "big"), header, data):
+            buf[pos:pos + len(chunk)] = chunk
+            pos += len(chunk)
+    finally:
+        shm.close()
+    return name
+
+
+def verify_segment(name: str) -> Dict[str, Any]:
+    """Attach, integrity-check, and return the parsed header of ``name``.
+
+    Raises :class:`FileNotFoundError` when the segment does not exist and
+    :class:`~repro.errors.ShmCorruptionError` on any damage.
+    """
+    shm = _attach_untracked(name)
+    try:
+        return _verify(shm, name)
+    finally:
+        shm.close()
+
+
+def _verify(shm: shared_memory.SharedMemory, name: str) -> Dict[str, Any]:
+    buf = bytes(shm.buf[:len(MAGIC) + 8])
+    if buf[:len(MAGIC)] != MAGIC:
+        raise ShmCorruptionError(f"segment {name}: bad magic")
+    header_len = int.from_bytes(buf[len(MAGIC):], "big")
+    start = len(MAGIC) + 8
+    if header_len <= 0 or start + header_len > shm.size:
+        raise ShmCorruptionError(
+            f"segment {name}: header length {header_len} out of range")
+    try:
+        header = json.loads(bytes(shm.buf[start:start + header_len]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ShmCorruptionError(
+            f"segment {name}: undecodable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("version") != SEGMENT_VERSION:
+        raise ShmCorruptionError(
+            f"segment {name}: unsupported header/version")
+    data_start = start + header_len
+    data_length = int(header.get("data_length", -1))
+    if data_length < 0 or data_start + data_length > shm.size:
+        raise ShmCorruptionError(
+            f"segment {name}: data length {data_length} out of range")
+    digest = hashlib.sha256(
+        shm.buf[data_start:data_start + data_length]).hexdigest()
+    if digest != header.get("data_sha256"):
+        raise ShmCorruptionError(
+            f"segment {name}: data SHA-256 mismatch (got {digest[:12]}…, "
+            f"header says {str(header.get('data_sha256'))[:12]}…)")
+    header["_data_start"] = data_start
+    return header
+
+
+def attach_trace(name: str) -> Trace:
+    """Rebuild the published trace from segment ``name`` (verified).
+
+    The column arrays are read zero-copy from the shared pages; the
+    returned :class:`Trace` holds fresh :class:`Job` objects built from
+    them (jobs carry mutable scheduling state, so they cannot be
+    shared).  Raises :class:`FileNotFoundError` when the segment is
+    absent and :class:`~repro.errors.ShmCorruptionError` when it fails
+    verification — callers fall back to regeneration on either.
+    """
+    shm = _attach_untracked(name)
+    try:
+        header = _verify(shm, name)
+        data_start = header["_data_start"]
+        columns: Dict[str, np.ndarray] = {}
+        for spec in header["columns"]:
+            dtype = np.dtype(spec["dtype"])
+            count = spec["nbytes"] // dtype.itemsize
+            columns[spec["name"]] = np.frombuffer(
+                shm.buf, dtype=dtype, count=count,
+                offset=data_start + spec["offset"])
+        missing = set(TRACE_COLUMNS) - set(columns)
+        if missing:
+            raise ShmCorruptionError(
+                f"segment {name}: missing columns {sorted(missing)}")
+        deps = {int(k): v for k, v in (header.get("deps") or {}).items()}
+        users = {int(k): v for k, v in (header.get("users") or {}).items()}
+        jobs = jobs_from_columns(columns, deps=deps, users=users)
+        del columns  # release the buffer views before closing the segment
+        return Trace(
+            name=header["trace"],
+            machine=_machine_from_fields(header["machine"]),
+            jobs=tuple(jobs),
+        )
+    finally:
+        shm.close()
+
+
+def unlink_segment(name: str) -> bool:
+    """Unlink segment ``name`` if it exists; True when something was cut."""
+    try:
+        shm = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another unlink
+        pass
+    finally:
+        shm.close()
+    return True
+
+
+class TracePublisher:
+    """Daemon-side registry of published segments with guaranteed unlink.
+
+    One per daemon.  :meth:`ensure` is idempotent per (workload, scale):
+    the first call generates and publishes; later calls return the cached
+    name.  An existing on-disk segment from a previous life is verified —
+    reused when intact, unlinked/republished (and counted) when corrupt.
+    :meth:`close` unlinks everything this publisher owns; the daemon
+    calls it on every exit path, including signal-driven ones.
+
+    A sidecar *manifest* (``<socket>.shm``) lists every name this
+    publisher has ever published, rewritten atomically on each publish.
+    A SIGKILL leaves segments and manifest behind; the next life loads
+    the manifest as *orphans* and :meth:`close` unlinks any orphan the
+    new life never re-served — so no segment outlives the next clean
+    shutdown, even for traces the restarted daemon never touched.
+    """
+
+    def __init__(self, socket_path: str, metrics=None) -> None:
+        self.socket_path = socket_path
+        self.metrics = metrics
+        self._names: Dict[tuple, str] = {}
+        self.manifest_path = Path(socket_path + ".shm")
+        self._orphans: set = set()
+        try:
+            leftovers = json.loads(self.manifest_path.read_text())
+            if isinstance(leftovers, list):
+                self._orphans = {n for n in leftovers
+                                 if isinstance(n, str)
+                                 and n.startswith(NAME_PREFIX)}
+        except (OSError, ValueError):
+            pass
+
+    def _write_manifest(self) -> None:
+        names = sorted(set(self._names.values()) | self._orphans)
+        tmp = str(self.manifest_path) + ".tmp"
+        Path(tmp).write_text(json.dumps(names))
+        os.replace(tmp, self.manifest_path)
+
+    def ensure(self, workload: str, scale: str) -> str:
+        """Publish (or adopt) the segment for one trace; returns its name."""
+        key = (workload, scale)
+        cached = self._names.get(key)
+        if cached is not None:
+            return cached
+        from ..experiments.config import get_scale
+        from ..experiments.workloads import get_workload
+
+        name = segment_name(self.socket_path, workload, scale)
+        adopted = False
+        try:
+            verify_segment(name)
+            adopted = True  # previous life's segment, still intact
+        except FileNotFoundError:
+            pass
+        except ShmCorruptionError:
+            if self.metrics is not None:
+                self.metrics.inc("service.shm_corrupt")
+            unlink_segment(name)
+        if not adopted:
+            trace = get_workload(workload, get_scale(scale))
+            publish_trace(trace, name)
+            if self.metrics is not None:
+                self.metrics.inc("service.shm_published")
+        self._names[key] = name
+        self._orphans.discard(name)
+        self._write_manifest()
+        return name
+
+    def names(self) -> List[str]:
+        return sorted(self._names.values())
+
+    def close(self) -> None:
+        """Unlink every owned segment, orphans included (idempotent)."""
+        for name in set(self._names.values()) | self._orphans:
+            unlink_segment(name)
+        self._names.clear()
+        self._orphans.clear()
+        try:
+            self.manifest_path.unlink()
+        except OSError:
+            pass
+
+
+def attach_or_none(name: Optional[str]) -> Optional[Trace]:
+    """Worker-side attach that degrades to None on any failure.
+
+    The worker falls back to regenerating the trace — corruption or a
+    missing segment must never fail a request, only cost the fallback.
+    """
+    if not name:
+        return None
+    try:
+        return attach_trace(name)
+    except (FileNotFoundError, ShmCorruptionError, ValueError, OSError):
+        return None

@@ -426,3 +426,75 @@ class TestValidatorTool:
                               error="x", attempts=1)
         proc = self.validate(tmp_path / "grid.jsonl", "--min-cells", "1")
         assert proc.returncode == 1
+
+
+class TestRepairTailIdempotency:
+    """repair_tail must converge: a second pass is a byte-stable no-op."""
+
+    def make_journal(self, tmp_path):
+        from repro.checkpoint.journal import JsonlJournal
+
+        return JsonlJournal(tmp_path / "j.jsonl")
+
+    def test_repaired_journal_is_fixed_point(self, tmp_path):
+        journal = self.make_journal(tmp_path)
+        journal.append({"kind": "a", "n": 1})
+        journal.append({"kind": "b", "n": 2})
+        path = journal.path
+        path.write_bytes(path.read_bytes()[:-9])  # tear the final record
+        assert journal.repair_tail() > 0
+        after_first = path.read_bytes()
+        assert journal.repair_tail() == 0
+        assert path.read_bytes() == after_first
+        assert journal.repair_tail() == 0  # and again
+        assert path.read_bytes() == after_first
+
+    def test_torn_tail_is_the_header_line(self, tmp_path):
+        """A journal whose ONLY line is torn repairs to empty, then holds."""
+        journal = self.make_journal(tmp_path)
+        journal.append({"kind": "header", "version": 1})
+        path = journal.path
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # tear the first == last line
+        assert journal.repair_tail() > 0
+        assert path.read_bytes() == b""
+        assert journal.repair_tail() == 0  # empty file: byte-stable no-op
+        assert path.read_bytes() == b""
+
+    def test_missing_terminator_is_reterminated_once(self, tmp_path):
+        journal = self.make_journal(tmp_path)
+        journal.append({"kind": "a", "n": 1})
+        path = journal.path
+        path.write_bytes(path.read_bytes()[:-1])  # newline only is torn
+        assert journal.repair_tail() == 0  # record intact: re-terminate
+        repaired = path.read_bytes()
+        assert repaired.endswith(b"\n")
+        assert json.loads(repaired.decode()) == {"kind": "a", "n": 1}
+        assert journal.repair_tail() == 0
+        assert path.read_bytes() == repaired
+
+    def test_intact_journal_untouched(self, tmp_path):
+        journal = self.make_journal(tmp_path)
+        journal.append({"kind": "a"})
+        journal.append({"kind": "b"})
+        before = journal.path.read_bytes()
+        assert journal.repair_tail() == 0
+        assert journal.path.read_bytes() == before
+
+    def test_parse_rejection_counts_as_torn(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        journal = self.make_journal(tmp_path)
+        journal.append({"kind": "good"})
+        journal.append({"kind": "bad"})
+
+        def parse(record):
+            if record.get("kind") == "bad":
+                raise CheckpointError("schema violation")
+            return record
+
+        assert journal.repair_tail(parse) > 0  # bad final line cut
+        after = journal.path.read_bytes()
+        assert journal.repair_tail(parse) == 0
+        assert journal.path.read_bytes() == after
+        assert json.loads(after.decode()) == {"kind": "good"}

@@ -1,0 +1,208 @@
+"""Shared-memory trace segments: layout, checksums, lifecycle, fallback."""
+
+import json
+
+import pytest
+
+from repro.errors import ShmCorruptionError
+from repro.experiments.config import get_scale
+from repro.experiments.workloads import get_workload
+from repro.service.shm import (
+    NAME_PREFIX,
+    TracePublisher,
+    _attach_untracked,
+    attach_or_none,
+    attach_trace,
+    publish_trace,
+    segment_name,
+    unlink_segment,
+    verify_segment,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+SMOKE = get_scale("smoke")
+
+
+@pytest.fixture()
+def trace():
+    return get_workload("Cori-S1", SMOKE)
+
+
+@pytest.fixture()
+def name(tmp_path):
+    """A unique segment name per test, unlinked afterwards no matter what."""
+    seg = segment_name(str(tmp_path / "svc.sock"), "Cori-S1", "smoke")
+    yield seg
+    unlink_segment(seg)
+
+
+def _flip_byte(name, offset):
+    shm = _attach_untracked(name)
+    try:
+        shm.buf[offset] ^= 0xFF
+    finally:
+        shm.close()
+
+
+class TestSegmentRoundtrip:
+    def test_publish_attach_preserves_trace(self, trace, name):
+        publish_trace(trace, name)
+        loaded = attach_trace(name)
+        assert loaded.name == trace.name
+        assert loaded.machine.name == trace.machine.name
+        assert loaded.machine.nodes == trace.machine.nodes
+        assert len(loaded) == len(trace)
+        for a, b in zip(loaded.jobs, trace.jobs):
+            assert a.jid == b.jid
+            assert a.submit_time == b.submit_time
+            assert a.nodes == b.nodes
+            assert a.deps == b.deps
+
+    def test_attached_jobs_are_private(self, trace, name):
+        """Jobs carry mutable state, so attach must not share them."""
+        publish_trace(trace, name)
+        first = attach_trace(name)
+        first.jobs[0].start_time = 123.0
+        second = attach_trace(name)
+        assert second.jobs[0].start_time != 123.0
+
+    def test_verify_returns_header(self, trace, name):
+        publish_trace(trace, name)
+        header = verify_segment(name)
+        assert header["trace"] == trace.name
+        assert header["n_jobs"] == len(trace)
+
+    def test_missing_segment_is_file_not_found(self, name):
+        with pytest.raises(FileNotFoundError):
+            attach_trace(name)
+
+    def test_segment_name_is_deterministic_and_prefixed(self, tmp_path):
+        a = segment_name(str(tmp_path / "a.sock"), "Cori-S1", "smoke")
+        b = segment_name(str(tmp_path / "a.sock"), "Cori-S1", "smoke")
+        other = segment_name(str(tmp_path / "b.sock"), "Cori-S1", "smoke")
+        assert a == b
+        assert a != other
+        assert a.startswith(NAME_PREFIX)
+
+
+class TestCorruptionDetection:
+    def test_data_byte_flip_detected(self, trace, name):
+        publish_trace(trace, name)
+        shm = _attach_untracked(name)
+        size = shm.size
+        shm.close()
+        _flip_byte(name, size - 1)  # last data byte
+        with pytest.raises(ShmCorruptionError):
+            attach_trace(name)
+
+    def test_bad_magic_detected(self, trace, name):
+        publish_trace(trace, name)
+        _flip_byte(name, 0)
+        with pytest.raises(ShmCorruptionError):
+            verify_segment(name)
+
+    def test_header_corruption_detected(self, trace, name):
+        publish_trace(trace, name)
+        _flip_byte(name, 20)  # inside the JSON header
+        with pytest.raises(ShmCorruptionError):
+            verify_segment(name)
+
+    def test_attach_or_none_degrades_silently(self, trace, name):
+        assert attach_or_none(None) is None
+        assert attach_or_none(name) is None  # absent
+        publish_trace(trace, name)
+        assert attach_or_none(name) is not None
+        _flip_byte(name, 0)
+        assert attach_or_none(name) is None  # corrupt
+
+    def test_worker_falls_back_to_regeneration(self, trace, name, monkeypatch):
+        from repro.service import tasks
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        before = tasks._SHM_FALLBACKS
+        regenerated = tasks._resolve_trace("Cori-S1", SMOKE, name)
+        assert regenerated.name == trace.name
+        assert tasks._SHM_FALLBACKS == before + 1
+
+
+class TestUnlink:
+    def test_unlink_idempotent(self, trace, name):
+        publish_trace(trace, name)
+        assert unlink_segment(name) is True
+        assert unlink_segment(name) is False
+        assert unlink_segment(name) is False
+
+
+class TestTracePublisher:
+    def socket(self, tmp_path):
+        return str(tmp_path / "svc.sock")
+
+    def test_ensure_is_idempotent(self, tmp_path):
+        pub = TracePublisher(self.socket(tmp_path))
+        try:
+            first = pub.ensure("Cori-S1", "smoke")
+            second = pub.ensure("Cori-S1", "smoke")
+            assert first == second
+            assert pub.names() == [first]
+        finally:
+            pub.close()
+
+    def test_adopts_intact_segment_from_previous_life(self, tmp_path):
+        metrics = MetricsRegistry()
+        first = TracePublisher(self.socket(tmp_path), metrics)
+        name = first.ensure("Cori-S1", "smoke")
+        # No close(): simulate a SIGKILL.  The next life must adopt.
+        second = TracePublisher(self.socket(tmp_path), metrics)
+        try:
+            assert second.ensure("Cori-S1", "smoke") == name
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("service.shm_published", 0) == 1  # only once
+        finally:
+            second.close()
+
+    def test_republishes_corrupt_segment_and_counts(self, tmp_path):
+        metrics = MetricsRegistry()
+        first = TracePublisher(self.socket(tmp_path), metrics)
+        name = first.ensure("Cori-S1", "smoke")
+        _flip_byte(name, 0)
+        second = TracePublisher(self.socket(tmp_path), metrics)
+        try:
+            assert second.ensure("Cori-S1", "smoke") == name
+            verify_segment(name)  # republished intact
+            counters = metrics.snapshot()["counters"]
+            assert counters.get("service.shm_corrupt") == 1
+            assert counters.get("service.shm_published") == 2
+        finally:
+            second.close()
+
+    def test_close_unlinks_and_removes_manifest(self, tmp_path):
+        pub = TracePublisher(self.socket(tmp_path))
+        name = pub.ensure("Cori-S1", "smoke")
+        assert pub.manifest_path.exists()
+        pub.close()
+        assert not pub.manifest_path.exists()
+        with pytest.raises(FileNotFoundError):
+            verify_segment(name)
+        pub.close()  # idempotent
+
+    def test_orphan_sweep_covers_untouched_segments(self, tmp_path):
+        """A segment the next life never serves still dies at its close."""
+        first = TracePublisher(self.socket(tmp_path))
+        name = first.ensure("Cori-S1", "smoke")
+        # SIGKILL'd: manifest left behind, segment still published.
+        second = TracePublisher(self.socket(tmp_path))
+        assert name in second._orphans
+        second.close()  # never called ensure() for Cori-S1
+        with pytest.raises(FileNotFoundError):
+            verify_segment(name)
+
+    def test_manifest_garbage_is_ignored(self, tmp_path):
+        path = self.socket(tmp_path)
+        TracePublisher(path)  # creates nothing yet
+        manifest = tmp_path / "svc.sock.shm"
+        manifest.write_text("not json")
+        pub = TracePublisher(path)
+        assert pub._orphans == set()
+        manifest.write_text(json.dumps(["/etc/passwd", 42]))
+        pub = TracePublisher(path)
+        assert pub._orphans == set()  # non-prefixed names refused

@@ -43,7 +43,7 @@ JOURNAL_VERSION = 1
 MANIFEST_FIELDS = ("sim_time", "jobs_total", "jobs_terminal",
                    "events_pending", "created_unix", "meta")
 SERVICE_KINDS = ("service-request", "service-running", "service-done",
-                 "service-failed", "service-quarantined")
+                 "service-failed", "service-quarantined", "service-cancelled")
 TERMINAL_SERVICE_KINDS = frozenset(SERVICE_KINDS[2:])
 
 
@@ -158,6 +158,7 @@ def validate_journal(path: str) -> Dict[str, Any]:
         lines = fh.read().splitlines()
     accepted: Dict[str, int] = {}
     terminal: Dict[str, str] = {}
+    keys: Dict[str, str] = {}  # request id -> idempotency key
     running = dropped = 0
     for i, line in enumerate(lines):
         if not line.strip():
@@ -197,6 +198,12 @@ def validate_journal(path: str) -> Dict[str, Any]:
                      f"{where}: request {rid!r} accepted twice "
                      "(exactly-once violated)")
             accepted[rid] = i + 1
+            key = record["params"].get("idempotency_key")
+            if isinstance(key, str) and key:
+                _require(key not in keys.values(),
+                         f"{where}: idempotency key {key!r} accepted twice "
+                         "in one journal (dedup failed)")
+                keys[rid] = key
             continue
         _require(rid in accepted,
                  f"{where}: {kind} record for {rid!r}, which was never accepted")
@@ -223,6 +230,64 @@ def validate_journal(path: str) -> Dict[str, Any]:
         "outcomes": outcomes,
         "pending": sorted(r for r in accepted if r not in terminal),
         "dropped_tail": dropped,
+        "keys": {
+            key: {"id": rid,
+                  "outcome": terminal.get(rid, "pending").replace(
+                      "service-", "")}
+            for rid, key in keys.items()
+        },
+    }
+
+
+# --- sharded journals (union audit) ------------------------------------------
+def validate_shards(paths: List[str]) -> Dict[str, Any]:
+    """Audit the union of N shard journals at the idempotency-key level.
+
+    Each journal is first audited individually (``validate_journal``).
+    Then, per key across *all* shards, the sharded exactly-once rule is
+    enforced: **at most one effective run** — one ``done``/``failed``/
+    ``quarantined`` outcome; every additional record for that key must
+    be ``cancelled`` (a failed-over duplicate the router reconciled) or
+    still pending.  Two effective outcomes for one key means a request
+    ran twice — the exact bug shard failover exists to prevent.
+    """
+    per_shard: Dict[str, Any] = {}
+    by_key: Dict[str, List[Tuple[str, str, str]]] = {}
+    for path in paths:
+        summary = validate_journal(path)
+        per_shard[path] = summary
+        for key, info in summary["keys"].items():
+            by_key.setdefault(key, []).append(
+                (path, info["id"], info["outcome"]))
+    effective = {"done", "failed", "quarantined"}
+    outcomes: Dict[str, int] = {}
+    pending_keys: List[str] = []
+    for key, records in sorted(by_key.items()):
+        runs = [(p, r, o) for p, r, o in records if o in effective]
+        _require(len(runs) <= 1,
+                 f"key {key!r} has {len(runs)} effective outcomes across "
+                 f"shards — exactly-once violated: "
+                 + "; ".join(f"{r}={o} in {p}" for p, r, o in runs))
+        others = [o for _, _, o in records if o not in effective]
+        _require(all(o in ("cancelled", "pending") for o in others),
+                 f"key {key!r} carries unexpected duplicate outcomes "
+                 f"{others}")
+        if runs:
+            outcomes[runs[0][2]] = outcomes.get(runs[0][2], 0) + 1
+        else:
+            pending_keys.append(key)
+        if len(records) > 1:
+            outcomes["reconciled_duplicates"] = (
+                outcomes.get("reconciled_duplicates", 0) + len(records) - 1)
+    return {
+        "shards": len(paths),
+        "keys": len(by_key),
+        "outcomes": outcomes,
+        "pending_keys": pending_keys,
+        "per_shard": {p: {"accepted": s["accepted"],
+                          "outcomes": s["outcomes"],
+                          "dropped_tail": s["dropped_tail"]}
+                      for p, s in per_shard.items()},
     }
 
 
@@ -243,9 +308,12 @@ def detect_kind(path: str) -> str:
 
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("file", help="checkpoint or ledger file to validate")
+    parser.add_argument("file", nargs="+",
+                        help="checkpoint/ledger/journal file(s); multiple "
+                             "files imply --kind shards")
     parser.add_argument("--kind", default="auto",
-                        choices=("auto", "checkpoint", "ledger", "journal"))
+                        choices=("auto", "checkpoint", "ledger", "journal",
+                                 "shards"))
     parser.add_argument("--expect-workload", default=None, metavar="NAME",
                         help="require the checkpoint manifest to name this workload")
     parser.add_argument("--expect-method", default=None, metavar="NAME",
@@ -256,10 +324,30 @@ def main(argv: List[str] | None = None) -> int:
                         help="fail a journal when any accepted request "
                              "lacks a terminal record")
     args = parser.parse_args(argv)
+    path = args.file[0]
     try:
-        kind = args.kind if args.kind != "auto" else detect_kind(args.file)
+        kind = args.kind
+        if len(args.file) > 1 and kind in ("auto", "shards"):
+            kind = "shards"
+        elif kind == "auto":
+            kind = detect_kind(path)
+        if kind == "shards":
+            summary = validate_shards(args.file)
+            if args.require_complete and summary["pending_keys"]:
+                raise ValidationFailure(
+                    f"{len(summary['pending_keys'])} key(s) without an "
+                    f"effective outcome on any shard: "
+                    f"{', '.join(summary['pending_keys'][:5])}"
+                    + ("..." if len(summary["pending_keys"]) > 5 else ""))
+            outcomes = ", ".join(f"{count} {name}" for name, count
+                                 in sorted(summary["outcomes"].items()))
+            print(f"OK {summary['shards']} shard journal(s): "
+                  f"{summary['keys']} keys, {outcomes or 'no outcomes'}, "
+                  f"{len(summary['pending_keys'])} pending "
+                  f"(exactly-once holds)")
+            return 0
         if kind == "checkpoint":
-            header = validate_checkpoint(args.file)
+            header = validate_checkpoint(path)
             meta = header["manifest"]["meta"]
             for key, expected in (("workload", args.expect_workload),
                                   ("method", args.expect_method)):
@@ -267,7 +355,7 @@ def main(argv: List[str] | None = None) -> int:
                     raise ValidationFailure(
                         f"manifest {key}={meta.get(key)!r}, expected {expected!r}")
             manifest = header["manifest"]
-            print(f"OK {args.file} (checkpoint): "
+            print(f"OK {path} (checkpoint): "
                   f"{header['payload_bytes']} payload bytes, "
                   f"sim_time={manifest['sim_time']:.0f}s, "
                   f"jobs {manifest['jobs_terminal']}/{manifest['jobs_total']} "
@@ -275,7 +363,7 @@ def main(argv: List[str] | None = None) -> int:
             if meta:
                 print("  meta: " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
         elif kind == "journal":
-            summary = validate_journal(args.file)
+            summary = validate_journal(path)
             if args.require_complete and summary["pending"]:
                 raise ValidationFailure(
                     f"{len(summary['pending'])} accepted request(s) without "
@@ -286,22 +374,22 @@ def main(argv: List[str] | None = None) -> int:
                 for name, count in sorted(summary["outcomes"].items())
                 if count)
             tail = ", torn tail dropped" if summary["dropped_tail"] else ""
-            print(f"OK {args.file} (journal): {summary['accepted']} accepted, "
+            print(f"OK {path} (journal): {summary['accepted']} accepted, "
                   f"{outcomes or 'no outcomes'}, "
                   f"{len(summary['pending'])} pending{tail}")
         else:
-            cells, failures, dropped = validate_ledger(args.file)
+            cells, failures, dropped = validate_ledger(path)
             if cells < args.min_cells:
                 raise ValidationFailure(
                     f"only {cells} valid cell(s), expected >= {args.min_cells}")
             tail = ", truncated tail dropped" if dropped else ""
-            print(f"OK {args.file} (ledger): {cells} cells, "
+            print(f"OK {path} (ledger): {cells} cells, "
                   f"{failures} failure records{tail}")
     except ValidationFailure as exc:
-        print(f"INVALID {args.file}: {exc}", file=sys.stderr)
+        print(f"INVALID {path}: {exc}", file=sys.stderr)
         return 1
     except OSError as exc:
-        print(f"ERROR: cannot read {args.file}: {exc}", file=sys.stderr)
+        print(f"ERROR: cannot read {path}: {exc}", file=sys.stderr)
         return 1
     return 0
 
